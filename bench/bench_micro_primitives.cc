@@ -1,0 +1,150 @@
+// Micro-benchmarks (google-benchmark): per-operation cost of the hot-path
+// primitives — BM admission decisions, the head-drop selector, the
+// round-robin arbiter, the event queue, and the comparator-tree MaxFinder
+// that Occamy avoids.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/bm/abm.h"
+#include "src/bm/dynamic_threshold.h"
+#include "src/bm/pushout.h"
+#include "src/core/head_drop_selector.h"
+#include "src/core/occamy_bm.h"
+#include "src/hw/circuits.h"
+#include "src/sim/simulator.h"
+#include "src/tm/traffic_manager.h"
+#include "tests/fakes.h"
+
+namespace occamy {
+namespace {
+
+void FillRandom(test::FakeTmView& tm, Rng& rng, int64_t buffer) {
+  for (int q = 0; q < tm.num_queues(); ++q) {
+    tm.set_qlen(q, static_cast<int64_t>(rng.UniformInt(
+                       static_cast<uint64_t>(buffer / tm.num_queues()))));
+  }
+}
+
+void BM_DtAdmit(benchmark::State& state) {
+  const int queues = static_cast<int>(state.range(0));
+  test::FakeTmView tm(16 << 20, queues);
+  bm::DynamicThreshold dt;
+  Rng rng(1);
+  FillRandom(tm, rng, 16 << 20);
+  int q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dt.Admit(tm, q, 1600));
+    q = (q + 1) % queues;
+  }
+}
+BENCHMARK(BM_DtAdmit)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_AbmAdmit(benchmark::State& state) {
+  const int queues = static_cast<int>(state.range(0));
+  test::FakeTmView tm(16 << 20, queues);
+  bm::Abm abm;
+  Rng rng(1);
+  FillRandom(tm, rng, 16 << 20);
+  int q = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(abm.Admit(tm, q, 1600));
+    q = (q + 1) % queues;
+  }
+}
+BENCHMARK(BM_AbmAdmit)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_PushoutVictim(benchmark::State& state) {
+  const int queues = static_cast<int>(state.range(0));
+  test::FakeTmView tm(16 << 20, queues);
+  bm::Pushout pushout;
+  Rng rng(1);
+  FillRandom(tm, rng, 16 << 20);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pushout.EvictVictim(tm, 0));
+  }
+}
+BENCHMARK(BM_PushoutVictim)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_SelectorRefreshAndSelect(benchmark::State& state) {
+  const int queues = static_cast<int>(state.range(0));
+  core::HeadDropSelector selector(queues);
+  Rng rng(1);
+  std::vector<int64_t> qlens(static_cast<size_t>(queues));
+  for (auto& v : qlens) v = static_cast<int64_t>(rng.UniformInt(1 << 20));
+  const auto qlen = [&](int q) { return qlens[static_cast<size_t>(q)]; };
+  const auto threshold = [](int) { return int64_t{500000}; };
+  for (auto _ : state) {
+    selector.Refresh(qlen, threshold);
+    benchmark::DoNotOptimize(selector.SelectVictim(qlen));
+  }
+}
+BENCHMARK(BM_SelectorRefreshAndSelect)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_RoundRobinArbiter(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  core::Bitmap bitmap(n);
+  Rng rng(1);
+  for (int i = 0; i < n; ++i) bitmap.Set(i, rng.Bernoulli(0.3));
+  core::RoundRobinArbiter arb(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arb.Grant(bitmap));
+  }
+}
+BENCHMARK(BM_RoundRobinArbiter)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_MaxFinder(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  hw::MaximumFinder mf(n, 20);
+  Rng rng(1);
+  std::vector<int64_t> v(static_cast<size_t>(n));
+  for (auto& x : v) x = static_cast<int64_t>(rng.UniformInt(1 << 20));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mf.FindMax(v));
+  }
+}
+BENCHMARK(BM_MaxFinder)->Arg(64)->Arg(512);
+
+void BM_EventQueueSchedule(benchmark::State& state) {
+  sim::Simulator sim;
+  Rng rng(1);
+  int64_t t = 0;
+  for (auto _ : state) {
+    sim.At(t + static_cast<Time>(rng.UniformInt(1000)), [] {});
+    ++t;
+    if (sim.processed_events() == 0 && t % 1024 == 0) sim.RunUntil(t);
+  }
+}
+BENCHMARK(BM_EventQueueSchedule);
+
+void BM_SimulatorChurn(benchmark::State& state) {
+  // Schedule + run in a steady-state pattern (the simulator hot loop).
+  sim::Simulator sim;
+  Rng rng(1);
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) {
+      sim.After(static_cast<Time>(rng.UniformInt(1000) + 1), [] {});
+    }
+    sim.Run();
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_SimulatorChurn);
+
+void BM_TmEnqueueDequeue(benchmark::State& state) {
+  sim::Simulator sim;
+  tm::TmConfig cfg;
+  cfg.buffer_bytes = 4 << 20;
+  cfg.port_rates = {Bandwidth::Gbps(100), Bandwidth::Gbps(100)};
+  tm::TmPartition part(&sim, cfg, std::make_unique<core::OccamyBm>());
+  Packet p;
+  p.size_bytes = 1500;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(part.Enqueue(0, p));
+    benchmark::DoNotOptimize(part.DequeueForPort(0));
+  }
+}
+BENCHMARK(BM_TmEnqueueDequeue);
+
+}  // namespace
+}  // namespace occamy

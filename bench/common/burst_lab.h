@@ -1,0 +1,107 @@
+// The P4-testbed scenario (§6.1, Figs. 11-12): fast senders, slow receivers,
+// one shared buffer; a long-lived overload to receiver A and a measured
+// burst to receiver B, both open-loop (Pktgen substitute).
+#pragma once
+
+#include <memory>
+
+#include "bench/common/scenarios.h"
+#include "src/stats/timeseries.h"
+#include "src/workload/open_loop.h"
+
+namespace occamy::bench {
+
+struct BurstLabSpec {
+  Scheme scheme = Scheme::kDt;
+  double alpha = 1.0;
+  int64_t buffer_bytes = 2 * 1000 * 1000;
+  Bandwidth sender_rate = Bandwidth::Gbps(100);
+  Bandwidth receiver_rate = Bandwidth::Gbps(10);
+  int64_t burst_bytes = 600 * 1000;
+  Time burst_start = Microseconds(400);
+  Time horizon = Milliseconds(4);
+  // Sampling interval for queue-length traces (0 = no traces).
+  Time sample_every = 0;
+};
+
+struct BurstLabResult {
+  int64_t burst_packets = 0;
+  int64_t burst_drops = 0;
+  int64_t long_lived_drops = 0;
+  int64_t expelled = 0;
+  stats::TimeSeries q_long{"q1"};
+  stats::TimeSeries q_burst{"q2"};
+  stats::TimeSeries threshold{"T"};
+
+  double BurstLossRate() const {
+    return burst_packets == 0
+               ? 0.0
+               : static_cast<double>(burst_drops) / static_cast<double>(burst_packets);
+  }
+};
+
+inline BurstLabResult RunBurstLab(const BurstLabSpec& spec) {
+  StarSpec star;
+  star.num_hosts = 4;
+  star.host_rates = {spec.sender_rate, spec.sender_rate, spec.receiver_rate,
+                     spec.receiver_rate};
+  star.link_propagation = Microseconds(1);
+  star.buffer_bytes = spec.buffer_bytes;
+  star.ecn_threshold_bytes = 0;  // open-loop: no ECN
+  star.scheme = spec.scheme;
+  star.alphas = {spec.alpha};
+  StarScenario s(star);
+
+  constexpr uint64_t kLongFlow = 1, kBurstFlow = 2;
+  BurstLabResult result;
+  s.sw().set_drop_hook([&](const Packet& pkt, tm::DropReason reason) {
+    // Expulsions of the long-lived queue are deliberate reclamation; count
+    // them separately from congestion losses.
+    if (pkt.flow_id == kBurstFlow && reason != tm::DropReason::kExpelled) {
+      ++result.burst_drops;
+    }
+    if (pkt.flow_id == kLongFlow) ++result.long_lived_drops;
+  });
+
+  workload::OpenLoopConfig lived;
+  lived.src = s.topo.hosts[0];
+  lived.dst = s.topo.hosts[2];
+  lived.rate = spec.sender_rate;
+  lived.flow_id = kLongFlow;
+  lived.stop = spec.horizon;
+  workload::OpenLoopSender long_lived(&s.net, lived);
+  long_lived.Start();
+
+  workload::OpenLoopConfig burst;
+  burst.src = s.topo.hosts[1];
+  burst.dst = s.topo.hosts[3];
+  burst.rate = spec.sender_rate;
+  burst.flow_id = kBurstFlow;
+  burst.start = spec.burst_start;
+  burst.total_bytes = spec.burst_bytes;
+  workload::OpenLoopSender burst_sender(&s.net, burst);
+  burst_sender.Start();
+
+  if (spec.sample_every > 0) {
+    std::function<void()> sample = [&s, &result]() {
+      auto& part = s.sw().partition(0);
+      result.q_long.Record(s.sim.now(),
+                           static_cast<double>(s.sw().QueueLengthBytes(2, 0)) / 1000.0);
+      result.q_burst.Record(s.sim.now(),
+                            static_cast<double>(s.sw().QueueLengthBytes(3, 0)) / 1000.0);
+      result.threshold.Record(
+          s.sim.now(),
+          static_cast<double>(part.ThresholdBytes(part.QueueIndex(2, 0))) / 1000.0);
+    };
+    for (Time t = 0; t <= spec.horizon; t += spec.sample_every) {
+      s.sim.At(t, sample);
+    }
+  }
+
+  s.sim.RunUntil(spec.horizon);
+  result.burst_packets = burst_sender.packets_sent();
+  result.expelled = s.sw().partition(0).stats().expelled_packets;
+  return result;
+}
+
+}  // namespace occamy::bench

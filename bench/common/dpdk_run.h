@@ -1,0 +1,156 @@
+// Shared runner for the DPDK-software-switch experiments (§6.2, §6.3):
+// 8 hosts x 10G around one 410KB shared-buffer switch, DCTCP query (incast)
+// traffic plus a configurable background, reporting QCT / FCT statistics.
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "bench/common/scenarios.h"
+#include "src/workload/flow_size_dist.h"
+#include "src/workload/incast.h"
+#include "src/workload/open_loop.h"
+
+namespace occamy::bench {
+
+struct DpdkRunSpec {
+  Scheme scheme = Scheme::kDt;
+  std::vector<double> alphas;  // per class; empty = scheme default
+  int queues_per_port = 1;
+  tm::SchedulerKind scheduler = tm::SchedulerKind::kFifo;
+  int64_t buffer_bytes = 410 * 1000;  // 5.12KB/port/Gbps x 8 x 10G
+
+  enum class Bg {
+    kNone,
+    kWebSearchDctcp,  // §6.2 burst absorption: same queue as queries
+    kWebSearchCubic,  // §6.2 isolation: separate CUBIC queue
+    kSaturatingLp,    // §6.2 choking: LP streams pinning the client's port
+  };
+  Bg bg = Bg::kWebSearchDctcp;
+  double bg_load = 0.5;
+  uint8_t bg_tc = 0;
+
+  int64_t query_bytes = 200 * 1000;
+  double query_load = 0.01;
+  uint8_t query_tc = 0;
+
+  Time duration = Milliseconds(150);
+  Time max_duration = Milliseconds(450);
+  int min_queries = 60;
+  uint64_t seed = 1;
+};
+
+struct DpdkRunResult {
+  double qct_avg_ms = 0, qct_p99_ms = 0;
+  double fct_avg_ms = 0, fct_small_p99_ms = 0;
+  int64_t queries = 0;
+  int64_t rtos = 0;
+  int64_t drops = 0;
+  int64_t expelled = 0;
+};
+
+inline DpdkRunResult RunDpdk(const DpdkRunSpec& run) {
+  StarSpec star;
+  star.num_hosts = 8;
+  star.host_rate = Bandwidth::Gbps(10);
+  star.buffer_bytes = run.buffer_bytes;
+  star.ecn_threshold_bytes = 65 * 1500;  // 65 packets (§6.2)
+  star.queues_per_port = run.queues_per_port;
+  star.scheduler = run.scheduler;
+  star.scheme = run.scheme;
+  star.alphas = run.alphas;
+  star.seed = run.seed;
+  StarScenario s(star);
+
+  const double aggregate = star.host_rate.bytes_per_sec() * star.num_hosts;
+  const double qps = run.query_load * aggregate / static_cast<double>(run.query_bytes);
+  Time duration = run.duration;
+  const Time needed = FromSeconds(static_cast<double>(run.min_queries) / qps);
+  duration = std::clamp(needed, duration, run.max_duration);
+  if (GetBenchScale() == BenchScale::kSmoke) duration = std::min(duration, Milliseconds(20));
+
+  // ---- background ----
+  std::unique_ptr<workload::PoissonFlowGenerator> bg_gen;
+  std::vector<std::unique_ptr<workload::OpenLoopSender>> lp_senders;
+  if (run.bg == DpdkRunSpec::Bg::kWebSearchDctcp ||
+      run.bg == DpdkRunSpec::Bg::kWebSearchCubic) {
+    workload::PoissonFlowConfig bg;
+    bg.hosts = s.topo.hosts;
+    bg.load = run.bg_load;
+    bg.host_rate = star.host_rate;
+    bg.size_dist = workload::WebSearchDistribution();
+    bg.traffic_class = run.bg_tc;
+    bg.cc = run.bg == DpdkRunSpec::Bg::kWebSearchCubic
+                ? transport::CcAlgorithm::kCubic
+                : transport::CcAlgorithm::kDctcp;
+    bg.stop = duration;
+    bg.ideal_fn = s.IdealFn();
+    bg.seed = run.seed + 17;
+    bg_gen = std::make_unique<workload::PoissonFlowGenerator>(s.manager.get(), bg);
+    bg_gen->Start();
+  } else if (run.bg == DpdkRunSpec::Bg::kSaturatingLp) {
+    // Saturating low-priority streams into the query client's port, spread
+    // over the LP classes (kernel-CUBIC stand-in; see DESIGN.md).
+    const int lp_classes = std::max(1, run.queues_per_port - 1);
+    const int streams = std::max(7, lp_classes);
+    for (int i = 0; i < streams; ++i) {
+      workload::OpenLoopConfig cfg;
+      cfg.src = s.topo.hosts[static_cast<size_t>(6 + (i % 2))];
+      cfg.dst = s.topo.hosts[0];
+      cfg.rate = Bandwidth::Mbps(static_cast<int64_t>(
+          run.bg_load * 10000.0 * 1.2 / streams));  // 1.2x oversubscription
+      cfg.traffic_class = static_cast<uint8_t>(1 + (i % lp_classes));
+      cfg.flow_id = 900 + static_cast<uint64_t>(i);
+      cfg.stop = duration + Milliseconds(50);
+      lp_senders.push_back(std::make_unique<workload::OpenLoopSender>(&s.net, cfg));
+      lp_senders.back()->Start();
+    }
+  }
+
+  // ---- query traffic ----
+  workload::IncastConfig q;
+  if (run.bg == DpdkRunSpec::Bg::kSaturatingLp) {
+    q.clients = {s.topo.hosts[0]};  // the choked port
+  } else {
+    q.clients = s.topo.hosts;
+  }
+  // 16 responders: two per non-client host (§6.2: "each host runs 2").
+  for (int rep = 0; rep < 2; ++rep) {
+    for (auto h : s.topo.hosts) q.servers.push_back(h);
+  }
+  q.fanin = 14;
+  q.query_size_bytes = run.query_bytes;
+  q.queries_per_second = qps;
+  q.traffic_class = run.query_tc;
+  q.start = Milliseconds(5);  // let the background establish itself
+  q.stop = duration;
+  q.ideal_fn = s.IdealFn();
+  q.query_ideal_fn = [&s](net::NodeId, int64_t bytes) { return s.IdealFct(bytes); };
+  q.seed = run.seed + 31;
+  workload::IncastWorkload incast(s.manager.get(), q);
+  incast.Start();
+
+  s.sim.RunUntil(duration + Milliseconds(300));  // drain (RTO tails)
+
+  DpdkRunResult result;
+  result.qct_avg_ms = incast.qct().DurationsMs().Mean();
+  result.qct_p99_ms = incast.qct().DurationsMs().P99();
+  result.queries = incast.queries_completed();
+  if (bg_gen != nullptr) {
+    const auto bg_filter = [&](const stats::CompletionRecord& r) {
+      return bg_gen->Owns(r.id);
+    };
+    result.fct_avg_ms = s.manager->completions().DurationsMs(bg_filter).Mean();
+    const auto small = [&](const stats::CompletionRecord& r) {
+      return bg_gen->Owns(r.id) && r.bytes < 100 * 1000;
+    };
+    result.fct_small_p99_ms = s.manager->completions().DurationsMs(small).P99();
+  }
+  result.rtos = s.manager->counters().rtos;
+  result.drops = s.sw().TotalDrops();
+  result.expelled = s.sw().partition(0).stats().expelled_packets;
+  return result;
+}
+
+}  // namespace occamy::bench

@@ -1,0 +1,144 @@
+// Shared runner for the large-scale simulation experiments (§6.4):
+// leaf-spine fabric + background traffic (web-search / all-to-all /
+// all-reduce) + incast query traffic, reporting QCT/FCT slowdowns.
+#pragma once
+
+#include <memory>
+
+#include "bench/common/scenarios.h"
+#include "src/workload/collective.h"
+
+namespace occamy::bench {
+
+enum class BgPattern { kWebSearch, kAllToAll, kAllReduce };
+
+struct FabricRunSpec {
+  Scheme scheme = Scheme::kDt;
+  std::vector<double> alphas;  // empty = scheme default
+
+  BgPattern pattern = BgPattern::kWebSearch;
+  double bg_load = 0.9;         // fraction of aggregate host bandwidth
+  int64_t bg_fixed_size = 0;    // for all-to-all / all-reduce sweeps
+  transport::CcAlgorithm bg_cc = transport::CcAlgorithm::kDctcp;
+
+  double query_size_frac_of_buffer = 0.4;  // of one buffer partition
+  double query_load = 0.02;                // fraction of aggregate bandwidth
+  int fanin = 16;
+
+  double buffer_per_port_per_gbps = 5120.0;
+  Time duration = 0;  // 0 = scale default
+  Time drain = Milliseconds(40);
+  uint64_t seed = 1;
+};
+
+struct FabricRunResult {
+  double qct_avg_ms = 0, qct_p99_ms = 0;
+  double qct_avg_slow = 0, qct_p99_slow = 0;
+  double fct_avg_slow = 0, fct_p99_slow = 0;
+  double fct_small_p99_slow = 0;
+  int64_t queries_completed = 0;
+  int64_t bg_flows_completed = 0;
+  int64_t drops = 0;
+  int64_t expelled = 0;
+};
+
+inline Time DefaultFabricDuration(BenchScale scale) {
+  switch (scale) {
+    case BenchScale::kSmoke: return Milliseconds(10);
+    case BenchScale::kDefault: return Milliseconds(20);
+    case BenchScale::kFull: return Milliseconds(50);
+  }
+  return Milliseconds(20);
+}
+
+inline FabricRunResult RunFabric(const FabricRunSpec& run) {
+  const BenchScale scale = GetBenchScale();
+  FabricSpec spec;
+  spec.scheme = run.scheme;
+  spec.alphas = run.alphas;
+  spec.buffer_per_port_per_gbps = run.buffer_per_port_per_gbps;
+  spec.seed = run.seed;
+  FabricScenario s(spec, scale);
+
+  const Time duration = run.duration > 0 ? run.duration : DefaultFabricDuration(scale);
+  const Bandwidth host_rate = s.topo.config.host_rate;
+  const int n_hosts = s.topo.num_hosts();
+
+  // Background traffic.
+  workload::PoissonFlowConfig bg;
+  switch (run.pattern) {
+    case BgPattern::kWebSearch:
+      bg.hosts = s.topo.hosts;
+      bg.load = run.bg_load;
+      bg.host_rate = host_rate;
+      bg.size_dist = workload::WebSearchDistribution();
+      break;
+    case BgPattern::kAllToAll:
+      bg = workload::MakeAllToAllConfig(s.topo.hosts, run.bg_load, host_rate,
+                                        run.bg_fixed_size, 0, duration, run.seed + 17);
+      break;
+    case BgPattern::kAllReduce:
+      bg = workload::MakeAllReduceConfig(s.topo.hosts, run.bg_load, host_rate,
+                                         run.bg_fixed_size, 0, duration, run.seed + 17);
+      break;
+  }
+  bg.cc = run.bg_cc;
+  bg.stop = duration;
+  bg.ideal_fn = s.IdealFn();
+  bg.seed = run.seed + 17;
+  workload::PoissonFlowGenerator bg_gen(s.manager.get(), bg);
+  bg_gen.Start();
+
+  // Query (incast) traffic.
+  workload::IncastConfig q;
+  q.clients = s.topo.hosts;
+  q.servers = s.topo.hosts;
+  q.fanin = std::min(run.fanin, n_hosts - 1);
+  q.query_size_bytes =
+      static_cast<int64_t>(run.query_size_frac_of_buffer *
+                           static_cast<double>(s.buffer_per_partition));
+  const double aggregate = host_rate.bytes_per_sec() * n_hosts;
+  q.queries_per_second =
+      run.query_load * aggregate / static_cast<double>(q.query_size_bytes);
+  q.stop = duration;
+  q.ideal_fn = s.IdealFn();
+  q.query_ideal_fn = s.QueryIdealFn();
+  q.seed = run.seed + 31;
+  workload::IncastWorkload incast(s.manager.get(), q);
+  incast.Start();
+
+  s.sim.RunUntil(duration + run.drain);
+
+  FabricRunResult result;
+  const auto qct_ms = incast.qct().DurationsMs();
+  const auto qct_slow = incast.qct().Slowdowns();
+  result.qct_avg_ms = qct_ms.Mean();
+  result.qct_p99_ms = qct_ms.P99();
+  result.qct_avg_slow = qct_slow.Mean();
+  result.qct_p99_slow = qct_slow.P99();
+  result.queries_completed = incast.queries_completed();
+
+  const auto bg_filter = [&](const stats::CompletionRecord& r) { return bg_gen.Owns(r.id); };
+  const auto bg_slow = s.manager->completions().Slowdowns(bg_filter);
+  result.fct_avg_slow = bg_slow.Mean();
+  result.fct_p99_slow = bg_slow.P99();
+  const auto small_filter = [&](const stats::CompletionRecord& r) {
+    return bg_gen.Owns(r.id) && r.bytes < 100 * 1000;
+  };
+  result.fct_small_p99_slow = s.manager->completions().Slowdowns(small_filter).P99();
+  result.bg_flows_completed = s.manager->completions().DurationsMs(bg_filter).Count();
+
+  for (auto& sw_id : s.topo.leaves) {
+    auto& sw = static_cast<net::SwitchNode&>(s.net.node(sw_id));
+    result.drops += sw.TotalDrops();
+    for (int p = 0; p < sw.num_partitions(); ++p) {
+      result.expelled += sw.partition(p).stats().expelled_packets;
+    }
+  }
+  for (auto& sw_id : s.topo.spines) {
+    result.drops += static_cast<net::SwitchNode&>(s.net.node(sw_id)).TotalDrops();
+  }
+  return result;
+}
+
+}  // namespace occamy::bench

@@ -1,0 +1,190 @@
+// Reusable experiment scenarios mirroring the paper's three platforms:
+//
+//  * P4Testbed   — §6.1: 100G senders, 10G receivers, one shared buffer,
+//                  open-loop traffic (Pktgen substitute).
+//  * DpdkTestbed — §6.2/6.3: 8 hosts x 10G, 410KB shared buffer
+//                  (5.12KB/port/Gbps), DCTCP via the kernel stack.
+//  * Fabric      — §6.4: leaf-spine, web-search/collective background +
+//                  incast queries, Tomahawk-style 4MB-per-8-port partitions.
+//
+// Scale is selected by OCCAMY_BENCH_SCALE (smoke | default | full); the
+// default keeps laptop runtimes by shrinking link speed and host count while
+// preserving every relative parameter (buffer per port per Gbps, ECN in BDP,
+// loads, query size as a fraction of buffer). See DESIGN.md §5.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/common/scheme.h"
+#include "src/net/topology.h"
+#include "src/transport/flow_manager.h"
+#include "src/util/env.h"
+#include "src/workload/flow_size_dist.h"
+#include "src/workload/incast.h"
+#include "src/workload/open_loop.h"
+#include "src/workload/poisson_flows.h"
+
+namespace occamy::bench {
+
+// ---------------- scale ----------------
+
+enum class BenchScale { kSmoke, kDefault, kFull };
+
+inline BenchScale GetBenchScale() {
+  const std::string s = GetEnvOr("OCCAMY_BENCH_SCALE", "default");
+  if (s == "smoke") return BenchScale::kSmoke;
+  if (s == "full") return BenchScale::kFull;
+  return BenchScale::kDefault;
+}
+
+// ---------------- DPDK-style star testbed (§6.2) ----------------
+
+struct StarSpec {
+  int num_hosts = 8;
+  Bandwidth host_rate = Bandwidth::Gbps(10);
+  std::vector<Bandwidth> host_rates;  // optional per-host override
+  Time link_propagation = Microseconds(2);
+  // 5.12KB per port per Gbps (Tomahawk ratio): 8 x 10G -> 410KB.
+  int64_t buffer_bytes = 410 * 1000;
+  int64_t ecn_threshold_bytes = 65 * 1500;  // 65 packets (paper §6.2)
+  int queues_per_port = 1;
+  tm::SchedulerKind scheduler = tm::SchedulerKind::kFifo;
+  Scheme scheme = Scheme::kDt;
+  std::vector<double> alphas;  // per class; empty = scheme default
+  uint64_t seed = 1;
+};
+
+struct StarScenario {
+  explicit StarScenario(const StarSpec& spec)
+      : sim(spec.seed), net(&sim) {
+    net::StarConfig cfg;
+    cfg.num_hosts = spec.num_hosts;
+    cfg.host_rate = spec.host_rate;
+    cfg.host_rates = spec.host_rates;
+    cfg.link_propagation = spec.link_propagation;
+    cfg.switch_config.ports_per_partition = spec.num_hosts;  // one shared buffer
+    cfg.switch_config.tm.buffer_bytes = spec.buffer_bytes;
+    cfg.switch_config.tm.ecn_threshold_bytes = spec.ecn_threshold_bytes;
+    cfg.switch_config.tm.queues_per_port = spec.queues_per_port;
+    cfg.switch_config.tm.scheduler = spec.scheduler;
+    ApplyScheme(cfg.switch_config.tm, spec.scheme, spec.alphas);
+    cfg.switch_config.scheme_factory = MakeFactory(spec.scheme);
+    topo = net::BuildStar(net, cfg);
+    manager = std::make_unique<transport::FlowManager>(&net);
+    for (auto h : topo.hosts) manager->AttachHost(h);
+    host_rate = spec.host_rate;
+    base_rtt = 4 * spec.link_propagation;
+  }
+
+  // Ideal duration of a `bytes` transfer on the unloaded star.
+  Time IdealFct(int64_t bytes) const {
+    const int64_t segments = (bytes + kDefaultMss - 1) / kDefaultMss;
+    return base_rtt + host_rate.TxTime(bytes + segments * kHeaderBytes);
+  }
+
+  workload::IdealFn IdealFn() const {
+    return [this](net::NodeId, net::NodeId, int64_t bytes) { return IdealFct(bytes); };
+  }
+
+  net::SwitchNode& sw() { return topo.sw(net); }
+
+  sim::Simulator sim;
+  net::Network net;
+  net::StarTopology topo;
+  std::unique_ptr<transport::FlowManager> manager;
+  Bandwidth host_rate;
+  Time base_rtt = 0;
+};
+
+// ---------------- Leaf-spine fabric (§6.4) ----------------
+
+struct FabricSpec {
+  Scheme scheme = Scheme::kDt;
+  std::vector<double> alphas;
+  int queues_per_port = 1;
+  tm::SchedulerKind scheduler = tm::SchedulerKind::kFifo;
+  // Buffer density in bytes per port per Gbps (Tomahawk: 5120).
+  double buffer_per_port_per_gbps = 5120.0;
+  double ecn_bdp_fraction = 0.72;  // paper: ECN = 0.72 BDP
+  uint64_t seed = 1;
+};
+
+struct FabricScenario {
+  explicit FabricScenario(const FabricSpec& spec, BenchScale scale = GetBenchScale())
+      : sim(spec.seed), net(&sim) {
+    net::LeafSpineConfig cfg;
+    switch (scale) {
+      case BenchScale::kSmoke:
+        cfg.num_spines = 2;
+        cfg.num_leaves = 2;
+        cfg.hosts_per_leaf = 4;
+        cfg.host_rate = cfg.uplink_rate = Bandwidth::Gbps(10);
+        break;
+      case BenchScale::kDefault:
+        cfg.num_spines = 4;
+        cfg.num_leaves = 4;
+        cfg.hosts_per_leaf = 8;
+        cfg.host_rate = cfg.uplink_rate = Bandwidth::Gbps(10);
+        break;
+      case BenchScale::kFull:
+        cfg.num_spines = 8;
+        cfg.num_leaves = 8;
+        cfg.hosts_per_leaf = 16;
+        cfg.host_rate = cfg.uplink_rate = Bandwidth::Gbps(100);
+        break;
+    }
+    cfg.link_propagation = Microseconds(10);  // 80us base RTT across spine
+    cfg.ports_per_partition = 8;
+    // Buffer: density * 8 ports * Gbps per port (per partition).
+    const double gbps = cfg.host_rate.gbps();
+    buffer_per_partition =
+        static_cast<int64_t>(spec.buffer_per_port_per_gbps * 8.0 * gbps);
+    cfg.tm.buffer_bytes = buffer_per_partition;
+    cfg.tm.queues_per_port = spec.queues_per_port;
+    cfg.tm.scheduler = spec.scheduler;
+    const int64_t bdp = cfg.host_rate.BytesIn(Microseconds(80));
+    cfg.tm.ecn_threshold_bytes = static_cast<int64_t>(spec.ecn_bdp_fraction *
+                                                      static_cast<double>(bdp));
+    ApplyScheme(cfg.tm, spec.scheme, spec.alphas);
+    cfg.scheme_factory = MakeFactory(spec.scheme);
+    topo = net::BuildLeafSpine(net, cfg);
+    manager = std::make_unique<transport::FlowManager>(&net);
+    for (auto h : topo.hosts) manager->AttachHost(h);
+  }
+
+  int HostIndexOf(net::NodeId id) const {
+    for (size_t i = 0; i < topo.hosts.size(); ++i) {
+      if (topo.hosts[i] == id) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  Time IdealFct(net::NodeId src, net::NodeId dst, int64_t bytes) const {
+    const int64_t segments = (bytes + kDefaultMss - 1) / kDefaultMss;
+    return topo.BaseRtt(HostIndexOf(src), HostIndexOf(dst)) +
+           topo.config.host_rate.TxTime(bytes + segments * kHeaderBytes);
+  }
+
+  workload::IdealFn IdealFn() {
+    return [this](net::NodeId s, net::NodeId d, int64_t b) { return IdealFct(s, d, b); };
+  }
+
+  // Ideal QCT for an incast of `bytes` into one client port.
+  std::function<Time(net::NodeId, int64_t)> QueryIdealFn() {
+    return [this](net::NodeId client, int64_t bytes) {
+      (void)client;
+      const int64_t segments = (bytes + kDefaultMss - 1) / kDefaultMss;
+      return Microseconds(80) + topo.config.host_rate.TxTime(bytes + segments * kHeaderBytes);
+    };
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  net::LeafSpineTopology topo;
+  std::unique_ptr<transport::FlowManager> manager;
+  int64_t buffer_per_partition = 0;
+};
+
+}  // namespace occamy::bench

@@ -1,0 +1,59 @@
+// Fixed-width table printing for bench output (one bench per paper figure;
+// each prints the rows/series of that figure).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace occamy::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  template <typename... Args>
+  static std::string Fmt(const char* fmt, Args... args) {
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    return std::string(buf);
+  }
+
+  void Print() const {
+    std::vector<size_t> width(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    PrintRow(headers_, width);
+    std::string sep;
+    for (size_t c = 0; c < width.size(); ++c) {
+      sep += std::string(width[c] + 2, '-');
+    }
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) PrintRow(row, width);
+    std::fflush(stdout);
+  }
+
+ private:
+  static void PrintRow(const std::vector<std::string>& cells,
+                       const std::vector<size_t>& width) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      std::printf("%-*s", static_cast<int>(width[c] + 2), cells[c].c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace occamy::bench

@@ -1,0 +1,33 @@
+// Dynamic Threshold (DT) — Choudhury & Hahne 1998; paper §2.2 Eq. (1).
+//
+//   T(t) = alpha * (B - sum_i q_i(t))
+//
+// A packet is admitted iff its queue's current length is below T(t) (and the
+// buffer physically fits it). alpha is per-queue (the paper's experiments use
+// different alphas for high/low-priority queues).
+#pragma once
+
+#include <cstdint>
+
+#include "src/bm/bm_scheme.h"
+
+namespace occamy::bm {
+
+class DynamicThreshold : public BmScheme {
+ public:
+  DynamicThreshold() = default;
+
+  std::string_view name() const override { return "DT"; }
+
+  int64_t Threshold(const TmView& tm, int q) const override {
+    const double t = tm.alpha(q) * static_cast<double>(tm.free_bytes());
+    return static_cast<int64_t>(t);
+  }
+
+  bool Admit(const TmView& tm, int q, int64_t bytes) override {
+    (void)bytes;
+    return tm.qlen_bytes(q) < Threshold(tm, q);
+  }
+};
+
+}  // namespace occamy::bm

@@ -1,0 +1,106 @@
+// EDT — Enhanced Dynamic Threshold (Shan et al., INFOCOM 2015; paper §7).
+//
+// A DT-family scheme built for micro-burst absorption: each queue runs a
+// small state machine (NORMAL / ABSORB / EVACUATE). A queue that starts
+// growing from (near) empty is classified as receiving a burst and is
+// temporarily exempted from the DT threshold — it may absorb up to the free
+// buffer. Once the burst ends (queue drains, or it overstays its welcome)
+// the queue returns to DT control.
+//
+// Included as a non-preemptive baseline from the paper's related work: like
+// all DT descendants it can only *admit* generously; it cannot reclaim
+// buffer that another queue already over-holds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/bm/bm_scheme.h"
+#include "src/bm/dynamic_threshold.h"
+
+namespace occamy::bm {
+
+class EnhancedDt : public BmScheme {
+ public:
+  struct Options {
+    // A queue below this length is "idle"; growth from idle enters ABSORB.
+    int64_t idle_bytes = 3000;
+    // Maximum time a queue may stay in ABSORB before being evacuated.
+    Time absorb_timeout = Microseconds(500);
+    // Fraction of the free buffer an absorbing queue may occupy.
+    double absorb_fraction = 0.9;
+  };
+
+  explicit EnhancedDt() : EnhancedDt(Options()) {}
+  explicit EnhancedDt(Options options) : options_(options) {}
+
+  std::string_view name() const override { return "EDT"; }
+
+  int64_t Threshold(const TmView& tm, int q) const override {
+    EnsureSized(tm);
+    const auto& st = states_[static_cast<size_t>(q)];
+    if (st.mode == Mode::kAbsorb && tm.now() - st.absorb_since <= options_.absorb_timeout) {
+      const double t = options_.absorb_fraction * static_cast<double>(tm.free_bytes()) +
+                       static_cast<double>(tm.qlen_bytes(q));
+      return static_cast<int64_t>(t);
+    }
+    return dt_.Threshold(tm, q);
+  }
+
+  bool Admit(const TmView& tm, int q, int64_t bytes) override {
+    EnsureSized(tm);
+    UpdateState(tm, q);
+    (void)bytes;
+    return tm.qlen_bytes(q) < Threshold(tm, q);
+  }
+
+  void OnDequeue(const TmView& tm, int q, int64_t bytes) override {
+    (void)bytes;
+    EnsureSized(tm);
+    UpdateState(tm, q);
+  }
+
+  bool IsAbsorbingForTest(const TmView& tm, int q) const {
+    EnsureSized(tm);
+    const auto& st = states_[static_cast<size_t>(q)];
+    return st.mode == Mode::kAbsorb && tm.now() - st.absorb_since <= options_.absorb_timeout;
+  }
+
+ private:
+  enum class Mode { kNormal, kAbsorb };
+  struct QueueState {
+    Mode mode = Mode::kNormal;
+    Time absorb_since = 0;
+  };
+
+  void EnsureSized(const TmView& tm) const {
+    if (states_.size() != static_cast<size_t>(tm.num_queues())) {
+      states_.assign(static_cast<size_t>(tm.num_queues()), QueueState{});
+    }
+  }
+
+  void UpdateState(const TmView& tm, int q) const {
+    auto& st = states_[static_cast<size_t>(q)];
+    const int64_t qlen = tm.qlen_bytes(q);
+    switch (st.mode) {
+      case Mode::kNormal:
+        // A queue rising from idle is treated as a fresh burst.
+        if (qlen > 0 && qlen <= options_.idle_bytes) {
+          st.mode = Mode::kAbsorb;
+          st.absorb_since = tm.now();
+        }
+        break;
+      case Mode::kAbsorb:
+        if (qlen == 0 || tm.now() - st.absorb_since > options_.absorb_timeout) {
+          st.mode = Mode::kNormal;
+        }
+        break;
+    }
+  }
+
+  Options options_;
+  DynamicThreshold dt_;
+  mutable std::vector<QueueState> states_;
+};
+
+}  // namespace occamy::bm

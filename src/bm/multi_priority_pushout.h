@@ -1,0 +1,55 @@
+// Multi-priority Pushout (Choudhury & Hahne 1993/1996; paper §7).
+//
+// Pushout with loss priorities: an arriving packet may only push out buffer
+// held by queues of *equal or lower* loss priority (higher priority value =
+// lower importance here, matching the scheduling convention priority 0 =
+// most important). Within the eligible set the longest queue is evicted.
+// Historically studied for ATM space priorities; included as a preemptive
+// baseline bridging plain Pushout and Occamy's class-aware behaviour.
+#pragma once
+
+#include <cstdint>
+
+#include "src/bm/bm_scheme.h"
+
+namespace occamy::bm {
+
+class MultiPriorityPushout : public BmScheme {
+ public:
+  std::string_view name() const override { return "MP-Pushout"; }
+
+  int64_t Threshold(const TmView& tm, int q) const override {
+    (void)q;
+    return tm.buffer_bytes();
+  }
+
+  bool Admit(const TmView& tm, int q, int64_t bytes) override {
+    (void)tm, (void)q, (void)bytes;
+    return true;
+  }
+
+  std::optional<int> EvictVictim(const TmView& tm, int arriving_q) override {
+    const int arriving_prio = tm.priority(arriving_q);
+    int victim = -1;
+    int64_t victim_len = 0;
+    for (int q = 0; q < tm.num_queues(); ++q) {
+      if (tm.priority(q) < arriving_prio) continue;  // more important: immune
+      const int64_t len = tm.qlen_bytes(q);
+      if (len > victim_len) {
+        victim_len = len;
+        victim = q;
+      }
+    }
+    if (victim < 0) return std::nullopt;  // nothing evictable
+    // If the arrival's own queue is the (joint-)longest eligible victim,
+    // drop the arrival instead (no gain from self-eviction).
+    if (victim == arriving_q || tm.qlen_bytes(arriving_q) >= victim_len) {
+      return std::nullopt;
+    }
+    return victim;
+  }
+
+  bool IsPreemptive() const override { return true; }
+};
+
+}  // namespace occamy::bm

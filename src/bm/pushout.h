@@ -1,0 +1,51 @@
+// Pushout — the historically optimal preemptive BM (paper §2.2).
+//
+// Admits a packet whenever the buffer has free space. When the buffer is
+// full, evicts packets from the *longest* queue to make room; if the
+// arriving packet's own queue is (jointly) the longest, the arrival is
+// dropped instead. Used in the paper's simulations as the idealized
+// upper-bound comparator; per §6 it is not charged memory-bandwidth cost.
+#pragma once
+
+#include <cstdint>
+
+#include "src/bm/bm_scheme.h"
+
+namespace occamy::bm {
+
+class Pushout : public BmScheme {
+ public:
+  std::string_view name() const override { return "Pushout"; }
+
+  int64_t Threshold(const TmView& tm, int q) const override {
+    (void)q;
+    return tm.buffer_bytes();
+  }
+
+  // Always admit as long as the packet fits; the TM resolves the full-buffer
+  // case through EvictVictim below.
+  bool Admit(const TmView& tm, int q, int64_t bytes) override {
+    (void)tm, (void)q, (void)bytes;
+    return true;
+  }
+
+  std::optional<int> EvictVictim(const TmView& tm, int arriving_q) override {
+    int longest = -1;
+    int64_t longest_len = 0;
+    for (int q = 0; q < tm.num_queues(); ++q) {
+      const int64_t len = tm.qlen_bytes(q);
+      if (len > longest_len) {
+        longest_len = len;
+        longest = q;
+      }
+    }
+    if (longest < 0) return std::nullopt;  // nothing to evict
+    // Arriving queue is (jointly) longest: drop the arrival.
+    if (tm.qlen_bytes(arriving_q) >= longest_len) return std::nullopt;
+    return longest;
+  }
+
+  bool IsPreemptive() const override { return true; }
+};
+
+}  // namespace occamy::bm

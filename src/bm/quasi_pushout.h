@@ -1,0 +1,83 @@
+// QPO — Quasi-Pushout (Lin & Shung, IEEE Comm. Letters 1997; paper §7).
+//
+// A cheaper preemptive scheme than true Pushout: instead of tracking the
+// exact longest queue, it maintains a "quasi-longest" register that is
+// updated incrementally — compared/refreshed only against the queues touched
+// by enqueue/dequeue events. The victim is therefore the *near*-longest
+// queue. The paper cites QPO as easier to maintain but still burdened by
+// Pushout's coupled enqueue path (§2.2 Difficulty 2), which Occamy avoids.
+#pragma once
+
+#include <cstdint>
+
+#include "src/bm/bm_scheme.h"
+
+namespace occamy::bm {
+
+class QuasiPushout : public BmScheme {
+ public:
+  std::string_view name() const override { return "QPO"; }
+
+  int64_t Threshold(const TmView& tm, int q) const override {
+    (void)q;
+    return tm.buffer_bytes();
+  }
+
+  bool Admit(const TmView& tm, int q, int64_t bytes) override {
+    (void)bytes;
+    Observe(tm, q);
+    return true;  // admit whenever the packet physically fits
+  }
+
+  void OnEnqueue(const TmView& tm, int q, int64_t bytes) override {
+    (void)bytes;
+    Observe(tm, q);
+  }
+
+  void OnDequeue(const TmView& tm, int q, int64_t bytes) override {
+    (void)bytes;
+    // The quasi-longest register decays with the observed queue: if the
+    // recorded queue drained, its stale length is corrected lazily.
+    if (q == quasi_longest_) quasi_len_ = tm.qlen_bytes(q);
+  }
+
+  std::optional<int> EvictVictim(const TmView& tm, int arriving_q) override {
+    if (quasi_longest_ < 0 || tm.qlen_bytes(quasi_longest_) == 0) {
+      // Stale register: fall back to the arriving queue's own comparison.
+      Rescan(tm);
+    }
+    if (quasi_longest_ < 0) return std::nullopt;
+    if (tm.qlen_bytes(arriving_q) >= tm.qlen_bytes(quasi_longest_)) return std::nullopt;
+    return quasi_longest_;
+  }
+
+  bool IsPreemptive() const override { return true; }
+
+  int quasi_longest_for_test() const { return quasi_longest_; }
+
+ private:
+  void Observe(const TmView& tm, int q) {
+    const int64_t len = tm.qlen_bytes(q);
+    if (quasi_longest_ < 0 || len >= quasi_len_) {
+      quasi_longest_ = q;
+      quasi_len_ = len;
+    }
+  }
+
+  // Rare slow path when the register went stale (register-holder drained).
+  void Rescan(const TmView& tm) {
+    quasi_longest_ = -1;
+    quasi_len_ = 0;
+    for (int q = 0; q < tm.num_queues(); ++q) {
+      if (tm.qlen_bytes(q) > quasi_len_) {
+        quasi_len_ = tm.qlen_bytes(q);
+        quasi_longest_ = q;
+      }
+    }
+  }
+
+  int quasi_longest_ = -1;
+  int64_t quasi_len_ = 0;
+};
+
+}  // namespace occamy::bm

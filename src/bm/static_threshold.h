@@ -1,0 +1,52 @@
+// Static-threshold BM baselines (paper §7: SMXQ-style) and complete sharing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/bm/bm_scheme.h"
+#include "src/util/check.h"
+
+namespace occamy::bm {
+
+// Every queue is capped at a fixed threshold (SMXQ). With threshold = B this
+// degenerates to complete sharing.
+class StaticThreshold : public BmScheme {
+ public:
+  explicit StaticThreshold(int64_t threshold_bytes) : threshold_(threshold_bytes) {
+    OCCAMY_CHECK(threshold_bytes > 0);
+  }
+
+  std::string_view name() const override { return "Static"; }
+
+  int64_t Threshold(const TmView& tm, int q) const override {
+    (void)tm, (void)q;
+    return threshold_;
+  }
+
+  bool Admit(const TmView& tm, int q, int64_t bytes) override {
+    return tm.qlen_bytes(q) + bytes <= threshold_;
+  }
+
+ private:
+  int64_t threshold_;
+};
+
+// Complete sharing: admit whenever the buffer has room; no per-queue limit.
+// Maximally efficient, zero isolation — the classic strawman.
+class CompleteSharing : public BmScheme {
+ public:
+  std::string_view name() const override { return "CS"; }
+
+  int64_t Threshold(const TmView& tm, int q) const override {
+    (void)q;
+    return tm.buffer_bytes();
+  }
+
+  bool Admit(const TmView& tm, int q, int64_t bytes) override {
+    (void)q;
+    return tm.occupancy_bytes() + bytes <= tm.buffer_bytes();
+  }
+};
+
+}  // namespace occamy::bm

@@ -1,0 +1,42 @@
+// Read-only view of traffic-manager state exposed to BM schemes.
+//
+// BM schemes live below the traffic manager in the dependency order; the TM
+// implements this interface. Schemes may read aggregate occupancy, per-queue
+// lengths, per-queue configuration (alpha, priority), and the per-queue
+// drain-rate estimate (used by ABM).
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/time.h"
+
+namespace occamy::bm {
+
+class TmView {
+ public:
+  virtual ~TmView() = default;
+
+  virtual Time now() const = 0;
+
+  // Shared buffer size B and current total occupancy sum(q_i).
+  virtual int64_t buffer_bytes() const = 0;
+  virtual int64_t occupancy_bytes() const = 0;
+
+  virtual int num_queues() const = 0;
+  virtual int64_t qlen_bytes(int q) const = 0;
+
+  // Per-queue DT/ABM control parameter alpha_i.
+  virtual double alpha(int q) const = 0;
+
+  // Scheduling priority class of queue q (0 = highest). ABM maintains
+  // per-priority congested-queue counts.
+  virtual int priority(int q) const = 0;
+
+  // Estimated drain (dequeue) rate of queue q normalized to its port's line
+  // rate, in [0, 1]. Used by ABM's mu term.
+  virtual double normalized_drain_rate(int q) const = 0;
+
+  int64_t free_bytes() const { return buffer_bytes() - occupancy_bytes(); }
+};
+
+}  // namespace occamy::bm

@@ -1,0 +1,117 @@
+// TDT — Traffic-aware Dynamic Threshold (Huang et al., INFOCOM 2021;
+// paper §7).
+//
+// Extends DT with a per-queue traffic-state machine and per-state alpha:
+//   NORMAL    — regular DT (alpha_normal),
+//   ABSORB    — a detected micro-burst is given a much larger alpha so the
+//               whole free buffer is available to it,
+//   EVACUATE  — a queue classified as congested (long-lived overload) gets a
+//               *smaller* alpha so it releases buffer to others.
+// Burst detection: queue grows quickly from idle while total occupancy is
+// moderate. Congestion detection: the queue has stayed long for a while
+// (sustained backlog), i.e. the "burst" did not end.
+//
+// Non-preemptive baseline from the paper's related work.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/bm/bm_scheme.h"
+
+namespace occamy::bm {
+
+class TrafficAwareDt : public BmScheme {
+ public:
+  struct Options {
+    double alpha_normal = 1.0;
+    double alpha_absorb = 8.0;
+    double alpha_evacuate = 0.25;
+    int64_t idle_bytes = 3000;        // below this a queue counts as idle
+    Time absorb_window = Microseconds(500);  // burst must end within this
+    Time evacuate_hold = Microseconds(500);  // sustained backlog -> EVACUATE
+  };
+
+  explicit TrafficAwareDt() : TrafficAwareDt(Options()) {}
+  explicit TrafficAwareDt(Options options) : options_(options) {}
+
+  std::string_view name() const override { return "TDT"; }
+
+  int64_t Threshold(const TmView& tm, int q) const override {
+    EnsureSized(tm);
+    return static_cast<int64_t>(StateAlpha(states_[static_cast<size_t>(q)].mode) *
+                                static_cast<double>(tm.free_bytes()));
+  }
+
+  bool Admit(const TmView& tm, int q, int64_t bytes) override {
+    EnsureSized(tm);
+    UpdateState(tm, q);
+    (void)bytes;
+    return tm.qlen_bytes(q) < Threshold(tm, q);
+  }
+
+  void OnDequeue(const TmView& tm, int q, int64_t bytes) override {
+    (void)bytes;
+    EnsureSized(tm);
+    UpdateState(tm, q);
+  }
+
+  enum class Mode { kNormal, kAbsorb, kEvacuate };
+
+  Mode ModeForTest(int q) const { return states_[static_cast<size_t>(q)].mode; }
+
+ private:
+  struct QueueState {
+    Mode mode = Mode::kNormal;
+    Time entered = 0;
+  };
+
+  double StateAlpha(Mode mode) const {
+    switch (mode) {
+      case Mode::kNormal: return options_.alpha_normal;
+      case Mode::kAbsorb: return options_.alpha_absorb;
+      case Mode::kEvacuate: return options_.alpha_evacuate;
+    }
+    return options_.alpha_normal;
+  }
+
+  void EnsureSized(const TmView& tm) const {
+    if (states_.size() != static_cast<size_t>(tm.num_queues())) {
+      states_.assign(static_cast<size_t>(tm.num_queues()), QueueState{});
+    }
+  }
+
+  void UpdateState(const TmView& tm, int q) const {
+    auto& st = states_[static_cast<size_t>(q)];
+    const int64_t qlen = tm.qlen_bytes(q);
+    const Time now = tm.now();
+    switch (st.mode) {
+      case Mode::kNormal:
+        if (qlen > options_.idle_bytes) {
+          st.mode = Mode::kAbsorb;  // growth from idle: treat as burst
+          st.entered = now;
+        }
+        break;
+      case Mode::kAbsorb:
+        if (qlen <= options_.idle_bytes) {
+          st.mode = Mode::kNormal;  // burst absorbed and drained
+          st.entered = now;
+        } else if (now - st.entered > options_.absorb_window) {
+          st.mode = Mode::kEvacuate;  // it was not a burst: sustained overload
+          st.entered = now;
+        }
+        break;
+      case Mode::kEvacuate:
+        if (qlen <= options_.idle_bytes) {
+          st.mode = Mode::kNormal;
+          st.entered = now;
+        }
+        break;
+    }
+  }
+
+  Options options_;
+  mutable std::vector<QueueState> states_;
+};
+
+}  // namespace occamy::bm

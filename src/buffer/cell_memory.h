@@ -1,0 +1,80 @@
+// Cell-pointer memory with a free cell-pointer list (paper §2.1, Figure 2).
+//
+// The cell data memory itself holds opaque payload and is not modeled byte-
+// by-byte; what matters behaviourally is the *pointer* structure: allocating
+// a chain of cell pointers on enqueue, and returning the chain to the free
+// list on dequeue or head-drop. Head-drop touches only this memory and the
+// PD memory — never the cell data memory — which is why expulsion is cheap
+// (paper §3.2 observation 2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace occamy::buffer {
+
+inline constexpr int32_t kNullCell = -1;
+
+class CellMemory {
+ public:
+  // `total_cells` is the number of cells in the shared buffer.
+  explicit CellMemory(int64_t total_cells) : next_(static_cast<size_t>(total_cells), kNullCell) {
+    OCCAMY_CHECK(total_cells > 0);
+    // Thread all cells onto the free list.
+    for (int64_t i = 0; i + 1 < total_cells; ++i) {
+      next_[static_cast<size_t>(i)] = static_cast<int32_t>(i + 1);
+    }
+    free_head_ = 0;
+    free_cells_ = total_cells;
+  }
+
+  int64_t total_cells() const { return static_cast<int64_t>(next_.size()); }
+  int64_t free_cells() const { return free_cells_; }
+  int64_t used_cells() const { return total_cells() - free_cells_; }
+
+  // Allocates a chain of `n` cells. Returns the head cell pointer, or
+  // kNullCell if fewer than n cells are free (no partial allocation).
+  int32_t AllocChain(int64_t n) {
+    OCCAMY_CHECK(n > 0);
+    if (free_cells_ < n) return kNullCell;
+    const int32_t head = free_head_;
+    int32_t tail = head;
+    for (int64_t i = 1; i < n; ++i) tail = next_[static_cast<size_t>(tail)];
+    free_head_ = next_[static_cast<size_t>(tail)];
+    next_[static_cast<size_t>(tail)] = kNullCell;  // terminate the packet's chain
+    free_cells_ -= n;
+    return head;
+  }
+
+  // Returns a chain (of `n` cells, for cross-checking) to the free list.
+  void FreeChain(int32_t head, int64_t n) {
+    OCCAMY_CHECK(head != kNullCell);
+    int32_t tail = head;
+    int64_t count = 1;
+    while (next_[static_cast<size_t>(tail)] != kNullCell) {
+      tail = next_[static_cast<size_t>(tail)];
+      ++count;
+    }
+    OCCAMY_CHECK_EQ(count, n) << "cell chain length mismatch on free";
+    next_[static_cast<size_t>(tail)] = free_head_;
+    free_head_ = head;
+    free_cells_ += n;
+    OCCAMY_CHECK_LE(free_cells_, total_cells());
+  }
+
+  // Walks a chain and returns its length (test/diagnostic use).
+  int64_t ChainLength(int32_t head) const {
+    int64_t n = 0;
+    for (int32_t c = head; c != kNullCell; c = next_[static_cast<size_t>(c)]) ++n;
+    return n;
+  }
+
+ private:
+  std::vector<int32_t> next_;  // next-pointer per cell; kNullCell terminates
+  int32_t free_head_ = kNullCell;
+  int64_t free_cells_ = 0;
+};
+
+}  // namespace occamy::buffer

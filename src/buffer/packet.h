@@ -1,0 +1,57 @@
+// Packet representation shared across the whole stack.
+//
+// One flat struct covers data segments and ACKs (no virtual dispatch on the
+// per-packet hot path). Transport-only fields are ignored by the switch.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/time.h"
+
+namespace occamy {
+
+inline constexpr int kDefaultMss = 1460;         // TCP payload bytes per segment
+inline constexpr int kHeaderBytes = 40;          // IP+TCP header model
+inline constexpr int kAckBytes = 64;             // ACK wire size
+inline constexpr int kDefaultCellBytes = 200;    // buffer cell size (paper §5.3)
+
+enum class PacketKind : uint8_t { kData = 0, kAck = 1 };
+
+struct Packet {
+  // Identity / routing.
+  uint64_t flow_id = 0;
+  uint32_t src = 0;  // source host node id
+  uint32_t dst = 0;  // destination host node id
+  uint32_t size_bytes = 0;  // wire size including headers
+  uint8_t traffic_class = 0;  // selects the queue at each egress port
+  PacketKind kind = PacketKind::kData;
+
+  // ECN.
+  bool ecn_capable = false;
+  bool ce = false;  // Congestion Experienced, set by switches when marking
+
+  // Transport (sender -> receiver direction).
+  uint64_t seq = 0;       // first payload byte offset of this segment
+  uint32_t payload = 0;   // payload bytes carried
+
+  // Transport (ACK direction).
+  uint64_t ack_seq = 0;   // cumulative ack: all bytes < ack_seq received
+  bool ece = false;       // echoes the CE bit of the data packet being acked
+
+  // Instrumentation.
+  Time ts_sent = 0;  // when the segment/ack left the sender (for RTT samples)
+
+  bool IsAck() const { return kind == PacketKind::kAck; }
+};
+
+// Number of buffer cells a packet of `bytes` occupies (ceiling division).
+constexpr int64_t CellsFor(int64_t bytes, int cell_bytes = kDefaultCellBytes) {
+  return (bytes + cell_bytes - 1) / cell_bytes;
+}
+
+// Buffer bytes a packet occupies (cell-granular, as on real chips).
+constexpr int64_t CellBytesFor(int64_t bytes, int cell_bytes = kDefaultCellBytes) {
+  return CellsFor(bytes, cell_bytes) * cell_bytes;
+}
+
+}  // namespace occamy

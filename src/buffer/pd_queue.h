@@ -1,0 +1,63 @@
+// Packet-descriptor queues (paper §2.1, Figure 2).
+//
+// Each queue is a FIFO of packet descriptors; a descriptor carries the packet
+// metadata plus the head of its cell-pointer chain. Queues support normal
+// dequeue at the head and head-drop (the same operation minus the cell-data
+// read — paper Figure 10).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "src/buffer/cell_memory.h"
+#include "src/buffer/packet.h"
+#include "src/util/check.h"
+
+namespace occamy::buffer {
+
+struct PacketDescriptor {
+  Packet packet;
+  int32_t cell_head = kNullCell;
+  int32_t cell_count = 0;
+  Time enqueue_time = 0;
+};
+
+class PdQueue {
+ public:
+  bool Empty() const { return pds_.empty(); }
+  size_t PacketCount() const { return pds_.size(); }
+
+  // Queue length in buffer bytes (cell-granular) — the `q_i(t)` of Eq. (1).
+  int64_t LengthBytes() const { return length_bytes_; }
+  int64_t LengthCells() const { return length_cells_; }
+
+  const PacketDescriptor& Head() const {
+    OCCAMY_CHECK(!pds_.empty());
+    return pds_.front();
+  }
+
+  void Enqueue(PacketDescriptor pd, int cell_bytes) {
+    length_cells_ += pd.cell_count;
+    length_bytes_ += static_cast<int64_t>(pd.cell_count) * cell_bytes;
+    pds_.push_back(std::move(pd));
+  }
+
+  // Removes and returns the head descriptor (both normal dequeue and
+  // head-drop use this; the difference is only whether cell data is read).
+  PacketDescriptor DequeueHead(int cell_bytes) {
+    OCCAMY_CHECK(!pds_.empty());
+    PacketDescriptor pd = std::move(pds_.front());
+    pds_.pop_front();
+    length_cells_ -= pd.cell_count;
+    length_bytes_ -= static_cast<int64_t>(pd.cell_count) * cell_bytes;
+    OCCAMY_CHECK_GE(length_cells_, 0);
+    return pd;
+  }
+
+ private:
+  std::deque<PacketDescriptor> pds_;
+  int64_t length_bytes_ = 0;
+  int64_t length_cells_ = 0;
+};
+
+}  // namespace occamy::buffer

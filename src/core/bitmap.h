@@ -1,0 +1,86 @@
+// Fixed-size bitmap used by the head-drop selector (paper Figure 9): one bit
+// per queue, set when the queue is over-allocated (q_i > T(t)).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace occamy::core {
+
+class Bitmap {
+ public:
+  explicit Bitmap(int bits) : bits_(bits), words_(static_cast<size_t>((bits + 63) / 64), 0) {
+    OCCAMY_CHECK(bits > 0);
+  }
+
+  int size() const { return bits_; }
+
+  void Set(int i, bool v) {
+    Check(i);
+    const uint64_t mask = 1ULL << (i & 63);
+    if (v) {
+      words_[static_cast<size_t>(i >> 6)] |= mask;
+    } else {
+      words_[static_cast<size_t>(i >> 6)] &= ~mask;
+    }
+  }
+
+  bool Test(int i) const {
+    Check(i);
+    return (words_[static_cast<size_t>(i >> 6)] >> (i & 63)) & 1;
+  }
+
+  bool Any() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  int PopCount() const {
+    int n = 0;
+    for (uint64_t w : words_) n += __builtin_popcountll(w);
+    return n;
+  }
+
+  void ClearAll() {
+    for (auto& w : words_) w = 0;
+  }
+
+  // First set bit at index >= start, searching with wrap-around; -1 if none.
+  int FindFirstFrom(int start) const {
+    OCCAMY_CHECK(start >= 0 && start < bits_ + 1);
+    if (start >= bits_) start = 0;
+    const int n = static_cast<int>(words_.size());
+    // Scan from `start` to the end.
+    int word = start >> 6;
+    uint64_t w = words_[static_cast<size_t>(word)] & (~0ULL << (start & 63));
+    for (int i = word; i < n; ++i) {
+      if (w != 0) {
+        const int bit = (i << 6) + __builtin_ctzll(w);
+        if (bit < bits_) return bit;
+      }
+      if (i + 1 < n) w = words_[static_cast<size_t>(i + 1)];
+    }
+    // Wrap: scan from 0 to start.
+    for (int i = 0; i <= word; ++i) {
+      uint64_t ww = words_[static_cast<size_t>(i)];
+      if (i == word) ww &= ~(~0ULL << (start & 63));  // bits below start only
+      if (ww != 0) {
+        const int bit = (i << 6) + __builtin_ctzll(ww);
+        if (bit < bits_) return bit;
+      }
+    }
+    return -1;
+  }
+
+ private:
+  void Check(int i) const { OCCAMY_CHECK(i >= 0 && i < bits_) << "bit " << i << "/" << bits_; }
+
+  int bits_;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace occamy::core

@@ -1,0 +1,45 @@
+#include "src/core/expulsion_engine.h"
+
+namespace occamy::core {
+
+void ExpulsionEngine::Step() {
+  scheduled_ = false;
+
+  // (1) Refresh the over-allocation bitmap (comparator bank, Figure 9).
+  const auto qlen = [this](int q) { return target_->qlen_bytes(q); };
+  const auto threshold = [this](int q) { return target_->expulsion_threshold(q); };
+  selector_.Refresh(qlen, threshold);
+  if (!selector_.AnyOverAllocated()) return;  // go idle; a Kick() will wake us
+
+  // (2) Pick the victim queue.
+  const int victim = selector_.SelectVictim(qlen);
+  if (victim < 0) return;
+
+  const int64_t cells = target_->head_cells(victim);
+  if (cells <= 0) return;  // raced with a dequeue; next Kick re-evaluates
+
+  // (3) Fixed-priority arbitration: only proceed on redundant bandwidth.
+  const Time now = sim_->now();
+  if (!memory_->TryConsume(cells, now)) {
+    ++blocked_on_bandwidth_;
+    const Time wait = memory_->TimeUntilAvailable(cells, now);
+    scheduled_ = true;
+    pending_ = sim_->After(wait, [this] { Step(); });
+    return;
+  }
+
+  // (4) Execute the head drop (PD dequeue + cell-pointer free, Figure 10).
+  const int64_t bytes_before = target_->qlen_bytes(victim);
+  target_->HeadDropOnePacket(victim);
+  const int64_t dropped_bytes = bytes_before - target_->qlen_bytes(victim);
+  ++expelled_packets_;
+  expelled_cells_ += cells;
+  expelled_bytes_ += dropped_bytes;
+
+  // (5) Keep going while work remains; the op itself occupies the pipeline
+  // for a few cycles.
+  scheduled_ = true;
+  pending_ = sim_->After(OpLatency(cells), [this] { Step(); });
+}
+
+}  // namespace occamy::core

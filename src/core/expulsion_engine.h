@@ -1,0 +1,103 @@
+// Occamy's reactive component (paper §4.3): the packet-expulsion engine.
+//
+// When any queue is over-allocated (q > T(t)) and redundant memory bandwidth
+// is available (token bucket has credit), the engine head-drops one packet
+// from a victim queue chosen by the head-drop selector, then reschedules
+// itself. Conflicts with the output scheduler are resolved in the scheduler's
+// favour: dequeues force-consume tokens (possibly driving the balance
+// negative), so expulsion pauses automatically whenever the egress side is
+// using the full memory bandwidth — the fixed-priority arbiter of Figure 8.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+
+#include "src/core/head_drop_selector.h"
+#include "src/core/memory_bandwidth.h"
+#include "src/sim/simulator.h"
+#include "src/util/time.h"
+
+namespace occamy::core {
+
+// The traffic-manager surface the engine drives. Implemented by TmPartition.
+class ExpulsionTarget {
+ public:
+  virtual ~ExpulsionTarget() = default;
+
+  virtual int num_queues() const = 0;
+  virtual int64_t qlen_bytes(int q) const = 0;
+
+  // The over-allocation threshold T(t) for queue q (Occamy uses its DT
+  // threshold; see §4.3 "Selecting a head-drop queue").
+  virtual int64_t expulsion_threshold(int q) const = 0;
+
+  // Cells occupied by the head packet of q, or 0 if q is empty.
+  virtual int64_t head_cells(int q) const = 0;
+
+  // Head-drops one packet from q (PD dequeue + cell free, no data read).
+  virtual void HeadDropOnePacket(int q) = 0;
+};
+
+struct ExpulsionConfig {
+  DropPolicy policy = DropPolicy::kRoundRobin;
+
+  // Latency of one expulsion operation: the selector produces a victim every
+  // other cycle at 1 GHz (paper §5.1), and dequeuing the PD + cell pointers
+  // takes ceil(cells / batch) cycles with `cell_ptr_batch` parallel
+  // cell-pointer sub-lists (paper §2.1 / §3.2 observation 3).
+  Time cycle = Nanoseconds(1);
+  int selector_cycles = 2;
+  int cell_ptr_batch = 4;
+};
+
+class ExpulsionEngine {
+ public:
+  ExpulsionEngine(sim::Simulator* sim, ExpulsionTarget* target, MemoryBandwidthModel* memory,
+                  ExpulsionConfig config = {})
+      : sim_(sim),
+        target_(target),
+        memory_(memory),
+        config_(config),
+        selector_(target->num_queues(), config.policy) {}
+
+  ExpulsionEngine(const ExpulsionEngine&) = delete;
+  ExpulsionEngine& operator=(const ExpulsionEngine&) = delete;
+
+  // Notifies the engine that TM state changed (enqueue/dequeue). Schedules a
+  // step if the engine is idle. Cheap: no-op when already scheduled.
+  void Kick() {
+    if (scheduled_) return;
+    scheduled_ = true;
+    pending_ = sim_->After(0, [this] { Step(); });
+  }
+
+  int64_t expelled_packets() const { return expelled_packets_; }
+  int64_t expelled_bytes() const { return expelled_bytes_; }
+  int64_t expelled_cells() const { return expelled_cells_; }
+  int64_t blocked_on_bandwidth() const { return blocked_on_bandwidth_; }
+
+ private:
+  void Step();
+  Time OpLatency(int64_t cells) const {
+    const int64_t ptr_cycles = (cells + config_.cell_ptr_batch - 1) / config_.cell_ptr_batch;
+    const int64_t cycles = std::max<int64_t>(config_.selector_cycles, ptr_cycles);
+    return cycles * config_.cycle;
+  }
+
+  sim::Simulator* sim_;
+  ExpulsionTarget* target_;
+  MemoryBandwidthModel* memory_;
+  ExpulsionConfig config_;
+  HeadDropSelector selector_;
+
+  bool scheduled_ = false;
+  sim::EventHandle pending_;
+
+  int64_t expelled_packets_ = 0;
+  int64_t expelled_bytes_ = 0;
+  int64_t expelled_cells_ = 0;
+  int64_t blocked_on_bandwidth_ = 0;
+};
+
+}  // namespace occamy::core

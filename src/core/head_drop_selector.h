@@ -1,0 +1,72 @@
+// Head-drop selector (paper §4.3, Figure 9) — behavioral model.
+//
+// Part 1: a bank of comparators maintains a bitmap of over-allocated queues
+// (queue length strictly above the threshold T(t)).
+// Part 2: a round-robin arbiter iterates over the set bits.
+//
+// The paper also evaluates a "longest queue drop" variant (Fig. 21); both
+// policies are provided. A cycle-level gate model of the same circuit lives
+// in src/hw and is property-tested for equivalence against this class.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/core/bitmap.h"
+#include "src/core/round_robin_arbiter.h"
+
+namespace occamy::core {
+
+enum class DropPolicy {
+  kRoundRobin,    // Occamy default: iterate over-allocated queues fairly
+  kLongestQueue,  // ablation: always pick the longest over-allocated queue
+};
+
+class HeadDropSelector {
+ public:
+  explicit HeadDropSelector(int num_queues, DropPolicy policy = DropPolicy::kRoundRobin)
+      : policy_(policy), bitmap_(num_queues), arbiter_(num_queues) {}
+
+  int num_queues() const { return bitmap_.size(); }
+  DropPolicy policy() const { return policy_; }
+
+  // Refreshes the over-allocation bitmap from the given state readers.
+  // qlen(q) and threshold(q) are in bytes.
+  void Refresh(const std::function<int64_t(int)>& qlen,
+               const std::function<int64_t(int)>& threshold) {
+    for (int q = 0; q < bitmap_.size(); ++q) {
+      bitmap_.Set(q, qlen(q) > threshold(q));
+    }
+  }
+
+  bool AnyOverAllocated() const { return bitmap_.Any(); }
+  int OverAllocatedCount() const { return bitmap_.PopCount(); }
+  bool IsOverAllocated(int q) const { return bitmap_.Test(q); }
+
+  // Selects the next victim queue, or -1 if no queue is over-allocated.
+  // For kLongestQueue the caller's qlen reader is consulted again.
+  int SelectVictim(const std::function<int64_t(int)>& qlen) {
+    if (!bitmap_.Any()) return -1;
+    if (policy_ == DropPolicy::kRoundRobin) return arbiter_.Grant(bitmap_);
+    int victim = -1;
+    int64_t longest = -1;
+    for (int q = 0; q < bitmap_.size(); ++q) {
+      if (!bitmap_.Test(q)) continue;
+      const int64_t len = qlen(q);
+      if (len > longest) {
+        longest = len;
+        victim = q;
+      }
+    }
+    return victim;
+  }
+
+  const Bitmap& bitmap_for_test() const { return bitmap_; }
+
+ private:
+  DropPolicy policy_;
+  Bitmap bitmap_;
+  RoundRobinArbiter arbiter_;
+};
+
+}  // namespace occamy::core

@@ -1,0 +1,97 @@
+// Memory-bandwidth model of one traffic-manager partition (paper §5.3).
+//
+// A token bucket refilled at the partition's switching capacity (in cells):
+//  * Normal dequeues ALWAYS proceed and force-consume tokens — the balance
+//    may go negative, so line-rate forwarding is never sacrificed.
+//  * The expulsion engine may only consume when enough tokens are available;
+//    it therefore uses exclusively the *redundant* memory bandwidth.
+//
+// This is exactly the paper's DPDK-prototype mechanism and doubles as the
+// fixed-priority arbiter of §4.3 (the output scheduler always wins).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/stats/rate_estimator.h"
+#include "src/util/bandwidth.h"
+#include "src/util/check.h"
+#include "src/util/time.h"
+
+namespace occamy::core {
+
+class MemoryBandwidthModel {
+ public:
+  // `capacity` is the partition's aggregate switching capacity (sum of the
+  // egress rates of its ports). `max_burst_cells` bounds accumulated credit.
+  MemoryBandwidthModel(Bandwidth capacity, int cell_bytes, double max_burst_cells = 256.0)
+      : cell_bytes_(cell_bytes),
+        capacity_(capacity),
+        cells_per_ps_(capacity.bytes_per_sec() / cell_bytes / static_cast<double>(kSecond)),
+        max_tokens_(max_burst_cells),
+        tokens_(max_burst_cells) {
+    OCCAMY_CHECK(cell_bytes > 0);
+  }
+
+  double cells_per_sec() const { return cells_per_ps_ * static_cast<double>(kSecond); }
+  Bandwidth capacity() const { return capacity_; }
+
+  // Current token balance in cells (after lazy refill).
+  double Tokens(Time now) {
+    Refill(now);
+    return tokens_;
+  }
+
+  // Dequeue path: always succeeds; balance may go negative.
+  void ForceConsume(int64_t cells, Time now) {
+    Refill(now);
+    tokens_ -= static_cast<double>(cells);
+    consumed_.Update(cells * cell_bytes_, now);
+  }
+
+  // Expulsion path: consumes only if the full amount is available.
+  bool TryConsume(int64_t cells, Time now) {
+    Refill(now);
+    if (tokens_ < static_cast<double>(cells)) return false;
+    tokens_ -= static_cast<double>(cells);
+    consumed_.Update(cells * cell_bytes_, now);
+    return true;
+  }
+
+  // Time from `now` until `cells` tokens will be available (0 if already).
+  // With a zero refill rate the tokens never return; a long horizon is
+  // reported so callers can re-check without busy-waiting.
+  Time TimeUntilAvailable(int64_t cells, Time now) {
+    Refill(now);
+    const double deficit = static_cast<double>(cells) - tokens_;
+    if (deficit <= 0.0) return 0;
+    if (cells_per_ps_ <= 0.0) return Seconds(3600);
+    return static_cast<Time>(deficit / cells_per_ps_) + 1;
+  }
+
+  // Fraction of the memory bandwidth consumed over the trailing window —
+  // the Fig. 7(b) metric.
+  double Utilization(Time now) {
+    const double used = consumed_.BytesPerSec(now);
+    const double cap = capacity_.bytes_per_sec();
+    return cap > 0.0 ? std::min(1.0, used / cap) : 0.0;
+  }
+
+ private:
+  void Refill(Time now) {
+    if (now <= last_refill_) return;
+    tokens_ += static_cast<double>(now - last_refill_) * cells_per_ps_;
+    tokens_ = std::min(tokens_, max_tokens_);
+    last_refill_ = now;
+  }
+
+  int cell_bytes_;
+  Bandwidth capacity_;
+  double cells_per_ps_;
+  double max_tokens_;
+  double tokens_;
+  Time last_refill_ = 0;
+  stats::WindowedRate consumed_{Microseconds(10)};
+};
+
+}  // namespace occamy::core

@@ -1,0 +1,25 @@
+// Occamy's proactive component (paper §4.2): packet admission.
+//
+// Occamy deliberately introduces no new admission mechanism — it reuses DT
+// (Eq. 1) with an adjusted, larger alpha (recommended alpha = 8, §4.4 / §6.3)
+// so that only a small fraction of free buffer is reserved. The reactive
+// component (src/core/expulsion_engine.h) provides the agility that makes the
+// small reserve safe.
+#pragma once
+
+#include "src/bm/dynamic_threshold.h"
+
+namespace occamy::core {
+
+inline constexpr double kRecommendedOccamyAlpha = 8.0;
+
+class OccamyBm : public bm::DynamicThreshold {
+ public:
+  std::string_view name() const override { return "Occamy"; }
+
+  // Occamy's preemption runs asynchronously through the expulsion engine
+  // rather than through the TM's synchronous eviction hook, so IsPreemptive
+  // stays false here; the TM attaches an ExpulsionEngine instead.
+};
+
+}  // namespace occamy::core

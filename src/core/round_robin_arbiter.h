@@ -1,0 +1,34 @@
+// Round-robin arbiter (paper Figure 9, part 2).
+//
+// Mirrors the classic hardware construction used in crossbar schedulers: a
+// rotating pointer plus a fixed-priority encoder; the grant is the first
+// request at or after the pointer (wrapping), and the pointer advances past
+// the granted requestor. Starvation-free: every persistent requestor is
+// granted within one full rotation.
+#pragma once
+
+#include "src/core/bitmap.h"
+
+namespace occamy::core {
+
+class RoundRobinArbiter {
+ public:
+  explicit RoundRobinArbiter(int num_inputs) : num_inputs_(num_inputs), pointer_(0) {}
+
+  // Grants one of the set bits in `requests` (or -1 if none).
+  int Grant(const Bitmap& requests) {
+    OCCAMY_CHECK_EQ(requests.size(), num_inputs_);
+    const int g = requests.FindFirstFrom(pointer_);
+    if (g >= 0) pointer_ = (g + 1) % num_inputs_;
+    return g;
+  }
+
+  int pointer_for_test() const { return pointer_; }
+  void ResetPointer() { pointer_ = 0; }
+
+ private:
+  int num_inputs_;
+  int pointer_;
+};
+
+}  // namespace occamy::core

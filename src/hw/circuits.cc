@@ -1,0 +1,99 @@
+#include "src/hw/circuits.h"
+
+#include <bit>
+#include <cmath>
+
+namespace occamy::hw {
+
+namespace {
+
+int CeilLog2(int n) {
+  int levels = 0;
+  int span = 1;
+  while (span < n) {
+    span <<= 1;
+    ++levels;
+  }
+  return levels;
+}
+
+}  // namespace
+
+std::pair<int64_t, int> MaximumFinder::FindMax(const std::vector<int64_t>& values) const {
+  OCCAMY_CHECK_EQ(static_cast<int>(values.size()), num_inputs_);
+  const int64_t limit = int64_t{1} << bit_width_;
+  // Evaluate the comparator tree level by level, exactly as the circuit
+  // reduces pairs (Figure 4). Odd leftovers pass through.
+  std::vector<std::pair<int64_t, int>> level;
+  level.reserve(values.size());
+  for (int i = 0; i < num_inputs_; ++i) {
+    OCCAMY_CHECK(values[static_cast<size_t>(i)] >= 0 &&
+                 values[static_cast<size_t>(i)] < limit)
+        << "value exceeds comparator width";
+    level.emplace_back(values[static_cast<size_t>(i)], i);
+  }
+  while (level.size() > 1) {
+    std::vector<std::pair<int64_t, int>> next;
+    next.reserve((level.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      // CMP a > b selects a; ties select the left (lower index) input.
+      next.push_back(level[i].first >= level[i + 1].first ? level[i] : level[i + 1]);
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+int MaximumFinder::TreeLevels() const { return CeilLog2(num_inputs_); }
+
+int MaximumFinder::LogicLevels() const {
+  const int cmp_levels = CeilLog2(bit_width_) + 1;  // tree-compare + borrow
+  const int mux_levels = 1;
+  return TreeLevels() * (cmp_levels + mux_levels);
+}
+
+std::vector<uint64_t> ComparatorBank::Compare(const std::vector<int64_t>& qlens,
+                                              int64_t threshold) const {
+  OCCAMY_CHECK_EQ(static_cast<int>(qlens.size()), num_queues_);
+  std::vector<uint64_t> words(static_cast<size_t>((num_queues_ + 63) / 64), 0);
+  for (int q = 0; q < num_queues_; ++q) {
+    if (qlens[static_cast<size_t>(q)] > threshold) {
+      words[static_cast<size_t>(q >> 6)] |= (1ULL << (q & 63));
+    }
+  }
+  return words;
+}
+
+int ComparatorBank::LogicLevels() const { return CeilLog2(bit_width_) + 1; }
+
+int RoundRobinArbiterCircuit::FirstSetAtOrAfter(const std::vector<uint64_t>& words,
+                                                int start) const {
+  const int nwords = static_cast<int>(words.size());
+  for (int w = start >> 6; w < nwords; ++w) {
+    uint64_t bits = words[static_cast<size_t>(w)];
+    if (w == (start >> 6)) bits &= ~0ULL << (start & 63);
+    if (bits != 0) {
+      const int idx = (w << 6) + std::countr_zero(bits);
+      if (idx < num_inputs_) return idx;
+    }
+  }
+  return -1;
+}
+
+int RoundRobinArbiterCircuit::Arbitrate(const std::vector<uint64_t>& request_words) {
+  OCCAMY_CHECK_EQ(static_cast<int>(request_words.size()), (num_inputs_ + 63) / 64);
+  // Path 1: fixed-priority encode of requests masked at/after the pointer.
+  int grant = FirstSetAtOrAfter(request_words, pointer_);
+  // Path 2 (wrap): plain fixed-priority encode.
+  if (grant < 0) grant = FirstSetAtOrAfter(request_words, 0);
+  if (grant >= 0) pointer_ = (grant + 1) % num_inputs_;
+  return grant;
+}
+
+int RoundRobinArbiterCircuit::LogicLevels() const {
+  // Two priority-encoder paths evaluated in parallel + selection mux.
+  return CeilLog2(num_inputs_) + 2;
+}
+
+}  // namespace occamy::hw

@@ -1,0 +1,133 @@
+// Cycle-level functional models of the hardware blocks discussed in the
+// paper: the comparator-tree Maximum Finder (Figure 4, Pushout's obstacle),
+// the head-drop selector's comparator bank + round-robin arbiter (Figure 9),
+// and the head-drop executor pipeline (Figure 10).
+//
+// These are *functional* gate-level models: they compute exactly what the
+// combinational logic would compute, and expose logic depth so the cost
+// model (src/hw/cost_model.h) can derive timing. The selector circuit is
+// property-tested for equivalence against the behavioral model in src/core.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace occamy::hw {
+
+// Binary comparator tree returning (max value, index of max) among N k-bit
+// inputs (Figure 4). Ties resolve to the lower index, matching the MUX
+// cascade where a>b selects a.
+class MaximumFinder {
+ public:
+  MaximumFinder(int num_inputs, int bit_width)
+      : num_inputs_(num_inputs), bit_width_(bit_width) {
+    OCCAMY_CHECK(num_inputs >= 2);
+    OCCAMY_CHECK(bit_width >= 1 && bit_width <= 62);
+  }
+
+  int num_inputs() const { return num_inputs_; }
+  int bit_width() const { return bit_width_; }
+
+  // Evaluates the tree. Values must fit in bit_width bits.
+  std::pair<int64_t, int> FindMax(const std::vector<int64_t>& values) const;
+
+  // Tree depth in comparator levels: ceil(log2 N).
+  int TreeLevels() const;
+
+  // Logic depth in gate levels: each comparator level costs ~log2(k)+1
+  // levels (carry-lookahead-style compare) plus one mux level — the
+  // O(log2 k * log2 N) of §2.2 Difficulty 3.
+  int LogicLevels() const;
+
+ private:
+  int num_inputs_;
+  int bit_width_;
+};
+
+// Comparator bank of the head-drop selector (Figure 9, part 1): one k-bit
+// ">" comparator per queue against the shared threshold, producing the
+// over-allocation bitmap in a single cycle.
+class ComparatorBank {
+ public:
+  ComparatorBank(int num_queues, int bit_width)
+      : num_queues_(num_queues), bit_width_(bit_width) {
+    OCCAMY_CHECK(num_queues >= 1);
+  }
+
+  int num_queues() const { return num_queues_; }
+  int bit_width() const { return bit_width_; }
+
+  // bitmap[i] = (qlen[i] > threshold), as uint64 words.
+  std::vector<uint64_t> Compare(const std::vector<int64_t>& qlens, int64_t threshold) const;
+
+  // Parallel comparators: depth of a single k-bit comparator.
+  int LogicLevels() const;
+
+ private:
+  int num_queues_;
+  int bit_width_;
+};
+
+// Hardware round-robin arbiter (Figure 9, part 2) implemented with the
+// classic double fixed-priority-encoder trick:
+//   masked   = requests & ~((1 << ptr) - 1)      (requests at/after pointer)
+//   grant    = LSB(masked) if masked != 0 else LSB(requests)
+// then the pointer register advances past the grant. Functionally identical
+// to core::RoundRobinArbiter (verified by property tests).
+class RoundRobinArbiterCircuit {
+ public:
+  explicit RoundRobinArbiterCircuit(int num_inputs) : num_inputs_(num_inputs) {
+    OCCAMY_CHECK(num_inputs >= 1 && num_inputs <= 4096);
+  }
+
+  int num_inputs() const { return num_inputs_; }
+  int pointer() const { return pointer_; }
+
+  // One arbitration: returns the granted index or -1.
+  int Arbitrate(const std::vector<uint64_t>& request_words);
+
+  // Priority encoder depth: ~log2(N) levels, twice (masked + unmasked path
+  // share most logic; keep 2*log2N + mux as a conservative depth).
+  int LogicLevels() const;
+
+ private:
+  int FirstSetAtOrAfter(const std::vector<uint64_t>& words, int start) const;
+
+  int num_inputs_;
+  int pointer_ = 0;
+};
+
+// Head-drop executor pipeline (Figure 10): a dequeue minus the cell-data
+// read. Computes per-packet occupancy of the PD / cell-pointer memories.
+class HeadDropExecutorPipeline {
+ public:
+  // `cell_ptr_batch` parallel cell-pointer sub-lists (paper §2.1).
+  explicit HeadDropExecutorPipeline(int cell_ptr_batch = 4) : batch_(cell_ptr_batch) {
+    OCCAMY_CHECK(cell_ptr_batch >= 1);
+  }
+
+  // Cycles to head-drop a packet of `cells` cells:
+  //   cycle 1: read PD;  cycle 2: dequeue PD (advance head);
+  //   then ceil(cells/batch) cycles of read-cell-ptr + free-cell, overlapped
+  //   with the PD cycles of the *next* packet in steady state.
+  int64_t CyclesForPacket(int64_t cells) const {
+    return 2 + (cells + batch_ - 1) / batch_;
+  }
+
+  // Steady-state cycles per packet when the pipeline is kept busy (PD stages
+  // of packet i+1 overlap pointer stages of packet i).
+  int64_t PipelinedCyclesForPacket(int64_t cells) const {
+    const int64_t ptr_cycles = (cells + batch_ - 1) / batch_;
+    return ptr_cycles > 2 ? ptr_cycles : 2;
+  }
+
+  int batch() const { return batch_; }
+
+ private:
+  int batch_;
+};
+
+}  // namespace occamy::hw

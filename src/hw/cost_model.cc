@@ -1,0 +1,105 @@
+#include "src/hw/cost_model.h"
+
+#include <cmath>
+
+#include "src/hw/circuits.h"
+
+namespace occamy::hw {
+
+namespace {
+
+int CeilLog2(int n) {
+  int levels = 0;
+  int span = 1;
+  while (span < n) {
+    span <<= 1;
+    ++levels;
+  }
+  return levels;
+}
+
+// Derives area/power from a LUT estimate through the gate-equivalent count.
+void FillAsicFromLuts(ModuleCost& cost) {
+  const double gates = static_cast<double>(cost.luts) * kGatesPerLut +
+                       static_cast<double>(cost.flip_flops) * 4.0;  // DFF ~ 4 gates
+  cost.area_mm2 = gates * kGateAreaUm2 * 1e-6;
+  cost.power_mw = gates / 1000.0 * kPowerPerKGateMw;
+}
+
+}  // namespace
+
+std::vector<Table1Reference> PaperTable1() {
+  return {
+      {"Selector", 1262, 47, 1.49, 0.023, 0.895},
+      {"Arbiter", 3, 0, 0.17, 2.3e-5, 0.003},
+      {"Executor", 47, 7, 0.38, 7.3e-4, 0.044},
+  };
+}
+
+ModuleCost SelectorCost(int num_queues, int qlen_bits) {
+  ModuleCost cost;
+  cost.module = "Selector";
+  // Comparator bank: a k-bit magnitude comparator maps to ~k 6-LUTs
+  // (2 bits per LUT plus the combine tree roughly doubles it back).
+  const int64_t comparator_luts = static_cast<int64_t>(num_queues) * qlen_bits;
+  // Round-robin arbiter: two N-input fixed-priority encoders + grant mux
+  // + pointer decode; ~2.7 LUTs per input.
+  const int64_t arbiter_luts = static_cast<int64_t>(std::lround(2.7 * num_queues));
+  cost.luts = comparator_luts + arbiter_luts;
+  // Registers: rotation pointer (log2 N) + grant index (log2 N) + valid,
+  // registered threshold (k bits) and the pipelined compare operand (k bits).
+  cost.flip_flops = 2 * CeilLog2(num_queues) + 2 * qlen_bits + 1;
+  // Critical path: comparator levels then arbiter levels.
+  ComparatorBank bank(num_queues, qlen_bits);
+  RoundRobinArbiterCircuit arb(num_queues);
+  cost.timing_ns = (bank.LogicLevels() + arb.LogicLevels()) * kGateLevelDelayNs;
+  FillAsicFromLuts(cost);
+  return cost;
+}
+
+ModuleCost FixedPriorityArbiterCost(int num_requestors) {
+  ModuleCost cost;
+  cost.module = "Arbiter";
+  // grant_i = req_i & ~(any higher-priority req): ~1.5 LUTs per requestor.
+  cost.luts = static_cast<int64_t>(std::lround(1.5 * num_requestors));
+  cost.flip_flops = 0;  // purely combinational
+  cost.timing_ns = (CeilLog2(num_requestors) + 1) * kGateLevelDelayNs;
+  FillAsicFromLuts(cost);
+  return cost;
+}
+
+ModuleCost ExecutorCost(int num_states, int counter_bits) {
+  ModuleCost cost;
+  cost.module = "Executor";
+  // Next-state + output logic: ~8 LUTs per state, plus the cell counter.
+  cost.luts = 8 * num_states + counter_bits + 3;
+  cost.flip_flops = CeilLog2(num_states) + counter_bits + 1;  // state + counter + busy
+  cost.timing_ns = 3 * kGateLevelDelayNs;  // shallow FSM next-state logic
+  FillAsicFromLuts(cost);
+  return cost;
+}
+
+ModuleCost MaximumFinderCost(int num_inputs, int bit_width) {
+  ModuleCost cost;
+  cost.module = "MaxFinder";
+  // N-1 tree nodes, each a k-bit comparator (~k LUTs) + k-bit 2:1 mux for
+  // the value (~k/2) + index mux (~log2(N)/2).
+  const MaximumFinder mf(num_inputs, bit_width);
+  const double node_luts =
+      bit_width + bit_width / 2.0 + CeilLog2(num_inputs) / 2.0;
+  cost.luts = static_cast<int64_t>(std::lround((num_inputs - 1) * node_luts));
+  cost.flip_flops = bit_width + CeilLog2(num_inputs);  // registered result
+  cost.timing_ns = mf.LogicLevels() * kGateLevelDelayNs;
+  FillAsicFromLuts(cost);
+  return cost;
+}
+
+std::vector<ModuleCost> OccamyTable1Costs(int num_queues, int qlen_bits) {
+  return {
+      SelectorCost(num_queues, qlen_bits),
+      FixedPriorityArbiterCost(2),
+      ExecutorCost(),
+  };
+}
+
+}  // namespace occamy::hw

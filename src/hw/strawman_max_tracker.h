@@ -1,0 +1,62 @@
+// The §2.2 strawman: track the longest queue with a single register updated
+// on every queue-length change. The paper explains why this fails: the
+// register only compares against queues that *change*, so when the recorded
+// maximum queue drains below another (unchanged) queue, the register is
+// stale. (Example from the paper: q1 = 80KB > q2 = 60KB; q1 drains to 50KB;
+// the true longest is now q2, but the register still says q1.)
+//
+// Kept as an executable artifact of the argument — the unit test reproduces
+// the paper's counterexample verbatim, and the QPO baseline (src/bm) shows
+// the repair that 1997-era work applied.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace occamy::hw {
+
+class StrawmanMaxTracker {
+ public:
+  explicit StrawmanMaxTracker(int num_queues)
+      : qlens_(static_cast<size_t>(num_queues), 0) {}
+
+  // Called whenever queue q's length changes (enqueue or dequeue).
+  void OnQueueChange(int q, int64_t new_len) {
+    OCCAMY_CHECK(q >= 0 && q < static_cast<int>(qlens_.size()));
+    qlens_[static_cast<size_t>(q)] = new_len;
+    if (max_queue_ < 0 || new_len >= max_len_) {
+      // The changed queue took (or kept) the lead.
+      max_queue_ = q;
+      max_len_ = new_len;
+    } else if (q == max_queue_) {
+      // The leader shrank: the register follows it down — even if some
+      // OTHER queue is now longer. This is the flaw.
+      max_len_ = new_len;
+    }
+  }
+
+  int claimed_longest() const { return max_queue_; }
+  int64_t claimed_length() const { return max_len_; }
+
+  // Ground truth for comparison in tests.
+  int TrueLongest() const {
+    int best = -1;
+    int64_t best_len = -1;
+    for (size_t i = 0; i < qlens_.size(); ++i) {
+      if (qlens_[i] > best_len) {
+        best_len = qlens_[i];
+        best = static_cast<int>(i);
+      }
+    }
+    return best;
+  }
+
+ private:
+  std::vector<int64_t> qlens_;
+  int max_queue_ = -1;
+  int64_t max_len_ = 0;
+};
+
+}  // namespace occamy::hw

@@ -1,0 +1,73 @@
+// Container wiring nodes together and delivering packets between them.
+//
+// Links are modeled at their two halves: the *sender* (host NIC or switch
+// egress port) owns serialization at the link rate; the network adds the
+// propagation delay and hands the packet to the peer node. This keeps every
+// queueing decision inside the explicit buffer models.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/buffer/packet.h"
+#include "src/net/node.h"
+#include "src/sim/simulator.h"
+#include "src/util/check.h"
+
+namespace occamy::net {
+
+// One end of a link: a (node, port) pair.
+struct LinkEnd {
+  NodeId node = 0;
+  int port = 0;
+};
+
+class Network {
+ public:
+  explicit Network(sim::Simulator* sim) : sim_(sim) { OCCAMY_CHECK(sim != nullptr); }
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  sim::Simulator& sim() { return *sim_; }
+  Time now() const { return sim_->now(); }
+
+  // Takes ownership; assigns and returns the node id.
+  NodeId AddNode(std::unique_ptr<Node> node) {
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    node->id_ = id;
+    node->network_ = this;
+    nodes_.push_back(std::move(node));
+    return id;
+  }
+
+  Node& node(NodeId id) {
+    OCCAMY_CHECK(id < nodes_.size());
+    return *nodes_[id];
+  }
+
+  size_t num_nodes() const { return nodes_.size(); }
+
+  // Schedules arrival of `pkt` at `to` after `delay` (the propagation time;
+  // serialization already elapsed at the sender).
+  void DeliverAfter(Time delay, LinkEnd to, Packet pkt) {
+    Node* dst = &node(to.node);
+    const int port = to.port;
+    sim_->After(delay, [dst, port, p = pkt]() mutable { dst->ReceivePacket(port, std::move(p)); });
+    ++delivered_events_;
+  }
+
+  uint64_t delivered_events() const { return delivered_events_; }
+
+  // Fresh unique ids for flows/queries created on this network.
+  uint64_t NextFlowId() { return next_flow_id_++; }
+
+ private:
+  sim::Simulator* sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  uint64_t next_flow_id_ = 1;
+  uint64_t delivered_events_ = 0;
+};
+
+}  // namespace occamy::net

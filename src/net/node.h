@@ -1,0 +1,30 @@
+// Base class for network nodes (hosts and switches).
+#pragma once
+
+#include <cstdint>
+
+#include "src/buffer/packet.h"
+
+namespace occamy::net {
+
+class Network;
+
+using NodeId = uint32_t;
+
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  // Called by the network when a packet arrives on `in_port`.
+  virtual void ReceivePacket(int in_port, Packet pkt) = 0;
+
+  NodeId id() const { return id_; }
+  Network* network() const { return network_; }
+
+ private:
+  friend class Network;
+  NodeId id_ = 0;
+  Network* network_ = nullptr;
+};
+
+}  // namespace occamy::net

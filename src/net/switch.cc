@@ -1,0 +1,117 @@
+#include "src/net/switch.h"
+
+#include "src/util/logging.h"
+
+namespace occamy::net {
+
+SwitchNode::SwitchNode(SwitchConfig config) : config_(std::move(config)) {
+  OCCAMY_CHECK(config_.num_ports > 0);
+  OCCAMY_CHECK(config_.ports_per_partition > 0);
+  OCCAMY_CHECK(config_.scheme_factory != nullptr);
+  // Broadcast single-entry rate/propagation vectors; default missing ones.
+  if (config_.port_rates.empty()) config_.port_rates.push_back(Bandwidth::Gbps(10));
+  if (config_.port_rates.size() == 1) {
+    config_.port_rates.assign(static_cast<size_t>(config_.num_ports), config_.port_rates[0]);
+  }
+  if (config_.port_propagations.empty()) config_.port_propagations.push_back(Microseconds(1));
+  if (config_.port_propagations.size() == 1) {
+    config_.port_propagations.assign(static_cast<size_t>(config_.num_ports),
+                                     config_.port_propagations[0]);
+  }
+  OCCAMY_CHECK_EQ(static_cast<int>(config_.port_rates.size()), config_.num_ports);
+  OCCAMY_CHECK_EQ(static_cast<int>(config_.port_propagations.size()), config_.num_ports);
+
+  ports_.resize(static_cast<size_t>(config_.num_ports));
+  for (int p = 0; p < config_.num_ports; ++p) {
+    ports_[static_cast<size_t>(p)].rate = config_.port_rates[static_cast<size_t>(p)];
+    ports_[static_cast<size_t>(p)].propagation =
+        config_.port_propagations[static_cast<size_t>(p)];
+  }
+}
+
+void SwitchNode::Initialize() {
+  OCCAMY_CHECK(!initialized_);
+  OCCAMY_CHECK(network() != nullptr) << "AddNode before Initialize";
+  port_partition_.resize(static_cast<size_t>(config_.num_ports));
+  port_local_.resize(static_cast<size_t>(config_.num_ports));
+  for (int base = 0; base < config_.num_ports; base += config_.ports_per_partition) {
+    const int count = std::min(config_.ports_per_partition, config_.num_ports - base);
+    tm::TmConfig cfg = config_.tm;
+    cfg.port_rates.clear();
+    for (int i = 0; i < count; ++i) {
+      cfg.port_rates.push_back(config_.port_rates[static_cast<size_t>(base + i)]);
+      port_partition_[static_cast<size_t>(base + i)] = static_cast<int>(partitions_.size());
+      port_local_[static_cast<size_t>(base + i)] = i;
+    }
+    partitions_.push_back(std::make_unique<tm::TmPartition>(&network()->sim(), cfg,
+                                                            config_.scheme_factory()));
+  }
+  initialized_ = true;
+}
+
+void SwitchNode::ConnectPort(int port, LinkEnd peer) {
+  OCCAMY_CHECK(port >= 0 && port < config_.num_ports);
+  ports_[static_cast<size_t>(port)].peer = peer;
+  ports_[static_cast<size_t>(port)].connected = true;
+}
+
+void SwitchNode::SetRoute(NodeId dst, std::vector<int> ports) {
+  OCCAMY_CHECK(!ports.empty());
+  routes_[dst] = std::move(ports);
+}
+
+void SwitchNode::ReceivePacket(int in_port, Packet pkt) {
+  (void)in_port;
+  OCCAMY_CHECK(initialized_);
+  const auto it = routes_.find(pkt.dst);
+  if (it == routes_.end()) {
+    OCCAMY_LOG(Warn) << "switch " << id() << ": no route to " << pkt.dst << ", dropping";
+    return;
+  }
+  const std::vector<int>& candidates = it->second;
+  int egress = candidates[0];
+  if (candidates.size() > 1) {
+    // Per-flow ECMP; mix in the switch id so hashing does not polarize
+    // across tiers.
+    const uint64_t h = SplitMix64(pkt.flow_id ^ SplitMix64(id() + 0x9e37));
+    egress = candidates[h % candidates.size()];
+  }
+  auto& part = partition_for_port(egress);
+  const auto result = part.Enqueue(local_port(egress), std::move(pkt));
+  if (result.accepted) KickTx(egress);
+}
+
+void SwitchNode::KickTx(int port) {
+  PortState& state = ports_[static_cast<size_t>(port)];
+  if (state.busy) return;
+  OCCAMY_CHECK(state.connected) << "switch " << id() << " port " << port << " unwired";
+  auto& part = partition_for_port(port);
+  auto pkt = part.DequeueForPort(local_port(port));
+  if (!pkt.has_value()) return;
+  state.busy = true;
+  const Time tx_time = state.rate.TxTime(pkt->size_bytes);
+  network()->sim().After(tx_time, [this, port, p = std::move(*pkt)]() mutable {
+    PortState& s = ports_[static_cast<size_t>(port)];
+    network()->DeliverAfter(s.propagation, s.peer, std::move(p));
+    s.busy = false;
+    KickTx(port);
+  });
+}
+
+int64_t SwitchNode::TotalDrops() {
+  int64_t total = 0;
+  for (auto& p : partitions_) total += p->stats().TotalDrops();
+  return total;
+}
+
+int64_t SwitchNode::TotalEnqueued() {
+  int64_t total = 0;
+  for (auto& p : partitions_) total += p->stats().enqueued_packets;
+  return total;
+}
+
+void SwitchNode::set_drop_hook(std::function<void(const Packet&, tm::DropReason)> hook) {
+  for (auto& p : partitions_) p->set_drop_hook(hook);
+}
+
+}  // namespace occamy::net

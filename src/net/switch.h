@@ -1,0 +1,103 @@
+// Shared-memory switch node.
+//
+// Each switch hosts one or more TmPartitions (Tomahawk-style: every group of
+// `ports_per_partition` ports shares one buffer partition, §6.4). Forwarding
+// uses a per-destination route table with per-flow ECMP hashing across the
+// candidate egress ports. Egress ports run a simple serialize-and-forward
+// machine fed by the partition's scheduler.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/bm/bm_scheme.h"
+#include "src/net/network.h"
+#include "src/net/node.h"
+#include "src/tm/traffic_manager.h"
+#include "src/util/bandwidth.h"
+#include "src/util/rng.h"
+
+namespace occamy::net {
+
+using BmSchemeFactory = std::function<std::unique_ptr<bm::BmScheme>()>;
+
+struct SwitchConfig {
+  int num_ports = 8;
+  std::vector<Bandwidth> port_rates;  // size num_ports (broadcast if size 1)
+  std::vector<Time> port_propagations;  // idem
+
+  // Buffer partitioning: every group of this many consecutive ports shares
+  // one TmPartition of `tm.buffer_bytes` (the paper's 4MB-per-8-ports).
+  int ports_per_partition = 8;
+
+  // Template for each partition; port_rates inside are filled per partition.
+  tm::TmConfig tm;
+
+  BmSchemeFactory scheme_factory;
+};
+
+class SwitchNode final : public Node {
+ public:
+  explicit SwitchNode(SwitchConfig config);
+
+  // Must be called once after AddNode (partitions need the simulator).
+  void Initialize();
+
+  // Wires egress port `port` to `peer` (done by topology builders).
+  void ConnectPort(int port, LinkEnd peer);
+
+  // Routing: packets for destination host `dst` leave through one of
+  // `ports` (per-flow ECMP hash when more than one).
+  void SetRoute(NodeId dst, std::vector<int> ports);
+
+  void ReceivePacket(int in_port, Packet pkt) override;
+
+  int num_ports() const { return config_.num_ports; }
+  int num_partitions() const { return static_cast<int>(partitions_.size()); }
+  tm::TmPartition& partition(int i) { return *partitions_[static_cast<size_t>(i)]; }
+  tm::TmPartition& partition_for_port(int port) {
+    return *partitions_[static_cast<size_t>(port_partition_[static_cast<size_t>(port)])];
+  }
+  int local_port(int port) const { return port_local_[static_cast<size_t>(port)]; }
+
+  // Queue (partition-global index) that packets of class `cls` for egress
+  // `port` occupy; convenience for benches reading queue lengths.
+  int64_t QueueLengthBytes(int port, int cls) {
+    auto& p = partition_for_port(port);
+    return p.qlen_bytes(p.QueueIndex(local_port(port), cls));
+  }
+  int64_t ThresholdBytes(int port, int cls) {
+    auto& p = partition_for_port(port);
+    return p.ThresholdBytes(p.QueueIndex(local_port(port), cls));
+  }
+
+  // Aggregated drop/enqueue counters across partitions.
+  int64_t TotalDrops();
+  int64_t TotalEnqueued();
+
+  // Per-drop callback over all partitions.
+  void set_drop_hook(std::function<void(const Packet&, tm::DropReason)> hook);
+
+ private:
+  void KickTx(int port);
+
+  SwitchConfig config_;
+  struct PortState {
+    LinkEnd peer;
+    bool connected = false;
+    bool busy = false;
+    Bandwidth rate;
+    Time propagation = 0;
+  };
+  std::vector<PortState> ports_;
+  std::vector<std::unique_ptr<tm::TmPartition>> partitions_;
+  std::vector<int> port_partition_;  // global port -> partition index
+  std::vector<int> port_local_;      // global port -> local port in partition
+  std::unordered_map<NodeId, std::vector<int>> routes_;
+  bool initialized_ = false;
+};
+
+}  // namespace occamy::net

@@ -1,0 +1,129 @@
+#include "src/net/topology.h"
+
+namespace occamy::net {
+
+StarTopology BuildStar(Network& net, StarConfig config) {
+  StarTopology topo;
+  if (config.host_rates.empty()) {
+    config.host_rates.assign(static_cast<size_t>(config.num_hosts), config.host_rate);
+  }
+  OCCAMY_CHECK_EQ(static_cast<int>(config.host_rates.size()), config.num_hosts);
+
+  SwitchConfig sw_cfg = config.switch_config;
+  sw_cfg.num_ports = config.num_hosts;
+  sw_cfg.port_rates = config.host_rates;  // switch port i runs at host i's rate
+  sw_cfg.port_propagations.assign(static_cast<size_t>(config.num_hosts),
+                                  config.link_propagation);
+
+  auto sw = std::make_unique<SwitchNode>(sw_cfg);
+  SwitchNode* sw_ptr = sw.get();
+  topo.switch_id = net.AddNode(std::move(sw));
+  sw_ptr->Initialize();
+
+  for (int i = 0; i < config.num_hosts; ++i) {
+    auto host = std::make_unique<Host>();
+    Host* host_ptr = host.get();
+    const NodeId host_id = net.AddNode(std::move(host));
+    topo.hosts.push_back(host_id);
+    host_ptr->ConnectUplink({topo.switch_id, i}, config.host_rates[static_cast<size_t>(i)],
+                            config.link_propagation);
+    sw_ptr->ConnectPort(i, {host_id, 0});
+    sw_ptr->SetRoute(host_id, {i});
+  }
+  return topo;
+}
+
+Time LeafSpineTopology::BaseRtt(int src_index, int dst_index) const {
+  // host->leaf(->spine->leaf)->host, both directions.
+  const int one_way_links = rack_of(src_index) == rack_of(dst_index) ? 2 : 4;
+  return 2 * one_way_links * config.link_propagation;
+}
+
+LeafSpineTopology BuildLeafSpine(Network& net, LeafSpineConfig config) {
+  OCCAMY_CHECK(config.scheme_factory != nullptr);
+  LeafSpineTopology topo;
+  topo.config = config;
+
+  const int leaf_ports = config.hosts_per_leaf + config.num_spines;
+
+  // Create leaves.
+  for (int l = 0; l < config.num_leaves; ++l) {
+    SwitchConfig cfg;
+    cfg.num_ports = leaf_ports;
+    cfg.port_rates.assign(static_cast<size_t>(config.hosts_per_leaf), config.host_rate);
+    for (int s = 0; s < config.num_spines; ++s) cfg.port_rates.push_back(config.uplink_rate);
+    cfg.port_propagations.assign(static_cast<size_t>(leaf_ports), config.link_propagation);
+    cfg.ports_per_partition = config.ports_per_partition;
+    cfg.tm = config.tm;
+    cfg.scheme_factory = config.scheme_factory;
+    auto sw = std::make_unique<SwitchNode>(cfg);
+    SwitchNode* ptr = sw.get();
+    topo.leaves.push_back(net.AddNode(std::move(sw)));
+    ptr->Initialize();
+  }
+
+  // Create spines (one downlink per leaf).
+  for (int s = 0; s < config.num_spines; ++s) {
+    SwitchConfig cfg;
+    cfg.num_ports = config.num_leaves;
+    cfg.port_rates.assign(static_cast<size_t>(config.num_leaves), config.uplink_rate);
+    cfg.port_propagations.assign(static_cast<size_t>(config.num_leaves),
+                                 config.link_propagation);
+    cfg.ports_per_partition = config.ports_per_partition;
+    cfg.tm = config.tm;
+    cfg.scheme_factory = config.scheme_factory;
+    auto sw = std::make_unique<SwitchNode>(cfg);
+    SwitchNode* ptr = sw.get();
+    topo.spines.push_back(net.AddNode(std::move(sw)));
+    ptr->Initialize();
+  }
+
+  // Create hosts and wire host<->leaf links.
+  for (int l = 0; l < config.num_leaves; ++l) {
+    auto& leaf = topo.leaf(net, l);
+    for (int h = 0; h < config.hosts_per_leaf; ++h) {
+      auto host = std::make_unique<Host>();
+      Host* host_ptr = host.get();
+      const NodeId host_id = net.AddNode(std::move(host));
+      topo.hosts.push_back(host_id);
+      host_ptr->ConnectUplink({topo.leaves[static_cast<size_t>(l)], h}, config.host_rate,
+                              config.link_propagation);
+      leaf.ConnectPort(h, {host_id, 0});
+    }
+  }
+
+  // Wire leaf<->spine links: leaf uplink port (hosts_per_leaf + s) <-> spine
+  // port l.
+  for (int l = 0; l < config.num_leaves; ++l) {
+    auto& leaf = topo.leaf(net, l);
+    for (int s = 0; s < config.num_spines; ++s) {
+      leaf.ConnectPort(config.hosts_per_leaf + s, {topo.spines[static_cast<size_t>(s)], l});
+      topo.spine(net, s).ConnectPort(l, {topo.leaves[static_cast<size_t>(l)],
+                                         config.hosts_per_leaf + s});
+    }
+  }
+
+  // Routes.
+  std::vector<int> uplinks;
+  for (int s = 0; s < config.num_spines; ++s) uplinks.push_back(config.hosts_per_leaf + s);
+  for (int l = 0; l < config.num_leaves; ++l) {
+    auto& leaf = topo.leaf(net, l);
+    for (int i = 0; i < topo.num_hosts(); ++i) {
+      const NodeId dst = topo.hosts[static_cast<size_t>(i)];
+      if (topo.rack_of(i) == l) {
+        leaf.SetRoute(dst, {i % config.hosts_per_leaf});
+      } else {
+        leaf.SetRoute(dst, uplinks);  // ECMP over all spines
+      }
+    }
+  }
+  for (int s = 0; s < config.num_spines; ++s) {
+    auto& spine = topo.spine(net, s);
+    for (int i = 0; i < topo.num_hosts(); ++i) {
+      spine.SetRoute(topo.hosts[static_cast<size_t>(i)], {topo.rack_of(i)});
+    }
+  }
+  return topo;
+}
+
+}  // namespace occamy::net

@@ -1,0 +1,109 @@
+// Event queue for the discrete-event engine.
+//
+// A binary min-heap ordered by (time, sequence). The sequence number makes
+// ordering of same-time events deterministic (FIFO in scheduling order).
+// Events are cancellable through EventHandle without heap surgery: cancelled
+// events are skipped when popped.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace occamy::sim {
+
+using Callback = std::function<void()>;
+
+namespace internal {
+struct Event {
+  Time time = 0;
+  uint64_t seq = 0;
+  bool cancelled = false;
+  Callback callback;
+};
+}  // namespace internal
+
+// A handle to a scheduled event; default-constructed handles are inert.
+// Cancelling an already-fired or already-cancelled event is a no-op.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // Cancels the event if it has not fired yet. Returns true if it was live.
+  bool Cancel() {
+    if (auto ev = event_.lock(); ev != nullptr && !ev->cancelled) {
+      ev->cancelled = true;
+      ev->callback = nullptr;  // release captured state eagerly
+      return true;
+    }
+    return false;
+  }
+
+  bool IsPending() const {
+    auto ev = event_.lock();
+    return ev != nullptr && !ev->cancelled;
+  }
+
+ private:
+  friend class EventQueue;
+  explicit EventHandle(std::weak_ptr<internal::Event> ev) : event_(std::move(ev)) {}
+  std::weak_ptr<internal::Event> event_;
+};
+
+class EventQueue {
+ public:
+  EventHandle Push(Time time, Callback cb) {
+    auto ev = std::make_shared<internal::Event>();
+    ev->time = time;
+    ev->seq = next_seq_++;
+    ev->callback = std::move(cb);
+    heap_.push_back(ev);
+    std::push_heap(heap_.begin(), heap_.end(), Later);
+    return EventHandle(ev);
+  }
+
+  bool Empty() {
+    SkipCancelled();
+    return heap_.empty();
+  }
+
+  size_t SizeForTest() const { return heap_.size(); }
+
+  // Time of the earliest live event. Undefined if Empty().
+  Time NextTime() {
+    SkipCancelled();
+    return heap_.front()->time;
+  }
+
+  // Pops and returns the earliest live event. Undefined if Empty().
+  std::shared_ptr<internal::Event> Pop() {
+    SkipCancelled();
+    std::pop_heap(heap_.begin(), heap_.end(), Later);
+    auto ev = std::move(heap_.back());
+    heap_.pop_back();
+    return ev;
+  }
+
+ private:
+  static bool Later(const std::shared_ptr<internal::Event>& a,
+                    const std::shared_ptr<internal::Event>& b) {
+    if (a->time != b->time) return a->time > b->time;
+    return a->seq > b->seq;
+  }
+
+  void SkipCancelled() {
+    while (!heap_.empty() && heap_.front()->cancelled) {
+      std::pop_heap(heap_.begin(), heap_.end(), Later);
+      heap_.pop_back();
+    }
+  }
+
+  std::vector<std::shared_ptr<internal::Event>> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace occamy::sim

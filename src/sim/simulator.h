@@ -1,0 +1,83 @@
+// The discrete-event simulator driving every experiment in this repo.
+//
+// This replaces the paper's ns-3 / hardware testbeds: components schedule
+// callbacks at absolute or relative simulated times and the simulator runs
+// them in deterministic order. Single-threaded by design.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "src/sim/event_queue.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+#include "src/util/time.h"
+
+namespace occamy::sim {
+
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 1) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Time now() const { return now_; }
+  Rng& rng() { return rng_; }
+
+  // Schedules `cb` at absolute time `t` (must not be in the past).
+  EventHandle At(Time t, Callback cb) {
+    OCCAMY_CHECK_GE(t, now_) << "scheduling into the past";
+    return queue_.Push(t, std::move(cb));
+  }
+
+  // Schedules `cb` after `delay` (>= 0) from now.
+  EventHandle After(Time delay, Callback cb) {
+    OCCAMY_CHECK_GE(delay, 0);
+    return queue_.Push(now_ + delay, std::move(cb));
+  }
+
+  // Runs until the queue is empty, `until` is reached, or Stop() is called.
+  // Events with time <= until are processed; `now()` ends at `until` unless
+  // stopped. Returns the number of events processed by the call.
+  uint64_t RunUntil(Time until) {
+    const uint64_t n = RunCore(until);
+    if (!stopped_ && now_ < until) now_ = until;
+    return n;
+  }
+
+  // Runs until no events remain (or Stop()); `now()` ends at the last
+  // event's time.
+  uint64_t Run() { return RunCore(std::numeric_limits<Time>::max()); }
+
+  // Stops the current Run/RunUntil after the current event returns.
+  void Stop() { stopped_ = true; }
+
+  uint64_t processed_events() const { return processed_; }
+  bool HasPendingEvents() { return !queue_.Empty(); }
+
+ private:
+  uint64_t RunCore(Time until) {
+    uint64_t n = 0;
+    stopped_ = false;
+    while (!stopped_ && !queue_.Empty() && queue_.NextTime() <= until) {
+      auto ev = queue_.Pop();
+      OCCAMY_CHECK_GE(ev->time, now_);
+      now_ = ev->time;
+      if (!ev->cancelled && ev->callback) {
+        ev->callback();
+        ++n;
+        ++processed_;
+      }
+    }
+    return n;
+  }
+
+  EventQueue queue_;
+  Time now_ = 0;
+  bool stopped_ = false;
+  uint64_t processed_ = 0;
+  Rng rng_;
+};
+
+}  // namespace occamy::sim

@@ -1,0 +1,79 @@
+#include "src/stats/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace occamy::stats {
+
+void EmpiricalCdf::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double EmpiricalCdf::Quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  if (q <= 0.0) return samples_.front();
+  if (q >= 1.0) return samples_.back();
+  const double idx = q * static_cast<double>(samples_.size() - 1);
+  const size_t lo = static_cast<size_t>(idx);
+  const double frac = idx - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+double EmpiricalCdf::FractionBelow(double v) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), v);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::Rows(int points) const {
+  std::vector<std::pair<double, double>> rows;
+  rows.reserve(static_cast<size_t>(points) + 1);
+  for (int i = 0; i <= points; ++i) {
+    const double q = static_cast<double>(i) / static_cast<double>(points);
+    rows.emplace_back(Quantile(q), q);
+  }
+  return rows;
+}
+
+PiecewiseCdf::PiecewiseCdf(std::vector<Point> points) : points_(std::move(points)) {
+  OCCAMY_CHECK(points_.size() >= 2) << "need at least two CDF knots";
+  OCCAMY_CHECK_EQ(points_.back().cum_prob, 1.0);
+  for (size_t i = 1; i < points_.size(); ++i) {
+    OCCAMY_CHECK_GE(points_[i].cum_prob, points_[i - 1].cum_prob);
+    OCCAMY_CHECK_GE(points_[i].value, points_[i - 1].value);
+  }
+}
+
+double PiecewiseCdf::Sample(Rng& rng) const {
+  const double u = rng.UniformDouble();
+  // Find the knot interval containing u.
+  for (size_t i = 1; i < points_.size(); ++i) {
+    if (u <= points_[i].cum_prob) {
+      const double p0 = points_[i - 1].cum_prob;
+      const double p1 = points_[i].cum_prob;
+      const double v0 = points_[i - 1].value;
+      const double v1 = points_[i].value;
+      if (p1 <= p0) return v1;
+      const double frac = (u - p0) / (p1 - p0);
+      return v0 + frac * (v1 - v0);
+    }
+  }
+  return points_.back().value;
+}
+
+double PiecewiseCdf::Mean() const {
+  double mean = 0.0;
+  for (size_t i = 1; i < points_.size(); ++i) {
+    const double mass = points_[i].cum_prob - points_[i - 1].cum_prob;
+    mean += mass * 0.5 * (points_[i].value + points_[i - 1].value);
+  }
+  return mean;
+}
+
+}  // namespace occamy::stats

@@ -1,0 +1,73 @@
+// Empirical CDFs: built from samples for reporting (Fig. 7 style plots),
+// and defined from (value, cumulative-probability) points for sampling
+// flow-size distributions (web-search workload).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace occamy::stats {
+
+// CDF built from observed samples; supports quantile queries and dumping
+// fixed-resolution rows for plotting.
+class EmpiricalCdf {
+ public:
+  void Add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+
+  size_t Count() const { return samples_.size(); }
+  bool Empty() const { return samples_.empty(); }
+
+  // Value at cumulative probability q in [0,1].
+  double Quantile(double q) const;
+
+  // Fraction of samples <= v.
+  double FractionBelow(double v) const;
+
+  // Rows (value, cum_prob) at `points` evenly spaced probabilities.
+  std::vector<std::pair<double, double>> Rows(int points = 20) const;
+
+  // Merges all samples of `other` into this CDF (for aggregating per-switch
+  // statistics into one fabric-wide distribution).
+  void MergeFrom(const EmpiricalCdf& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+    sorted_ = false;
+  }
+
+ private:
+  void EnsureSorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+// Piecewise-linear CDF defined by (value, cum_prob) knots; used as a flow
+// size distribution (e.g. the DCTCP web-search distribution). Sampling
+// interpolates linearly between knots.
+class PiecewiseCdf {
+ public:
+  struct Point {
+    double value;
+    double cum_prob;
+  };
+
+  explicit PiecewiseCdf(std::vector<Point> points);
+
+  // Inverse-CDF sampling.
+  double Sample(Rng& rng) const;
+
+  // Analytic mean of the piecewise-linear distribution.
+  double Mean() const;
+
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace occamy::stats

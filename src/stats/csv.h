@@ -1,0 +1,55 @@
+// CSV export for plotting: time series (queue-length evolution, Fig. 11)
+// and CDFs (utilization, Fig. 7). Benches print human-readable tables; set
+// OCCAMY_CSV_DIR to also dump machine-readable CSV files.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "src/stats/cdf.h"
+#include "src/stats/timeseries.h"
+#include "src/util/env.h"
+#include "src/util/logging.h"
+
+namespace occamy::stats {
+
+// Writes aligned time series as columns: t_us, <name1>, <name2>, ...
+// Series are step-sampled at the union of the first series' timestamps.
+inline bool WriteTimeSeriesCsv(const std::string& path,
+                               const std::vector<const TimeSeries*>& series) {
+  if (series.empty() || series[0]->Empty()) return false;
+  std::ofstream out(path);
+  if (!out) {
+    OCCAMY_LOG(Warn) << "cannot write " << path;
+    return false;
+  }
+  out << "t_us";
+  for (const TimeSeries* s : series) out << "," << (s->name().empty() ? "v" : s->name());
+  out << "\n";
+  for (const auto& sample : series[0]->samples()) {
+    out << ToMicroseconds(sample.t);
+    for (const TimeSeries* s : series) out << "," << s->ValueAt(sample.t);
+    out << "\n";
+  }
+  return true;
+}
+
+// Writes a CDF as rows: value, cum_prob.
+inline bool WriteCdfCsv(const std::string& path, const EmpiricalCdf& cdf, int points = 100) {
+  std::ofstream out(path);
+  if (!out) {
+    OCCAMY_LOG(Warn) << "cannot write " << path;
+    return false;
+  }
+  out << "value,cum_prob\n";
+  for (const auto& [value, prob] : cdf.Rows(points)) {
+    out << value << "," << prob << "\n";
+  }
+  return true;
+}
+
+// Resolves the CSV dump directory from OCCAMY_CSV_DIR ("" = disabled).
+inline std::string CsvDir() { return GetEnvOr("OCCAMY_CSV_DIR", ""); }
+
+}  // namespace occamy::stats

@@ -1,0 +1,12 @@
+#include "src/stats/rate_estimator.h"
+
+#include <cmath>
+
+namespace occamy::stats {
+
+double EwmaRateEstimator::FastExpNeg(double x) {
+  if (x > 40.0) return 0.0;
+  return std::exp(-x);
+}
+
+}  // namespace occamy::stats

@@ -1,0 +1,96 @@
+// Rate estimation utilities: EWMA-smoothed byte rates (used by the ABM
+// baseline's drain-rate term and by the memory-bandwidth-utilization stat).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "src/util/time.h"
+
+namespace occamy::stats {
+
+// Time-decayed exponentially weighted moving average of a byte rate.
+// Update(bytes, now) records `bytes` transferred at `now`; BytesPerSec(now)
+// reads the current estimate, decaying toward zero while idle.
+class EwmaRateEstimator {
+ public:
+  // `time_constant` controls smoothing: contributions older than a few time
+  // constants are mostly forgotten.
+  explicit EwmaRateEstimator(Time time_constant = Microseconds(50))
+      : tau_(time_constant > 0 ? time_constant : 1) {}
+
+  void Update(int64_t bytes, Time now) {
+    Decay(now);
+    // An impulse of `bytes` smoothed over tau adds bytes/tau to the rate.
+    rate_bytes_per_ps_ += static_cast<double>(bytes) / static_cast<double>(tau_);
+  }
+
+  double BytesPerSec(Time now) {
+    Decay(now);
+    return rate_bytes_per_ps_ * static_cast<double>(kSecond);
+  }
+
+  void Reset(Time now) {
+    rate_bytes_per_ps_ = 0.0;
+    last_ = now;
+  }
+
+ private:
+  void Decay(Time now) {
+    if (now <= last_) return;
+    const double dt = static_cast<double>(now - last_) / static_cast<double>(tau_);
+    // First-order decay; cheap approximation of exp(-dt) is fine for stats,
+    // but use the real thing for predictability.
+    rate_bytes_per_ps_ *= FastExpNeg(dt);
+    last_ = now;
+  }
+
+  // exp(-x) for x >= 0.
+  static double FastExpNeg(double x);
+
+  Time tau_;
+  Time last_ = 0;
+  double rate_bytes_per_ps_ = 0.0;
+};
+
+// Windowed byte counter: reports bytes moved in the trailing window (rotating
+// two half-window buckets; cheap and allocation-free).
+class WindowedRate {
+ public:
+  explicit WindowedRate(Time window = Microseconds(10)) : half_(window / 2) {}
+
+  void Update(int64_t bytes, Time now) {
+    Rotate(now);
+    current_bytes_ += bytes;
+  }
+
+  double BytesPerSec(Time now) {
+    Rotate(now);
+    // The current bucket only spans (now - bucket_start); using the true
+    // elapsed span avoids a sawtooth undercount right after rotation.
+    const double bytes = static_cast<double>(current_bytes_ + previous_bytes_);
+    const Time span_t = std::max(half_, (now - bucket_start_) + half_);
+    return bytes / static_cast<double>(span_t) * static_cast<double>(kSecond);
+  }
+
+ private:
+  void Rotate(Time now) {
+    while (now >= bucket_start_ + half_) {
+      previous_bytes_ = current_bytes_;
+      current_bytes_ = 0;
+      bucket_start_ += half_;
+      if (now >= bucket_start_ + 2 * half_) {  // long idle gap: fast-forward
+        previous_bytes_ = 0;
+        bucket_start_ = now;
+        break;
+      }
+    }
+  }
+
+  Time half_;
+  Time bucket_start_ = 0;
+  int64_t current_bytes_ = 0;
+  int64_t previous_bytes_ = 0;
+};
+
+}  // namespace occamy::stats

@@ -1,0 +1,38 @@
+#include "src/stats/summary.h"
+
+#include <cmath>
+
+namespace occamy::stats {
+
+void Summary::EnsureSorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Summary::Min() const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  return samples_.front();
+}
+
+double Summary::Max() const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  return samples_.back();
+}
+
+double Summary::Percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  EnsureSorted();
+  if (p <= 0.0) return samples_.front();
+  if (p >= 100.0) return samples_.back();
+  // Nearest-rank: smallest value with at least p% of the mass at or below it.
+  const size_t n = samples_.size();
+  size_t rank = static_cast<size_t>(std::ceil(p / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  return samples_[rank - 1];
+}
+
+}  // namespace occamy::stats

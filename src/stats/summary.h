@@ -1,0 +1,57 @@
+// Order statistics over a sample set (mean, percentiles, min/max).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace occamy::stats {
+
+// Accumulates double samples; percentile queries sort lazily.
+class Summary {
+ public:
+  void Add(double v) {
+    samples_.push_back(v);
+    sorted_ = false;
+  }
+
+  size_t Count() const { return samples_.size(); }
+  bool Empty() const { return samples_.empty(); }
+
+  double Mean() const {
+    if (samples_.empty()) return 0.0;
+    double sum = 0.0;
+    for (double v : samples_) sum += v;
+    return sum / static_cast<double>(samples_.size());
+  }
+
+  double Min() const;
+  double Max() const;
+
+  // Nearest-rank percentile; p in [0, 100]. Returns 0 for empty sets.
+  double Percentile(double p) const;
+
+  double Median() const { return Percentile(50.0); }
+  double P99() const { return Percentile(99.0); }
+
+  double Sum() const {
+    double s = 0.0;
+    for (double v : samples_) s += v;
+    return s;
+  }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+  void Clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  void EnsureSorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace occamy::stats

@@ -1,0 +1,62 @@
+// Time-series recorder for queue-length evolution plots (Fig. 11 style).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace occamy::stats {
+
+class TimeSeries {
+ public:
+  struct Sample {
+    Time t;
+    double value;
+  };
+
+  explicit TimeSeries(std::string name = "") : name_(std::move(name)) {}
+
+  void Record(Time t, double value) { samples_.push_back({t, value}); }
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  const std::string& name() const { return name_; }
+  bool Empty() const { return samples_.empty(); }
+
+  double MaxValue() const {
+    double m = 0.0;
+    for (const auto& s : samples_) m = std::max(m, s.value);
+    return m;
+  }
+
+  // Value at time t (step interpolation: last sample at or before t).
+  double ValueAt(Time t) const {
+    double v = 0.0;
+    for (const auto& s : samples_) {
+      if (s.t > t) break;
+      v = s.value;
+    }
+    return v;
+  }
+
+  // Downsamples to at most `max_points` evenly spaced samples (for printing).
+  std::vector<Sample> Downsample(size_t max_points) const {
+    if (samples_.size() <= max_points || max_points == 0) return samples_;
+    std::vector<Sample> out;
+    out.reserve(max_points);
+    const double stride =
+        static_cast<double>(samples_.size()) / static_cast<double>(max_points);
+    for (size_t i = 0; i < max_points; ++i) {
+      out.push_back(samples_[static_cast<size_t>(static_cast<double>(i) * stride)]);
+    }
+    return out;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace occamy::stats

@@ -1,0 +1,62 @@
+#include "src/tm/scheduler.h"
+
+namespace occamy::tm {
+
+int DrrScheduler::Pick(const SchedulerView& view) {
+  const int n = view.num_queues();
+  if (deficits_.size() != static_cast<size_t>(n)) {
+    deficits_.assign(static_cast<size_t>(n), 0);
+    quantum_granted_ = false;
+  }
+
+  bool any = false;
+  for (int q = 0; q < n; ++q) {
+    if (view.queue_empty(q)) {
+      deficits_[static_cast<size_t>(q)] = 0;  // idle queues hoard no credit
+    } else {
+      any = true;
+    }
+  }
+  if (!any) return -1;
+
+  // One quantum is granted per *visit* of the cursor to a backlogged queue;
+  // the queue then sends packets while its deficit covers the head packet.
+  // `quantum_granted_` survives across Pick() calls so that a queue being
+  // served over several calls is not re-credited until the cursor leaves and
+  // returns.
+  for (int step = 0; step < 4 * n + 4; ++step) {
+    const int q = cursor_;
+    if (view.queue_empty(q)) {
+      deficits_[static_cast<size_t>(q)] = 0;  // inactive queues keep no credit
+      Advance(n);
+      continue;
+    }
+    if (!quantum_granted_) {
+      deficits_[static_cast<size_t>(q)] += quantum_;
+      quantum_granted_ = true;
+    }
+    if (deficits_[static_cast<size_t>(q)] >= view.head_bytes(q)) {
+      deficits_[static_cast<size_t>(q)] -= view.head_bytes(q);
+      return q;  // cursor stays; queue continues within its deficit
+    }
+    Advance(n);  // deficit exhausted: next queue (credit accrues for jumbos)
+  }
+  // Fallback (unreachable with quantum >= max packet size, which accrual
+  // guarantees within a few rotations): serve the first non-empty queue.
+  for (int q = 0; q < n; ++q) {
+    if (!view.queue_empty(q)) return q;
+  }
+  return -1;
+}
+
+std::unique_ptr<Scheduler> MakeScheduler(SchedulerKind kind, int64_t drr_quantum) {
+  switch (kind) {
+    case SchedulerKind::kFifo: return std::make_unique<FifoScheduler>();
+    case SchedulerKind::kStrictPriority: return std::make_unique<StrictPriorityScheduler>();
+    case SchedulerKind::kRoundRobin: return std::make_unique<RoundRobinScheduler>();
+    case SchedulerKind::kDrr: return std::make_unique<DrrScheduler>(drr_quantum);
+  }
+  return std::make_unique<FifoScheduler>();
+}
+
+}  // namespace occamy::tm

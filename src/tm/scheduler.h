@@ -1,0 +1,109 @@
+// Egress (output) schedulers: pick which queue of a port sends next.
+//
+// The paper's experiments use Deficit Round Robin for fair service between
+// service queues (Fig. 13/14/16) and Strict Priority for the buffer-choking
+// scenarios (Fig. 5/15). Plain round-robin and FIFO complete the set.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace occamy::tm {
+
+// Read-only view of one port's queues, provided by the TM.
+class SchedulerView {
+ public:
+  virtual ~SchedulerView() = default;
+  virtual int num_queues() const = 0;
+  virtual bool queue_empty(int q) const = 0;
+  virtual int64_t head_bytes(int q) const = 0;  // wire bytes of head packet
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual std::string_view name() const = 0;
+  // Returns the queue to serve one packet from, or -1 if all are empty.
+  virtual int Pick(const SchedulerView& view) = 0;
+};
+
+// Single-queue ports / simple FIFO service.
+class FifoScheduler : public Scheduler {
+ public:
+  std::string_view name() const override { return "FIFO"; }
+  int Pick(const SchedulerView& view) override {
+    for (int q = 0; q < view.num_queues(); ++q) {
+      if (!view.queue_empty(q)) return q;
+    }
+    return -1;
+  }
+};
+
+// Strict priority: queue 0 is the highest priority.
+class StrictPriorityScheduler : public Scheduler {
+ public:
+  std::string_view name() const override { return "SP"; }
+  int Pick(const SchedulerView& view) override {
+    for (int q = 0; q < view.num_queues(); ++q) {
+      if (!view.queue_empty(q)) return q;
+    }
+    return -1;
+  }
+};
+
+// Packet-by-packet round robin over non-empty queues.
+class RoundRobinScheduler : public Scheduler {
+ public:
+  std::string_view name() const override { return "RR"; }
+  int Pick(const SchedulerView& view) override {
+    const int n = view.num_queues();
+    for (int i = 0; i < n; ++i) {
+      const int q = (cursor_ + i) % n;
+      if (!view.queue_empty(q)) {
+        cursor_ = (q + 1) % n;
+        return q;
+      }
+    }
+    return -1;
+  }
+
+ private:
+  int cursor_ = 0;
+};
+
+// Deficit Round Robin (Shreedhar & Varghese). Each queue accrues `quantum`
+// bytes of credit per round and may send packets while its deficit covers
+// the head packet. Long-run fair in bytes for any mix of packet sizes, as
+// long as quantum >= max packet size.
+class DrrScheduler : public Scheduler {
+ public:
+  explicit DrrScheduler(int64_t quantum_bytes = 3000) : quantum_(quantum_bytes) {
+    OCCAMY_CHECK(quantum_bytes > 0);
+  }
+
+  std::string_view name() const override { return "DRR"; }
+  int Pick(const SchedulerView& view) override;
+
+  int64_t deficit_for_test(int q) const { return deficits_[static_cast<size_t>(q)]; }
+
+ private:
+  void Advance(int n) {
+    cursor_ = (cursor_ + 1) % n;
+    quantum_granted_ = false;
+  }
+
+  int64_t quantum_;
+  std::vector<int64_t> deficits_;
+  int cursor_ = 0;
+  bool quantum_granted_ = false;
+};
+
+enum class SchedulerKind { kFifo, kStrictPriority, kRoundRobin, kDrr };
+
+std::unique_ptr<Scheduler> MakeScheduler(SchedulerKind kind, int64_t drr_quantum = 3000);
+
+}  // namespace occamy::tm

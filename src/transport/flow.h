@@ -1,0 +1,44 @@
+// Flow descriptions shared between transports and workloads.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/time.h"
+
+namespace occamy::transport {
+
+enum class CcAlgorithm {
+  kDctcp,  // ECN-fraction-proportional backoff (the paper's default)
+  kReno,   // classic AIMD, no ECN reaction beyond loss
+  kCubic,  // loss-based cubic growth (the paper's low-priority traffic)
+};
+
+struct FlowParams {
+  uint64_t id = 0;
+  uint32_t src = 0;  // source host node id
+  uint32_t dst = 0;  // destination host node id
+  int64_t size_bytes = 0;
+  uint8_t traffic_class = 0;
+  bool ecn_capable = true;
+  Time start_time = 0;
+  CcAlgorithm cc = CcAlgorithm::kDctcp;
+
+  // Ideal (unloaded-network) completion time, used for slowdown metrics.
+  // 0 means unknown; slowdown then reports 1.
+  Time ideal_duration = 0;
+};
+
+struct TransportConfig {
+  int mss = 1460;                      // payload bytes per segment
+  int header_bytes = 40;               // L3/L4 headers on data segments
+  int ack_bytes = 64;                  // ACK wire size
+  int64_t init_cwnd_segments = 10;
+  Time min_rto = Milliseconds(5);      // paper §6.4
+  Time max_rto = Seconds(1);
+  Time initial_rto = Milliseconds(5);
+  double dctcp_g = 1.0 / 16.0;         // DCTCP EWMA gain
+  double cubic_c = 0.4;                // CUBIC constant (MSS/s^3)
+  double cubic_beta = 0.7;             // CUBIC multiplicative decrease
+};
+
+}  // namespace occamy::transport

@@ -1,0 +1,66 @@
+#include "src/transport/flow_manager.h"
+
+#include "src/util/check.h"
+#include "src/util/logging.h"
+
+namespace occamy::transport {
+
+FlowManager::FlowManager(net::Network* net, TransportConfig config)
+    : net_(net), config_(config) {
+  OCCAMY_CHECK(net != nullptr);
+  OCCAMY_CHECK(config_.mss > 0);
+}
+
+void FlowManager::AttachHost(net::NodeId host_id) {
+  host(host_id).set_receiver(
+      [this, host_id](const Packet& pkt) { Dispatch(host_id, pkt); });
+}
+
+uint64_t FlowManager::StartFlow(FlowParams params) {
+  if (params.id == 0) params.id = net_->NextFlowId();
+  OCCAMY_CHECK(connections_.find(params.id) == connections_.end())
+      << "duplicate flow id " << params.id;
+  OCCAMY_CHECK(params.src != params.dst) << "flow to self";
+  auto conn = std::make_unique<Connection>(this, params);
+  Connection* ptr = conn.get();
+  connections_.emplace(params.id, std::move(conn));
+  counters_.flows_started++;
+  const Time start = std::max(params.start_time, sim().now());
+  sim().At(start, [ptr] { ptr->Start(); });
+  return params.id;
+}
+
+Connection* FlowManager::FindConnection(uint64_t flow_id) {
+  const auto it = connections_.find(flow_id);
+  return it == connections_.end() ? nullptr : it->second.get();
+}
+
+void FlowManager::Dispatch(net::NodeId at_host, const Packet& pkt) {
+  (void)at_host;
+  Connection* conn = FindConnection(pkt.flow_id);
+  if (conn == nullptr) return;  // stale packet of an already-completed flow
+  if (pkt.IsAck()) {
+    conn->HandleAck(pkt);
+  } else {
+    conn->HandleData(pkt);
+  }
+}
+
+void FlowManager::OnConnectionComplete(Connection* conn, Time end_time) {
+  const FlowParams& p = conn->params();
+  stats::CompletionRecord rec;
+  rec.id = p.id;
+  rec.bytes = p.size_bytes;
+  rec.start = p.start_time;
+  rec.end = end_time;
+  rec.ideal = p.ideal_duration;
+  rec.traffic_class = p.traffic_class;
+  completions_.Add(rec);
+  counters_.flows_completed++;
+  for (const auto& listener : completion_listeners_) listener(p, end_time);
+  // Defer destruction: we are inside the connection's own call stack.
+  const uint64_t id = p.id;
+  sim().After(0, [this, id] { connections_.erase(id); });
+}
+
+}  // namespace occamy::transport

@@ -1,0 +1,78 @@
+// FlowManager: the per-network transport layer.
+//
+// Owns every Connection, installs the receive demultiplexer on each host,
+// and records flow completions (FCT + slowdown) into a CompletionCollector.
+// Workloads subscribe to per-flow completion hooks (e.g. incast queries
+// count down their member flows).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "src/net/host.h"
+#include "src/net/network.h"
+#include "src/stats/completion_stats.h"
+#include "src/transport/connection.h"
+#include "src/transport/flow.h"
+
+namespace occamy::transport {
+
+class FlowManager {
+ public:
+  explicit FlowManager(net::Network* net, TransportConfig config = {});
+
+  FlowManager(const FlowManager&) = delete;
+  FlowManager& operator=(const FlowManager&) = delete;
+
+  // Installs this manager as the receiver on `host_id`. Topology builders
+  // create hosts; call this for every host that terminates flows.
+  void AttachHost(net::NodeId host_id);
+
+  // Creates and schedules a flow. If params.id is 0 a fresh id is assigned.
+  // Returns the flow id.
+  uint64_t StartFlow(FlowParams params);
+
+  // Invoked on every flow completion, after the record is collected.
+  // Multiple workloads may listen concurrently; each filters by its own ids.
+  using CompletionHook = std::function<void(const FlowParams&, Time end_time)>;
+  void AddCompletionListener(CompletionHook hook) {
+    completion_listeners_.push_back(std::move(hook));
+  }
+
+  stats::CompletionCollector& completions() { return completions_; }
+  const TransportConfig& config() const { return config_; }
+  net::Network& network() { return *net_; }
+  sim::Simulator& sim() { return net_->sim(); }
+  net::Host& host(net::NodeId id) { return static_cast<net::Host&>(net_->node(id)); }
+
+  // Aggregate transport counters.
+  struct Counters {
+    int64_t flows_started = 0;
+    int64_t flows_completed = 0;
+    int64_t data_packets_sent = 0;
+    int64_t retransmitted_packets = 0;
+    int64_t acks_sent = 0;
+    int64_t rtos = 0;
+    int64_t fast_retransmits = 0;
+  };
+  const Counters& counters() const { return counters_; }
+
+  Connection* FindConnection(uint64_t flow_id);
+
+ private:
+  friend class Connection;
+
+  void Dispatch(net::NodeId at_host, const Packet& pkt);
+  void OnConnectionComplete(Connection* conn, Time end_time);
+
+  net::Network* net_;
+  TransportConfig config_;
+  std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
+  stats::CompletionCollector completions_;
+  std::vector<CompletionHook> completion_listeners_;
+  Counters counters_;
+};
+
+}  // namespace occamy::transport

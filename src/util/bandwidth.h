@@ -1,0 +1,57 @@
+// Link / memory bandwidth representation and exact serialization-time math.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/time.h"
+
+namespace occamy {
+
+// A bandwidth in bits per second. Kept integral so that serialization times
+// are exact and deterministic (no floating-point accumulation drift).
+class Bandwidth {
+ public:
+  constexpr Bandwidth() : bits_per_sec_(0) {}
+  constexpr explicit Bandwidth(int64_t bits_per_sec) : bits_per_sec_(bits_per_sec) {}
+
+  static constexpr Bandwidth BitsPerSec(int64_t b) { return Bandwidth(b); }
+  static constexpr Bandwidth Gbps(int64_t g) { return Bandwidth(g * 1'000'000'000); }
+  static constexpr Bandwidth Mbps(int64_t m) { return Bandwidth(m * 1'000'000); }
+
+  constexpr int64_t bits_per_sec() const { return bits_per_sec_; }
+  constexpr double gbps() const { return static_cast<double>(bits_per_sec_) / 1e9; }
+  constexpr double bytes_per_sec() const { return static_cast<double>(bits_per_sec_) / 8.0; }
+  constexpr bool IsZero() const { return bits_per_sec_ == 0; }
+
+  // Time to serialize `bytes` at this rate, exact in picoseconds
+  // (computed in 128-bit to avoid overflow: bytes*8*1e12 can exceed 2^63).
+  constexpr Time TxTime(int64_t bytes) const {
+    if (bits_per_sec_ <= 0) return 0;
+    const __int128 num = static_cast<__int128>(bytes) * 8 * kSecond;
+    return static_cast<Time>(num / bits_per_sec_);
+  }
+
+  // Bytes transferable in duration `t` (floor).
+  constexpr int64_t BytesIn(Time t) const {
+    const __int128 num = static_cast<__int128>(bits_per_sec_) * t;
+    return static_cast<int64_t>(num / (8 * kSecond));
+  }
+
+  friend constexpr Bandwidth operator+(Bandwidth a, Bandwidth b) {
+    return Bandwidth(a.bits_per_sec_ + b.bits_per_sec_);
+  }
+  friend constexpr Bandwidth operator*(Bandwidth a, int64_t k) {
+    return Bandwidth(a.bits_per_sec_ * k);
+  }
+  friend constexpr bool operator==(Bandwidth a, Bandwidth b) {
+    return a.bits_per_sec_ == b.bits_per_sec_;
+  }
+  friend constexpr bool operator<(Bandwidth a, Bandwidth b) {
+    return a.bits_per_sec_ < b.bits_per_sec_;
+  }
+
+ private:
+  int64_t bits_per_sec_;
+};
+
+}  // namespace occamy

@@ -1,0 +1,14 @@
+#include "src/util/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace occamy::internal {
+
+void CheckFail(const char* expr, const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "OCCAMY_CHECK failed: %s at %s:%d %s\n", expr, file, line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace occamy::internal

@@ -1,0 +1,45 @@
+// Always-on invariant checking.
+//
+// OCCAMY_CHECK aborts (in all build types) with a useful message when a
+// runtime invariant is violated. Simulation correctness depends on these
+// invariants (e.g. buffer accounting never going negative), so they are not
+// compiled out in release builds; they are branch-predicted cold.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace occamy::internal {
+
+[[noreturn]] void CheckFail(const char* expr, const char* file, int line, const std::string& msg);
+
+// Accumulates an optional streamed message and aborts on destruction.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* expr, const char* file, int line)
+      : expr_(expr), file_(file), line_(line) {}
+  [[noreturn]] ~CheckFailStream() { CheckFail(expr_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  const char* expr_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace occamy::internal
+
+#define OCCAMY_CHECK(cond)                                                       \
+  if (cond) {                                                                    \
+  } else                                                                         \
+    ::occamy::internal::CheckFailStream(#cond, __FILE__, __LINE__)
+
+#define OCCAMY_CHECK_GE(a, b) OCCAMY_CHECK((a) >= (b)) << " [" << (a) << " vs " << (b) << "] "
+#define OCCAMY_CHECK_LE(a, b) OCCAMY_CHECK((a) <= (b)) << " [" << (a) << " vs " << (b) << "] "
+#define OCCAMY_CHECK_EQ(a, b) OCCAMY_CHECK((a) == (b)) << " [" << (a) << " vs " << (b) << "] "

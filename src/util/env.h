@@ -1,0 +1,20 @@
+// Small helpers for reading configuration from the environment
+// (used by benches for scale selection).
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace occamy {
+
+inline std::string GetEnvOr(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? std::string(v) : fallback;
+}
+
+inline long GetEnvLongOr(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  return (v != nullptr && *v != '\0') ? std::atol(v) : fallback;
+}
+
+}  // namespace occamy

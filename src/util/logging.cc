@@ -1,0 +1,40 @@
+#include "src/util/logging.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace occamy {
+
+LogLevel GlobalLogLevel() {
+  static const LogLevel level = [] {
+    const char* env = std::getenv("OCCAMY_LOG_LEVEL");
+    if (env == nullptr || *env == '\0') return LogLevel::kWarn;
+    return static_cast<LogLevel>(std::atoi(env));
+  }();
+  return level;
+}
+
+namespace internal {
+
+namespace {
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "E";
+    case LogLevel::kWarn: return "W";
+    case LogLevel::kInfo: return "I";
+    case LogLevel::kDebug: return "D";
+    default: return "?";
+  }
+}
+}  // namespace
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[" << LevelName(level) << " " << (base != nullptr ? base + 1 : file) << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() { std::cerr << stream_.str() << "\n"; }
+
+}  // namespace internal
+}  // namespace occamy

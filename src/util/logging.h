@@ -1,0 +1,40 @@
+// Minimal leveled logging, controlled by the OCCAMY_LOG_LEVEL env variable
+// (0=off, 1=error, 2=warn, 3=info, 4=debug; default 2).
+#pragma once
+
+#include <iostream>
+#include <sstream>
+
+namespace occamy {
+
+enum class LogLevel : int { kOff = 0, kError = 1, kWarn = 2, kInfo = 3, kDebug = 4 };
+
+// Returns the process-wide log level (read once from the environment).
+LogLevel GlobalLogLevel();
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace occamy
+
+#define OCCAMY_LOG(level)                                                          \
+  if (static_cast<int>(::occamy::LogLevel::k##level) >                             \
+      static_cast<int>(::occamy::GlobalLogLevel())) {                              \
+  } else                                                                           \
+    ::occamy::internal::LogMessage(::occamy::LogLevel::k##level, __FILE__, __LINE__)

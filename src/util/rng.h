@@ -1,0 +1,76 @@
+// Deterministic random number generation.
+//
+// All randomness in simulations flows from explicitly seeded generators so
+// that experiments are exactly reproducible. xoshiro256** is used for speed;
+// SplitMix64 seeds it (and is exposed for hash-like uses such as ECMP).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+namespace occamy {
+
+// SplitMix64: tiny, high-quality 64-bit mixer. Suitable for seeding and for
+// stateless hashing (e.g. per-flow ECMP path selection).
+constexpr uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// xoshiro256** by Blackman & Vigna (public domain reference implementation).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 1) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x = SplitMix64(x);
+      s = x;
+      x += 0x9e3779b97f4a7c15ULL;
+    }
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform double in [0, 1).
+  double UniformDouble() { return static_cast<double>(Next() >> 11) * 0x1.0p-53; }
+
+  // Uniform integer in [0, n) (n > 0). Unbiased enough for simulation use.
+  uint64_t UniformInt(uint64_t n) { return Next() % n; }
+
+  // Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(UniformInt(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Exponentially distributed sample with the given mean.
+  double Exponential(double mean) {
+    double u = UniformDouble();
+    if (u <= 0.0) u = 1e-300;  // avoid log(0)
+    return -mean * std::log(u);
+  }
+
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  // Creates an independent child stream (for per-component determinism).
+  Rng Fork() { return Rng(Next() ^ 0xd1b54a32d192ed03ULL); }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+}  // namespace occamy

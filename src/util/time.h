@@ -1,0 +1,36 @@
+// Simulated time representation.
+//
+// All simulated time in this library is integer picoseconds. Sub-nanosecond
+// precision is required because per-cell memory operations on a multi-GHz
+// switch chip take fractions of a nanosecond; int64 picoseconds still covers
+// ~106 days of simulated time, far beyond any experiment here.
+#pragma once
+
+#include <cstdint>
+
+namespace occamy {
+
+// Simulated time (or duration) in picoseconds.
+using Time = int64_t;
+
+inline constexpr Time kPicosecond = 1;
+inline constexpr Time kNanosecond = 1000 * kPicosecond;
+inline constexpr Time kMicrosecond = 1000 * kNanosecond;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+constexpr Time Picoseconds(int64_t n) { return n * kPicosecond; }
+constexpr Time Nanoseconds(int64_t n) { return n * kNanosecond; }
+constexpr Time Microseconds(int64_t n) { return n * kMicrosecond; }
+constexpr Time Milliseconds(int64_t n) { return n * kMillisecond; }
+constexpr Time Seconds(int64_t n) { return n * kSecond; }
+
+constexpr double ToSeconds(Time t) { return static_cast<double>(t) / kSecond; }
+constexpr double ToMilliseconds(Time t) { return static_cast<double>(t) / kMillisecond; }
+constexpr double ToMicroseconds(Time t) { return static_cast<double>(t) / kMicrosecond; }
+constexpr double ToNanoseconds(Time t) { return static_cast<double>(t) / kNanosecond; }
+
+// Converts a floating-point quantity of seconds to picoseconds (rounded).
+constexpr Time FromSeconds(double s) { return static_cast<Time>(s * static_cast<double>(kSecond) + 0.5); }
+
+}  // namespace occamy

@@ -1,0 +1,83 @@
+#include "src/workload/collective.h"
+
+#include "src/util/check.h"
+#include "src/workload/flow_size_dist.h"
+
+namespace occamy::workload {
+
+namespace {
+
+// Assigns parents for the in-order balanced BST over [lo, hi].
+void BuildRange(int lo, int hi, int parent, std::vector<int>& parents) {
+  if (lo > hi) return;
+  const int mid = lo + (hi - lo) / 2;
+  parents[static_cast<size_t>(mid)] = parent;
+  BuildRange(lo, mid - 1, mid, parents);
+  BuildRange(mid + 1, hi, mid, parents);
+}
+
+}  // namespace
+
+Tree BuildInOrderBinaryTree(int n) {
+  OCCAMY_CHECK(n >= 1);
+  Tree tree;
+  tree.parent.assign(static_cast<size_t>(n), -1);
+  BuildRange(0, n - 1, -1, tree.parent);
+  return tree;
+}
+
+std::pair<Tree, Tree> BuildDoubleBinaryTree(int n) {
+  const Tree t1 = BuildInOrderBinaryTree(n);
+  // T2 is T1 with ranks mirrored: r <-> n-1-r.
+  Tree t2;
+  t2.parent.assign(static_cast<size_t>(n), -1);
+  for (int r = 0; r < n; ++r) {
+    const int p1 = t1.parent[static_cast<size_t>(n - 1 - r)];
+    t2.parent[static_cast<size_t>(r)] = p1 < 0 ? -1 : n - 1 - p1;
+  }
+  return {t1, t2};
+}
+
+std::vector<std::pair<int, int>> AllReduceEdges(int n) {
+  const auto [t1, t2] = BuildDoubleBinaryTree(n);
+  std::vector<std::pair<int, int>> edges;
+  for (const Tree* tree : {&t1, &t2}) {
+    for (int r = 0; r < n; ++r) {
+      const int p = tree->parent[static_cast<size_t>(r)];
+      if (p < 0) continue;
+      edges.emplace_back(r, p);  // reduce: child -> parent
+      edges.emplace_back(p, r);  // broadcast: parent -> child
+    }
+  }
+  return edges;
+}
+
+PoissonFlowConfig MakeAllToAllConfig(const std::vector<net::NodeId>& hosts, double load,
+                                     Bandwidth host_rate, int64_t flow_size, Time start,
+                                     Time stop, uint64_t seed) {
+  PoissonFlowConfig cfg;
+  cfg.hosts = hosts;
+  cfg.load = load;
+  cfg.host_rate = host_rate;
+  cfg.size_dist = FixedSizeDistribution(static_cast<double>(flow_size));
+  cfg.start = start;
+  cfg.stop = stop;
+  cfg.seed = seed;
+  return cfg;  // default pair sampler: uniform ordered pairs = all-to-all
+}
+
+PoissonFlowConfig MakeAllReduceConfig(const std::vector<net::NodeId>& hosts, double load,
+                                      Bandwidth host_rate, int64_t flow_size, Time start,
+                                      Time stop, uint64_t seed) {
+  PoissonFlowConfig cfg = MakeAllToAllConfig(hosts, load, host_rate, flow_size, start, stop, seed);
+  const auto edges = AllReduceEdges(static_cast<int>(hosts.size()));
+  OCCAMY_CHECK(!edges.empty());
+  cfg.pair_sampler = [hosts, edges](Rng& rng) {
+    const auto& [src_rank, dst_rank] = edges[rng.UniformInt(edges.size())];
+    return std::make_pair(hosts[static_cast<size_t>(src_rank)],
+                          hosts[static_cast<size_t>(dst_rank)]);
+  };
+  return cfg;
+}
+
+}  // namespace occamy::workload

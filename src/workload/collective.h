@@ -1,0 +1,55 @@
+// Collective-communication traffic patterns (paper §6.4, Figs. 18-19).
+//
+// All-to-all: uniform flows between every host pair, identical size.
+// All-reduce: flows along the edges of a double binary tree (Sanders et al.,
+// the algorithm behind NCCL's tree mode, cited by the paper): each rank is
+// interior in at most one of the two trees, so reduce+broadcast traffic
+// spreads evenly. The paper generates flows with identical sizes following
+// this pattern; we model the per-iteration chunk streams as Poisson flow
+// arrivals over the (static) tree edges, preserving the hot-pair structure.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/workload/poisson_flows.h"
+
+namespace occamy::workload {
+
+// A rooted tree over ranks 0..n-1: parent[r] = parent rank, -1 at the root.
+struct Tree {
+  std::vector<int> parent;
+
+  int root() const {
+    for (size_t i = 0; i < parent.size(); ++i) {
+      if (parent[i] < 0) return static_cast<int>(i);
+    }
+    return -1;
+  }
+  int size() const { return static_cast<int>(parent.size()); }
+};
+
+// Balanced in-order binary tree over 0..n-1 (midpoint split).
+Tree BuildInOrderBinaryTree(int n);
+
+// The double binary tree: (T1, T2) with T2 the mirror of T1. Every rank that
+// is interior in T1 is a leaf in T2 and vice versa (exactly, for even n).
+std::pair<Tree, Tree> BuildDoubleBinaryTree(int n);
+
+// Directed communication edges of an all-reduce over both trees:
+// child->parent (reduce) and parent->child (broadcast) for each tree edge.
+std::vector<std::pair<int, int>> AllReduceEdges(int n);
+
+// All-to-all background: uniform pairs, fixed flow size.
+PoissonFlowConfig MakeAllToAllConfig(const std::vector<net::NodeId>& hosts, double load,
+                                     Bandwidth host_rate, int64_t flow_size, Time start,
+                                     Time stop, uint64_t seed);
+
+// All-reduce background: flows along double-binary-tree edges (rank i is
+// hosts[i]), fixed flow size.
+PoissonFlowConfig MakeAllReduceConfig(const std::vector<net::NodeId>& hosts, double load,
+                                      Bandwidth host_rate, int64_t flow_size, Time start,
+                                      Time stop, uint64_t seed);
+
+}  // namespace occamy::workload

@@ -1,0 +1,30 @@
+#include "src/workload/flow_size_dist.h"
+
+namespace occamy::workload {
+
+stats::PiecewiseCdf WebSearchDistribution() {
+  return stats::PiecewiseCdf({
+      {0, 0.0},
+      {10'000, 0.15},
+      {20'000, 0.20},
+      {30'000, 0.30},
+      {50'000, 0.40},
+      {80'000, 0.53},
+      {200'000, 0.60},
+      {1'000'000, 0.70},
+      {2'000'000, 0.80},
+      {5'000'000, 0.90},
+      {10'000'000, 0.97},
+      {30'000'000, 1.0},
+  });
+}
+
+stats::PiecewiseCdf UniformSizeDistribution(double min_bytes, double max_bytes) {
+  return stats::PiecewiseCdf({{min_bytes, 0.0}, {max_bytes, 1.0}});
+}
+
+stats::PiecewiseCdf FixedSizeDistribution(double bytes) {
+  return stats::PiecewiseCdf({{bytes, 0.0}, {bytes, 1.0}});
+}
+
+}  // namespace occamy::workload

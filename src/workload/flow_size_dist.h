@@ -1,0 +1,21 @@
+// Flow size distributions used in the paper's evaluation.
+#pragma once
+
+#include "src/stats/cdf.h"
+
+namespace occamy::workload {
+
+// The DCTCP web-search flow-size distribution (Alizadeh et al. 2010), as
+// distributed with pFabric/HPCC simulation artifacts. Mean ~1.7 MB, heavy
+// tailed: >50% of flows are under 100 KB while >95% of bytes come from
+// flows over 1 MB.
+stats::PiecewiseCdf WebSearchDistribution();
+
+// Uniform distribution over [min, max] bytes (used by ablation benches).
+stats::PiecewiseCdf UniformSizeDistribution(double min_bytes, double max_bytes);
+
+// Degenerate distribution: every flow has the same size (all-to-all /
+// all-reduce sweeps).
+stats::PiecewiseCdf FixedSizeDistribution(double bytes);
+
+}  // namespace occamy::workload

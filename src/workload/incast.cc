@@ -1,0 +1,101 @@
+#include "src/workload/incast.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace occamy::workload {
+
+IncastWorkload::IncastWorkload(transport::FlowManager* manager, IncastConfig config)
+    : manager_(manager), config_(std::move(config)), rng_(config_.seed) {
+  OCCAMY_CHECK(!config_.clients.empty());
+  OCCAMY_CHECK(static_cast<int>(config_.servers.size()) >= config_.fanin)
+      << "need at least fanin servers";
+  OCCAMY_CHECK(config_.fanin > 0);
+  manager_->AddCompletionListener(
+      [this](const transport::FlowParams& p, Time end) { OnFlowComplete(p, end); });
+}
+
+void IncastWorkload::Start() {
+  manager_->sim().At(std::max(config_.start, manager_->sim().now()), [this] {
+    IssueQueryNow();
+    ScheduleNext();
+  });
+}
+
+void IncastWorkload::ScheduleNext() {
+  if (config_.max_queries > 0 && queries_issued_ >= config_.max_queries) return;
+  const double mean_gap_s = 1.0 / config_.queries_per_second;
+  const Time gap = FromSeconds(rng_.Exponential(mean_gap_s)) + 1;
+  const Time next = manager_->sim().now() + gap;
+  if (next > config_.stop) return;
+  manager_->sim().At(next, [this] {
+    IssueQueryNow();
+    ScheduleNext();
+  });
+}
+
+void IncastWorkload::IssueQueryNow() {
+  const net::NodeId client =
+      config_.clients[rng_.UniformInt(config_.clients.size())];
+
+  // Draw `fanin` distinct servers, excluding the client itself.
+  std::vector<net::NodeId> candidates;
+  candidates.reserve(config_.servers.size());
+  for (net::NodeId s : config_.servers) {
+    if (s != client) candidates.push_back(s);
+  }
+  OCCAMY_CHECK(static_cast<int>(candidates.size()) >= config_.fanin);
+  for (int i = 0; i < config_.fanin; ++i) {
+    const size_t j =
+        static_cast<size_t>(i) + rng_.UniformInt(candidates.size() - static_cast<size_t>(i));
+    std::swap(candidates[static_cast<size_t>(i)], candidates[j]);
+  }
+
+  PendingQuery query;
+  query.id = next_query_id_++;
+  query.client = client;
+  query.issue_time = manager_->sim().now();
+  query.remaining_flows = config_.fanin;
+
+  const int64_t per_flow = std::max<int64_t>(1, config_.query_size_bytes / config_.fanin);
+  for (int i = 0; i < config_.fanin; ++i) {
+    transport::FlowParams params;
+    params.src = candidates[static_cast<size_t>(i)];
+    params.dst = client;
+    params.size_bytes = per_flow;
+    params.traffic_class = config_.traffic_class;
+    params.cc = config_.cc;
+    params.start_time = manager_->sim().now();
+    if (config_.ideal_fn) {
+      params.ideal_duration = config_.ideal_fn(params.src, params.dst, per_flow);
+    }
+    const uint64_t flow_id = manager_->StartFlow(params);
+    flow_to_query_.emplace(flow_id, query.id);
+  }
+  pending_.emplace(query.id, query);
+  ++queries_issued_;
+}
+
+void IncastWorkload::OnFlowComplete(const transport::FlowParams& params, Time end_time) {
+  const auto it = flow_to_query_.find(params.id);
+  if (it == flow_to_query_.end()) return;  // not ours
+  const uint64_t query_id = it->second;
+  auto& query = pending_.at(query_id);
+  if (--query.remaining_flows > 0) return;
+
+  stats::CompletionRecord rec;
+  rec.id = query_id;
+  rec.bytes = config_.query_size_bytes;
+  rec.start = query.issue_time;
+  rec.end = end_time;
+  rec.traffic_class = config_.traffic_class;
+  if (config_.query_ideal_fn) {
+    rec.ideal = config_.query_ideal_fn(query.client, config_.query_size_bytes);
+  }
+  qct_.Add(rec);
+  pending_.erase(query_id);
+  ++queries_completed_;
+}
+
+}  // namespace occamy::workload

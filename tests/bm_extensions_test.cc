@@ -1,0 +1,221 @@
+// Tests for the related-work BM baselines (paper §7): EDT, TDT, QPO — and
+// the P4-prototype stale-statistics admission (§5.2).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/bm/enhanced_dt.h"
+#include "src/bm/quasi_pushout.h"
+#include "src/bm/traffic_aware_dt.h"
+#include "src/tm/traffic_manager.h"
+#include "tests/fakes.h"
+
+namespace occamy::bm {
+namespace {
+
+using test::FakeTmView;
+
+// ---------- EDT ----------
+
+TEST(EdtTest, NormalModeBehavesLikeDt) {
+  FakeTmView tm(100000, 2);
+  EnhancedDt edt;
+  // A queue that is already long is under plain DT control.
+  tm.set_qlen(0, 60000);
+  tm.set_alpha(0, 1.0);
+  (void)edt.Admit(tm, 0, 1000);  // state update at non-idle length: stays NORMAL
+  EXPECT_EQ(edt.Threshold(tm, 0), tm.free_bytes());
+}
+
+TEST(EdtTest, GrowthFromIdleEntersAbsorb) {
+  FakeTmView tm(100000, 2);
+  EnhancedDt edt;
+  tm.set_qlen(0, 1000);  // just rose from empty
+  EXPECT_TRUE(edt.Admit(tm, 0, 1000));
+  EXPECT_TRUE(edt.IsAbsorbingForTest(tm, 0));
+  // Absorbing queues may take most of the free buffer, beyond plain DT.
+  tm.set_qlen(0, 80000);
+  tm.set_qlen(1, 10000);
+  EXPECT_GT(edt.Threshold(tm, 0), tm.free_bytes());
+}
+
+TEST(EdtTest, AbsorbTimesOut) {
+  FakeTmView tm(100000, 1);
+  EnhancedDt::Options opts;
+  opts.absorb_timeout = Microseconds(10);
+  EnhancedDt edt(opts);
+  tm.set_qlen(0, 1000);
+  (void)edt.Admit(tm, 0, 1000);
+  EXPECT_TRUE(edt.IsAbsorbingForTest(tm, 0));
+  tm.set_now(Microseconds(11));
+  EXPECT_FALSE(edt.IsAbsorbingForTest(tm, 0));
+}
+
+TEST(EdtTest, DrainToEmptyResetsState) {
+  FakeTmView tm(100000, 1);
+  EnhancedDt edt;
+  tm.set_qlen(0, 1000);
+  (void)edt.Admit(tm, 0, 1000);
+  tm.set_qlen(0, 0);
+  edt.OnDequeue(tm, 0, 1000);
+  tm.set_qlen(0, 50000);  // long queue, not from idle
+  (void)edt.Admit(tm, 0, 1000);
+  EXPECT_EQ(edt.Threshold(tm, 0), tm.free_bytes());  // back under DT
+}
+
+// ---------- TDT ----------
+
+TEST(TdtTest, IdleQueueIsNormal) {
+  FakeTmView tm(100000, 2);
+  TrafficAwareDt tdt;
+  (void)tdt.Admit(tm, 0, 1000);
+  EXPECT_EQ(tdt.ModeForTest(0), TrafficAwareDt::Mode::kNormal);
+}
+
+TEST(TdtTest, BurstEntersAbsorbWithLargeAlpha) {
+  FakeTmView tm(100000, 2);
+  TrafficAwareDt tdt;
+  tm.set_qlen(0, 10000);
+  (void)tdt.Admit(tm, 0, 1000);
+  EXPECT_EQ(tdt.ModeForTest(0), TrafficAwareDt::Mode::kAbsorb);
+  // alpha_absorb = 8: threshold is 8x free.
+  EXPECT_EQ(tdt.Threshold(tm, 0), 8 * tm.free_bytes());
+}
+
+TEST(TdtTest, SustainedBacklogEvacuates) {
+  FakeTmView tm(100000, 1);
+  TrafficAwareDt::Options opts;
+  opts.absorb_window = Microseconds(10);
+  TrafficAwareDt tdt(opts);
+  tm.set_qlen(0, 50000);
+  (void)tdt.Admit(tm, 0, 1000);
+  EXPECT_EQ(tdt.ModeForTest(0), TrafficAwareDt::Mode::kAbsorb);
+  tm.set_now(Microseconds(20));  // burst did not end
+  (void)tdt.Admit(tm, 0, 1000);
+  EXPECT_EQ(tdt.ModeForTest(0), TrafficAwareDt::Mode::kEvacuate);
+  // Evacuating queues get a small alpha (0.25).
+  EXPECT_EQ(tdt.Threshold(tm, 0), tm.free_bytes() / 4);
+}
+
+TEST(TdtTest, EvacuateReturnsToNormalOnDrain) {
+  FakeTmView tm(100000, 1);
+  TrafficAwareDt::Options opts;
+  opts.absorb_window = Microseconds(10);
+  TrafficAwareDt tdt(opts);
+  tm.set_qlen(0, 50000);
+  (void)tdt.Admit(tm, 0, 1000);
+  tm.set_now(Microseconds(20));
+  (void)tdt.Admit(tm, 0, 1000);
+  ASSERT_EQ(tdt.ModeForTest(0), TrafficAwareDt::Mode::kEvacuate);
+  tm.set_qlen(0, 100);
+  tdt.OnDequeue(tm, 0, 1000);
+  EXPECT_EQ(tdt.ModeForTest(0), TrafficAwareDt::Mode::kNormal);
+}
+
+// ---------- QPO ----------
+
+TEST(QpoTest, TracksQuasiLongestIncrementally) {
+  FakeTmView tm(100000, 3);
+  QuasiPushout qpo;
+  tm.set_qlen(0, 1000);
+  (void)qpo.Admit(tm, 0, 100);
+  tm.set_qlen(1, 5000);
+  (void)qpo.Admit(tm, 1, 100);
+  EXPECT_EQ(qpo.quasi_longest_for_test(), 1);
+  // Queue 2 grows longer but is never observed: the register is stale —
+  // that's the "quasi" in quasi-pushout.
+  tm.set_qlen(2, 9000);
+  EXPECT_EQ(qpo.quasi_longest_for_test(), 1);
+}
+
+TEST(QpoTest, EvictsQuasiLongest) {
+  FakeTmView tm(100000, 3);
+  QuasiPushout qpo;
+  tm.set_qlen(0, 8000);
+  (void)qpo.Admit(tm, 0, 100);
+  tm.set_qlen(1, 2000);
+  (void)qpo.Admit(tm, 1, 100);
+  EXPECT_EQ(qpo.EvictVictim(tm, 1), std::optional<int>(0));
+  // Arrival at the quasi-longest queue itself: drop the arrival.
+  EXPECT_EQ(qpo.EvictVictim(tm, 0), std::nullopt);
+}
+
+TEST(QpoTest, RescanWhenRegisterDrained) {
+  FakeTmView tm(100000, 3);
+  QuasiPushout qpo;
+  tm.set_qlen(0, 8000);
+  (void)qpo.Admit(tm, 0, 100);
+  // Queue 0 drains fully; queue 2 is now longest but unobserved.
+  tm.set_qlen(0, 0);
+  tm.set_qlen(2, 5000);
+  const auto victim = qpo.EvictVictim(tm, 1);
+  EXPECT_EQ(victim, std::optional<int>(2));  // rescan found the real longest
+}
+
+TEST(QpoTest, AlwaysAdmitsAndIsPreemptive) {
+  FakeTmView tm(1000, 1);
+  QuasiPushout qpo;
+  tm.set_qlen(0, 999);
+  EXPECT_TRUE(qpo.Admit(tm, 0, 100));
+  EXPECT_TRUE(qpo.IsPreemptive());
+}
+
+// ---------- Stale statistics (P4 SYNC packets, §5.2) ----------
+
+TEST(StaleStatsTest, FreshByDefault) {
+  sim::Simulator sim;
+  tm::TmConfig cfg;
+  cfg.buffer_bytes = 100000;
+  cfg.port_rates = {Bandwidth::Gbps(10)};
+  tm::TmPartition part(&sim, cfg, std::make_unique<DynamicThreshold>());
+  EXPECT_EQ(part.AdmissionStatsAgeForTest(), 0);
+}
+
+TEST(StaleStatsTest, StaleViewLagsRealOccupancy) {
+  sim::Simulator sim;
+  tm::TmConfig cfg;
+  cfg.buffer_bytes = 100000;
+  cfg.port_rates = {Bandwidth::Gbps(10), Bandwidth::Gbps(10)};
+  cfg.stats_sync_interval = Microseconds(10);
+  cfg.class_configs = {{.alpha = 1.0, .priority = 0}};
+  tm::TmPartition part(&sim, cfg, std::make_unique<DynamicThreshold>());
+
+  // Fill queue 0 well beyond its (fresh) threshold within one sync interval:
+  // the stale admission view still sees an empty buffer, so everything is
+  // admitted — the over-admission the P4 prototype exhibits.
+  int accepted = 0;
+  for (int i = 0; i < 90; ++i) {
+    Packet p;
+    p.size_bytes = 1000;
+    if (part.Enqueue(0, p).accepted) ++accepted;
+  }
+  EXPECT_EQ(accepted, 90);  // fresh DT would have stopped near B/2 = 50
+
+  // After the sync fires, admission sees the real queue and clamps.
+  sim.RunUntil(Microseconds(11));
+  Packet p;
+  p.size_bytes = 1000;
+  EXPECT_FALSE(part.Enqueue(0, p).accepted);
+}
+
+TEST(StaleStatsTest, SyncKeepsFollowingOccupancy) {
+  sim::Simulator sim;
+  tm::TmConfig cfg;
+  cfg.buffer_bytes = 100000;
+  cfg.port_rates = {Bandwidth::Gbps(10)};
+  cfg.stats_sync_interval = Microseconds(5);
+  tm::TmPartition part(&sim, cfg, std::make_unique<DynamicThreshold>());
+  Packet p;
+  p.size_bytes = 1000;
+  part.Enqueue(0, p);
+  sim.RunUntil(Microseconds(6));
+  // Dequeue and check the snapshot catches up after the next sync.
+  part.DequeueForPort(0);
+  sim.RunUntil(Microseconds(12));
+  Packet q;
+  q.size_bytes = 1000;
+  EXPECT_TRUE(part.Enqueue(0, q).accepted);
+}
+
+}  // namespace
+}  // namespace occamy::bm

@@ -1,0 +1,114 @@
+// Property tests on DT / Occamy steady-state math (paper §4.4).
+//
+// Eq. (2): with N persistently congested queues, DT converges to a state
+// where the reserved free buffer is F = B / (1 + alpha * N), and each
+// congested queue holds alpha * F bytes.
+//
+// These are exercised by a fluid-like fill loop over the real admission
+// code, parameterized over (alpha, N).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/bm/dynamic_threshold.h"
+#include "tests/fakes.h"
+
+namespace occamy::bm {
+namespace {
+
+using test::FakeTmView;
+
+class DtSteadyStateTest : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(DtSteadyStateTest, FreeBufferMatchesEq2) {
+  const double alpha = std::get<0>(GetParam());
+  const int n_congested = std::get<1>(GetParam());
+  const int64_t buffer = 1 << 20;  // 1 MiB
+  const int64_t unit = 200;        // one cell per admission attempt
+
+  FakeTmView tm(buffer, n_congested);
+  DynamicThreshold dt;
+  for (int q = 0; q < n_congested; ++q) tm.set_alpha(q, alpha);
+
+  // Greedy fill: every congested queue keeps offering traffic; nothing
+  // drains. Loop until no queue can admit another unit (steady state).
+  bool progress = true;
+  int guard = 0;
+  while (progress) {
+    progress = false;
+    for (int q = 0; q < n_congested; ++q) {
+      if (dt.Admit(tm, q, unit) && tm.occupancy_bytes() + unit <= buffer) {
+        tm.set_qlen(q, tm.qlen_bytes(q) + unit);
+        progress = true;
+      }
+    }
+    ASSERT_LT(++guard, 1000000);
+  }
+
+  const double expected_free =
+      static_cast<double>(buffer) / (1.0 + alpha * static_cast<double>(n_congested));
+  const int64_t free_bytes = buffer - tm.occupancy_bytes();
+  // Quantization: each queue stops within one unit of the moving threshold.
+  const double tolerance = static_cast<double>(unit * (n_congested + 1));
+  EXPECT_NEAR(static_cast<double>(free_bytes), expected_free, tolerance)
+      << "alpha=" << alpha << " N=" << n_congested;
+
+  // Fair sharing: all congested queues hold (nearly) the same amount.
+  int64_t min_q = buffer, max_q = 0;
+  for (int q = 0; q < n_congested; ++q) {
+    min_q = std::min(min_q, tm.qlen_bytes(q));
+    max_q = std::max(max_q, tm.qlen_bytes(q));
+  }
+  EXPECT_LE(max_q - min_q, unit * 2);
+
+  // Each queue's length approximates alpha * F.
+  const double expected_qlen = alpha * expected_free;
+  EXPECT_NEAR(static_cast<double>(max_q), expected_qlen, tolerance * alpha + tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaSweep, DtSteadyStateTest,
+    ::testing::Combine(::testing::Values(0.5, 1.0, 2.0, 4.0, 8.0, 16.0),
+                       ::testing::Values(1, 2, 3, 7, 15)),
+    [](const ::testing::TestParamInfo<std::tuple<double, int>>& param_info) {
+      const double alpha = std::get<0>(param_info.param);
+      const int n = std::get<1>(param_info.param);
+      std::string a = std::to_string(alpha);
+      for (auto& c : a) {
+        if (c == '.') c = 'p';
+      }
+      a.erase(a.find_last_not_of('0') + 1);
+      if (!a.empty() && a.back() == 'p') a.pop_back();
+      return "alpha" + a + "_N" + std::to_string(n);
+    });
+
+// With alpha = 8 and one congested queue, that queue may occupy 8/9 = 88.9%
+// of the buffer (paper §4.2).
+TEST(DtSteadyStateTest, Alpha8SingleQueueOccupies89Percent) {
+  const int64_t buffer = 1 << 20;
+  FakeTmView tm(buffer, 1);
+  DynamicThreshold dt;
+  tm.set_alpha(0, 8.0);
+  while (dt.Admit(tm, 0, 200)) tm.set_qlen(0, tm.qlen_bytes(0) + 200);
+  const double occupancy_share =
+      static_cast<double>(tm.qlen_bytes(0)) / static_cast<double>(buffer);
+  EXPECT_NEAR(occupancy_share, 8.0 / 9.0, 0.005);
+}
+
+// Threshold monotonicity: admitting traffic into one queue never increases
+// any queue's threshold (free buffer shrinks).
+TEST(DtMonotonicityTest, ThresholdNonIncreasingUnderFill) {
+  FakeTmView tm(100000, 4);
+  DynamicThreshold dt;
+  for (int q = 0; q < 4; ++q) tm.set_alpha(q, 2.0);
+  int64_t prev_threshold = dt.Threshold(tm, 0);
+  for (int step = 0; step < 100; ++step) {
+    tm.set_qlen(step % 4, tm.qlen_bytes(step % 4) + 500);
+    const int64_t t = dt.Threshold(tm, 0);
+    EXPECT_LE(t, prev_threshold);
+    prev_threshold = t;
+  }
+}
+
+}  // namespace
+}  // namespace occamy::bm

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "src/bm/abm.h"
+#include "src/bm/dynamic_threshold.h"
+#include "src/bm/pushout.h"
+#include "src/bm/static_threshold.h"
+#include "src/core/occamy_bm.h"
+#include "tests/fakes.h"
+
+namespace occamy::bm {
+namespace {
+
+using test::FakeTmView;
+
+// ---------- Dynamic Threshold (Eq. 1) ----------
+
+TEST(DtTest, ThresholdIsAlphaTimesFreeBuffer) {
+  FakeTmView tm(/*buffer_bytes=*/1000, /*num_queues=*/2);
+  DynamicThreshold dt;
+  tm.set_alpha(0, 2.0);
+  EXPECT_EQ(dt.Threshold(tm, 0), 2000);  // empty buffer: T = alpha * B
+  tm.set_qlen(0, 300);
+  tm.set_qlen(1, 200);
+  EXPECT_EQ(dt.Threshold(tm, 0), 2 * (1000 - 500));
+  tm.set_alpha(1, 0.5);
+  EXPECT_EQ(dt.Threshold(tm, 1), 250);
+}
+
+TEST(DtTest, AdmitsBelowThresholdOnly) {
+  FakeTmView tm(1000, 2);
+  DynamicThreshold dt;
+  tm.set_alpha(0, 1.0);
+  tm.set_qlen(0, 400);
+  tm.set_qlen(1, 100);
+  // T = 1.0 * (1000-500) = 500; qlen 400 < 500 -> admit.
+  EXPECT_TRUE(dt.Admit(tm, 0, 200));
+  tm.set_qlen(0, 500);
+  // T = 1.0 * (1000-600) = 400; qlen 500 >= 400 -> reject.
+  EXPECT_FALSE(dt.Admit(tm, 0, 200));
+}
+
+TEST(DtTest, HigherAlphaAdmitsDeeperQueues) {
+  FakeTmView tm(1000, 1);
+  DynamicThreshold dt;
+  tm.set_qlen(0, 800);
+  tm.set_alpha(0, 1.0);
+  EXPECT_FALSE(dt.Admit(tm, 0, 100));  // T = 200
+  tm.set_alpha(0, 8.0);
+  EXPECT_TRUE(dt.Admit(tm, 0, 100));  // T = 1600
+}
+
+TEST(DtTest, FullBufferBlocksEverything) {
+  FakeTmView tm(1000, 2);
+  DynamicThreshold dt;
+  tm.set_qlen(0, 1000);
+  EXPECT_FALSE(dt.Admit(tm, 0, 1));
+  EXPECT_FALSE(dt.Admit(tm, 1, 1));  // T = 0, empty queue not < 0
+}
+
+// ---------- Occamy admission (DT with adjusted alpha, §4.2) ----------
+
+TEST(OccamyBmTest, IsDtWithItsOwnName) {
+  FakeTmView tm(1000, 1);
+  core::OccamyBm occ;
+  DynamicThreshold dt;
+  EXPECT_EQ(occ.name(), "Occamy");
+  tm.set_alpha(0, 8.0);
+  tm.set_qlen(0, 100);
+  EXPECT_EQ(occ.Threshold(tm, 0), dt.Threshold(tm, 0));
+  EXPECT_FALSE(occ.IsPreemptive());  // preemption runs via the expulsion engine
+}
+
+TEST(OccamyBmTest, Alpha8AllowsNearFullOccupancyBySingleQueue) {
+  // With alpha=8 a single queue can hold up to 8/9 of the buffer (§4.2).
+  FakeTmView tm(9000, 1);
+  core::OccamyBm occ;
+  tm.set_alpha(0, 8.0);
+  tm.set_qlen(0, 7999);
+  EXPECT_TRUE(occ.Admit(tm, 0, 1));  // T = 8*(9000-7999) = 8008 > 7999
+  tm.set_qlen(0, 8001);
+  EXPECT_FALSE(occ.Admit(tm, 0, 1));  // T = 8*999 = 7992 <= 8001
+}
+
+// ---------- Static thresholds ----------
+
+TEST(StaticTest, CapsQueueLength) {
+  FakeTmView tm(10000, 2);
+  StaticThreshold st(1000);
+  tm.set_qlen(0, 900);
+  EXPECT_TRUE(st.Admit(tm, 0, 100));
+  EXPECT_FALSE(st.Admit(tm, 0, 101));
+  EXPECT_EQ(st.Threshold(tm, 0), 1000);
+}
+
+TEST(CompleteSharingTest, OnlyTotalOccupancyMatters) {
+  FakeTmView tm(1000, 2);
+  CompleteSharing cs;
+  tm.set_qlen(0, 999);
+  EXPECT_TRUE(cs.Admit(tm, 1, 1));
+  EXPECT_FALSE(cs.Admit(tm, 1, 2));
+  EXPECT_EQ(cs.Threshold(tm, 0), 1000);
+}
+
+// ---------- ABM ----------
+
+TEST(AbmTest, ThresholdScalesWithDrainRate) {
+  FakeTmView tm(1000, 2);
+  Abm abm;
+  tm.set_alpha(0, 2.0);
+  tm.set_alpha(1, 2.0);
+  tm.set_drain_rate(0, 1.0);
+  tm.set_drain_rate(1, 0.25);
+  // No congestion yet: n_p = 1.
+  EXPECT_EQ(abm.Threshold(tm, 0), 2000);
+  EXPECT_EQ(abm.Threshold(tm, 1), 500);
+}
+
+TEST(AbmTest, MuFloorProtectsNewQueues) {
+  FakeTmView tm(1000, 1);
+  Abm abm(/*mu_floor=*/0.125);
+  tm.set_drain_rate(0, 0.0);  // never drained
+  EXPECT_EQ(abm.Threshold(tm, 0), 125);  // floor applies, not zero
+}
+
+TEST(AbmTest, CongestedCountDividesThreshold) {
+  FakeTmView tm(1000, 2);
+  Abm abm;
+  tm.set_alpha(0, 1.0);
+  tm.set_alpha(1, 1.0);
+  // Drive queue 1 above threshold to latch it congested.
+  tm.set_qlen(1, 900);
+  (void)abm.Admit(tm, 1, 100);  // updates the latch
+  EXPECT_EQ(abm.CongestedCountForTest(0), 1);
+  // Now queue 0's threshold is halved relative to n_p = 1... i.e. divided by 1
+  // (only one congested queue); latch queue 0 too and check division by 2.
+  tm.set_qlen(0, 900);
+  (void)abm.Admit(tm, 0, 100);
+  EXPECT_EQ(abm.CongestedCountForTest(0), 2);
+  tm.set_qlen(0, 0);
+  tm.set_qlen(1, 0);
+  // threshold = alpha/n_p * free * mu = 1/2 * 1000 * 1 = 500.
+  EXPECT_EQ(abm.Threshold(tm, 0), 500);
+}
+
+TEST(AbmTest, HysteresisUnlatchesBelowHalfThreshold) {
+  FakeTmView tm(1000, 1);
+  Abm abm;
+  tm.set_qlen(0, 990);
+  (void)abm.Admit(tm, 0, 10);
+  EXPECT_EQ(abm.CongestedCountForTest(0), 1);
+  tm.set_qlen(0, 0);
+  abm.OnDequeue(tm, 0, 990);
+  EXPECT_EQ(abm.CongestedCountForTest(0), 0);
+}
+
+TEST(AbmTest, SeparatePriorityClassesCountedSeparately) {
+  FakeTmView tm(1000, 2);
+  Abm abm;
+  tm.set_priority(0, 0);
+  tm.set_priority(1, 1);
+  tm.set_qlen(1, 900);
+  (void)abm.Admit(tm, 1, 100);
+  EXPECT_EQ(abm.CongestedCountForTest(1), 1);
+  EXPECT_EQ(abm.CongestedCountForTest(0), 0);
+}
+
+// ---------- Pushout ----------
+
+TEST(PushoutTest, AlwaysAdmits) {
+  FakeTmView tm(1000, 2);
+  Pushout po;
+  tm.set_qlen(0, 999);
+  EXPECT_TRUE(po.Admit(tm, 0, 100));
+  EXPECT_TRUE(po.IsPreemptive());
+}
+
+TEST(PushoutTest, EvictsLongestQueue) {
+  FakeTmView tm(1000, 3);
+  Pushout po;
+  tm.set_qlen(0, 100);
+  tm.set_qlen(1, 700);
+  tm.set_qlen(2, 200);
+  EXPECT_EQ(po.EvictVictim(tm, 0), std::optional<int>(1));
+}
+
+TEST(PushoutTest, ArrivingQueueLongestDropsArrival) {
+  FakeTmView tm(1000, 2);
+  Pushout po;
+  tm.set_qlen(0, 700);
+  tm.set_qlen(1, 300);
+  EXPECT_EQ(po.EvictVictim(tm, 0), std::nullopt);
+}
+
+TEST(PushoutTest, JointLongestDropsArrival) {
+  FakeTmView tm(1000, 2);
+  Pushout po;
+  tm.set_qlen(0, 500);
+  tm.set_qlen(1, 500);
+  EXPECT_EQ(po.EvictVictim(tm, 0), std::nullopt);
+  EXPECT_EQ(po.EvictVictim(tm, 1), std::nullopt);
+}
+
+TEST(PushoutTest, EmptyBufferNothingToEvict) {
+  FakeTmView tm(1000, 2);
+  Pushout po;
+  EXPECT_EQ(po.EvictVictim(tm, 0), std::nullopt);
+}
+
+}  // namespace
+}  // namespace occamy::bm

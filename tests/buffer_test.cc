@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "src/buffer/cell_memory.h"
+#include "src/buffer/packet.h"
+#include "src/buffer/pd_queue.h"
+#include "src/buffer/shared_buffer.h"
+#include "src/util/rng.h"
+
+namespace occamy::buffer {
+namespace {
+
+TEST(CellsForTest, CeilingDivision) {
+  EXPECT_EQ(CellsFor(1, 200), 1);
+  EXPECT_EQ(CellsFor(200, 200), 1);
+  EXPECT_EQ(CellsFor(201, 200), 2);
+  EXPECT_EQ(CellsFor(1500, 200), 8);
+  EXPECT_EQ(CellBytesFor(1500, 200), 1600);
+}
+
+TEST(CellMemoryTest, InitialState) {
+  CellMemory mem(100);
+  EXPECT_EQ(mem.total_cells(), 100);
+  EXPECT_EQ(mem.free_cells(), 100);
+  EXPECT_EQ(mem.used_cells(), 0);
+}
+
+TEST(CellMemoryTest, AllocFreeRoundTrip) {
+  CellMemory mem(100);
+  const int32_t head = mem.AllocChain(8);
+  ASSERT_NE(head, kNullCell);
+  EXPECT_EQ(mem.free_cells(), 92);
+  EXPECT_EQ(mem.ChainLength(head), 8);
+  mem.FreeChain(head, 8);
+  EXPECT_EQ(mem.free_cells(), 100);
+}
+
+TEST(CellMemoryTest, ExhaustionReturnsNull) {
+  CellMemory mem(10);
+  const int32_t a = mem.AllocChain(6);
+  ASSERT_NE(a, kNullCell);
+  EXPECT_EQ(mem.AllocChain(5), kNullCell);  // only 4 left: no partial alloc
+  EXPECT_EQ(mem.free_cells(), 4);
+  const int32_t b = mem.AllocChain(4);
+  ASSERT_NE(b, kNullCell);
+  EXPECT_EQ(mem.free_cells(), 0);
+  mem.FreeChain(a, 6);
+  mem.FreeChain(b, 4);
+  EXPECT_EQ(mem.free_cells(), 10);
+}
+
+TEST(CellMemoryTest, ChainsAreDisjoint) {
+  CellMemory mem(64);
+  std::vector<int32_t> heads;
+  for (int i = 0; i < 8; ++i) {
+    heads.push_back(mem.AllocChain(8));
+    ASSERT_NE(heads.back(), kNullCell);
+  }
+  for (int32_t h : heads) EXPECT_EQ(mem.ChainLength(h), 8);
+  for (int32_t h : heads) mem.FreeChain(h, 8);
+  EXPECT_EQ(mem.free_cells(), 64);
+}
+
+TEST(CellMemoryTest, RandomizedAllocFreeConservation) {
+  CellMemory mem(1000);
+  Rng rng(21);
+  std::vector<std::pair<int32_t, int64_t>> live;
+  for (int step = 0; step < 5000; ++step) {
+    if (rng.Bernoulli(0.55) || live.empty()) {
+      const int64_t n = rng.UniformRange(1, 12);
+      const int32_t h = mem.AllocChain(n);
+      if (h != kNullCell) live.emplace_back(h, n);
+    } else {
+      const size_t idx = rng.UniformInt(live.size());
+      mem.FreeChain(live[idx].first, live[idx].second);
+      live.erase(live.begin() + static_cast<long>(idx));
+    }
+    int64_t live_cells = 0;
+    for (const auto& [h, n] : live) live_cells += n;
+    ASSERT_EQ(mem.used_cells(), live_cells);
+  }
+}
+
+TEST(PdQueueTest, FifoOrderAndLengths) {
+  CellMemory mem(100);
+  PdQueue q;
+  for (int i = 0; i < 3; ++i) {
+    PacketDescriptor pd;
+    pd.packet.seq = static_cast<uint64_t>(i);
+    pd.packet.size_bytes = 500;
+    pd.cell_head = mem.AllocChain(3);
+    pd.cell_count = 3;
+    q.Enqueue(std::move(pd), 200);
+  }
+  EXPECT_EQ(q.PacketCount(), 3u);
+  EXPECT_EQ(q.LengthCells(), 9);
+  EXPECT_EQ(q.LengthBytes(), 1800);
+  for (int i = 0; i < 3; ++i) {
+    PacketDescriptor pd = q.DequeueHead(200);
+    EXPECT_EQ(pd.packet.seq, static_cast<uint64_t>(i));
+    mem.FreeChain(pd.cell_head, pd.cell_count);
+  }
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.LengthBytes(), 0);
+}
+
+TEST(SharedBufferTest, EnqueueDequeueAccounting) {
+  SharedBuffer buf(10000, 4, 200);  // 50 cells
+  EXPECT_EQ(buf.buffer_bytes(), 10000);
+  Packet p;
+  p.size_bytes = 1000;  // 5 cells
+  EXPECT_TRUE(buf.Enqueue(1, p, 0));
+  EXPECT_EQ(buf.occupancy_bytes(), 1000);
+  EXPECT_EQ(buf.qlen_bytes(1), 1000);
+  EXPECT_EQ(buf.free_bytes(), 9000);
+  buf.CheckConsistencyForTest();
+  const PacketDescriptor pd = buf.DequeueHead(1);
+  EXPECT_EQ(pd.packet.size_bytes, 1000u);
+  EXPECT_EQ(buf.occupancy_bytes(), 0);
+  buf.CheckConsistencyForTest();
+}
+
+TEST(SharedBufferTest, CellGranularOccupancy) {
+  SharedBuffer buf(10000, 2, 200);
+  Packet p;
+  p.size_bytes = 201;  // 2 cells -> 400 buffer bytes
+  EXPECT_TRUE(buf.Enqueue(0, p, 0));
+  EXPECT_EQ(buf.occupancy_bytes(), 400);
+  EXPECT_EQ(buf.qlen_bytes(0), 400);
+}
+
+TEST(SharedBufferTest, FitsChecksFreeCells) {
+  SharedBuffer buf(1000, 2, 200);  // 5 cells
+  Packet p;
+  p.size_bytes = 600;  // 3 cells
+  EXPECT_TRUE(buf.Fits(600));
+  EXPECT_TRUE(buf.Enqueue(0, p, 0));
+  EXPECT_TRUE(buf.Fits(400));    // 2 cells left
+  EXPECT_FALSE(buf.Fits(401));   // would need 3
+  p.size_bytes = 400;
+  EXPECT_TRUE(buf.Enqueue(1, p, 0));
+  EXPECT_FALSE(buf.Fits(1));
+  EXPECT_EQ(buf.free_bytes(), 0);
+}
+
+TEST(SharedBufferTest, BufferSizeRoundsToWholeCells) {
+  SharedBuffer buf(1050, 1, 200);  // 5 cells, not 5.25
+  EXPECT_EQ(buf.buffer_bytes(), 1000);
+}
+
+TEST(SharedBufferTest, ManyQueuesConsistency) {
+  SharedBuffer buf(100000, 16, 200);
+  Rng rng(31);
+  for (int step = 0; step < 2000; ++step) {
+    const int q = static_cast<int>(rng.UniformInt(16));
+    if (rng.Bernoulli(0.6)) {
+      Packet p;
+      p.size_bytes = static_cast<uint32_t>(rng.UniformRange(64, 1500));
+      if (buf.Fits(p.size_bytes)) buf.Enqueue(q, p, 0);
+    } else if (!buf.queue(q).Empty()) {
+      buf.DequeueHead(q);
+    }
+  }
+  buf.CheckConsistencyForTest();
+}
+
+}  // namespace
+}  // namespace occamy::buffer

@@ -1,0 +1,126 @@
+// Edge-case tests for the Occamy core: bitmap boundaries, selector ties,
+// engine behaviour with empty queues and single-cell packets, and the
+// §4.5 "what if there is no redundant bandwidth" claim at the unit level.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "src/core/bitmap.h"
+#include "src/core/expulsion_engine.h"
+#include "src/core/head_drop_selector.h"
+#include "src/sim/simulator.h"
+
+namespace occamy::core {
+namespace {
+
+TEST(BitmapEdgeTest, SingleBit) {
+  Bitmap b(1);
+  EXPECT_EQ(b.FindFirstFrom(0), -1);
+  b.Set(0, true);
+  EXPECT_EQ(b.FindFirstFrom(0), 0);
+  EXPECT_EQ(b.PopCount(), 1);
+}
+
+TEST(BitmapEdgeTest, ExactWordBoundary) {
+  Bitmap b(64);
+  b.Set(63, true);
+  EXPECT_EQ(b.FindFirstFrom(0), 63);
+  EXPECT_EQ(b.FindFirstFrom(63), 63);
+  // Wrap from one past the last set bit.
+  b.Set(0, true);
+  EXPECT_EQ(b.FindFirstFrom(64), 0);  // start clamped to wrap
+}
+
+TEST(BitmapEdgeTest, StartEqualsSizeWraps) {
+  Bitmap b(100);
+  b.Set(5, true);
+  EXPECT_EQ(b.FindFirstFrom(100), 5);
+}
+
+TEST(SelectorEdgeTest, AllQueuesEqualThreshold) {
+  HeadDropSelector sel(8);
+  sel.Refresh([](int) { return int64_t{1000}; }, [](int) { return int64_t{1000}; });
+  EXPECT_FALSE(sel.AnyOverAllocated());  // strictly-greater semantics
+}
+
+TEST(SelectorEdgeTest, LongestPolicyTieBreaksByIndex) {
+  HeadDropSelector sel(4, DropPolicy::kLongestQueue);
+  const std::vector<int64_t> qlen = {500, 500, 500, 100};
+  const auto q = [&](int i) { return qlen[static_cast<size_t>(i)]; };
+  sel.Refresh(q, [](int) { return int64_t{200}; });
+  EXPECT_EQ(sel.SelectVictim(q), 0);  // first of the tied longest
+}
+
+class OneQueueTarget : public ExpulsionTarget {
+ public:
+  int num_queues() const override { return 1; }
+  int64_t qlen_bytes(int) const override {
+    int64_t cells = 0;
+    for (int64_t c : packets_) cells += c;
+    return cells * 200;
+  }
+  int64_t expulsion_threshold(int) const override { return threshold_; }
+  int64_t head_cells(int) const override { return packets_.empty() ? 0 : packets_.front(); }
+  void HeadDropOnePacket(int) override {
+    ASSERT_FALSE(packets_.empty());
+    packets_.pop_front();
+  }
+
+  std::deque<int64_t> packets_;
+  int64_t threshold_ = 0;
+};
+
+TEST(ExpulsionEdgeTest, EmptyQueueNeverDropped) {
+  sim::Simulator sim;
+  OneQueueTarget target;
+  MemoryBandwidthModel memory(Bandwidth::Gbps(80), 200);
+  ExpulsionEngine engine(&sim, &target, &memory);
+  engine.Kick();
+  sim.Run();
+  EXPECT_EQ(engine.expelled_packets(), 0);
+}
+
+TEST(ExpulsionEdgeTest, SingleCellPacketsExpelledBackToBack) {
+  sim::Simulator sim;
+  OneQueueTarget target;
+  for (int i = 0; i < 5; ++i) target.packets_.push_back(1);
+  target.threshold_ = 0;
+  MemoryBandwidthModel memory(Bandwidth::Gbps(80), 200);
+  ExpulsionEngine engine(&sim, &target, &memory);
+  engine.Kick();
+  sim.Run();
+  EXPECT_EQ(engine.expelled_packets(), 5);
+  // Selector-limited: 2 cycles per packet even for 1-cell packets. Drops at
+  // t = 0, 2, 4, 6, 8 ns; one final idle re-check fires at t = 10 ns.
+  EXPECT_EQ(sim.now(), Nanoseconds(10));
+}
+
+TEST(ExpulsionEdgeTest, ZeroCapacityBandwidthNeverExpels) {
+  // §4.5: with no redundant bandwidth Occamy degenerates to DT. A zero-rate
+  // memory model (and an empty bucket) must block expulsion forever.
+  sim::Simulator sim;
+  OneQueueTarget target;
+  target.packets_.push_back(5);
+  target.threshold_ = 0;
+  MemoryBandwidthModel memory(Bandwidth::BitsPerSec(0), 200, /*max_burst_cells=*/0.0);
+  ExpulsionEngine engine(&sim, &target, &memory);
+  engine.Kick();
+  sim.RunUntil(Milliseconds(1));
+  EXPECT_EQ(engine.expelled_packets(), 0);
+  EXPECT_GE(engine.blocked_on_bandwidth(), 1);
+}
+
+TEST(MemBwEdgeTest, ZeroRateNeverRefills) {
+  MemoryBandwidthModel memory(Bandwidth::BitsPerSec(0), 200, 10.0);
+  EXPECT_TRUE(memory.TryConsume(10, 0));
+  EXPECT_FALSE(memory.TryConsume(1, Seconds(100)));
+}
+
+TEST(MemBwEdgeTest, UtilizationZeroWhenIdle) {
+  MemoryBandwidthModel memory(Bandwidth::Gbps(80), 200);
+  EXPECT_EQ(memory.Utilization(Milliseconds(5)), 0.0);
+}
+
+}  // namespace
+}  // namespace occamy::core

@@ -1,0 +1,192 @@
+// Unit tests for Occamy's expulsion engine against a fake TM target.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <vector>
+
+#include "src/core/expulsion_engine.h"
+#include "src/sim/simulator.h"
+
+namespace occamy::core {
+namespace {
+
+// Queues hold packets expressed as cell counts; threshold is settable.
+class FakeTarget : public ExpulsionTarget {
+ public:
+  FakeTarget(int num_queues, int cell_bytes = 200)
+      : cell_bytes_(cell_bytes), queues_(static_cast<size_t>(num_queues)) {}
+
+  int num_queues() const override { return static_cast<int>(queues_.size()); }
+  int64_t qlen_bytes(int q) const override {
+    int64_t cells = 0;
+    for (int64_t c : queues_[static_cast<size_t>(q)]) cells += c;
+    return cells * cell_bytes_;
+  }
+  int64_t expulsion_threshold(int q) const override {
+    return thresholds_.empty() ? threshold_ : thresholds_[static_cast<size_t>(q)];
+  }
+  int64_t head_cells(int q) const override {
+    const auto& queue = queues_[static_cast<size_t>(q)];
+    return queue.empty() ? 0 : queue.front();
+  }
+  void HeadDropOnePacket(int q) override {
+    auto& queue = queues_[static_cast<size_t>(q)];
+    ASSERT_FALSE(queue.empty());
+    drops_.push_back(q);
+    queue.pop_front();
+  }
+
+  void Push(int q, int64_t cells) { queues_[static_cast<size_t>(q)].push_back(cells); }
+  void set_threshold(int64_t t) { threshold_ = t; }
+  const std::vector<int>& drops() const { return drops_; }
+
+ private:
+  int cell_bytes_;
+  std::vector<std::deque<int64_t>> queues_;
+  int64_t threshold_ = 0;
+  std::vector<int64_t> thresholds_;
+  std::vector<int> drops_;
+};
+
+struct EngineFixture {
+  explicit EngineFixture(int num_queues, Bandwidth capacity = Bandwidth::Gbps(80),
+                         double burst = 256.0, ExpulsionConfig cfg = {})
+      : target(num_queues), memory(capacity, 200, burst), engine(&sim, &target, &memory, cfg) {}
+
+  sim::Simulator sim;
+  FakeTarget target;
+  MemoryBandwidthModel memory;
+  ExpulsionEngine engine;
+};
+
+TEST(ExpulsionEngineTest, ExpelsUntilBelowThreshold) {
+  EngineFixture f(1);
+  // 10 packets x 5 cells = 50 cells = 10000 bytes; threshold 4000 bytes.
+  for (int i = 0; i < 10; ++i) f.target.Push(0, 5);
+  f.target.set_threshold(4000);
+  f.engine.Kick();
+  f.sim.Run();
+  // Stops as soon as qlen <= threshold: 4000 bytes = 20 cells = 4 packets.
+  EXPECT_EQ(f.target.qlen_bytes(0), 4000);
+  EXPECT_EQ(f.engine.expelled_packets(), 6);
+  EXPECT_EQ(f.engine.expelled_cells(), 30);
+  EXPECT_EQ(f.engine.expelled_bytes(), 6000);
+}
+
+TEST(ExpulsionEngineTest, IdleWithoutOverAllocation) {
+  EngineFixture f(2);
+  f.target.Push(0, 5);
+  f.target.set_threshold(10000);
+  f.engine.Kick();
+  f.sim.Run();
+  EXPECT_EQ(f.engine.expelled_packets(), 0);
+  EXPECT_EQ(f.target.qlen_bytes(0), 1000);
+}
+
+TEST(ExpulsionEngineTest, RoundRobinAcrossOverAllocatedQueues) {
+  EngineFixture f(3);
+  for (int q = 0; q < 3; ++q) {
+    for (int i = 0; i < 4; ++i) f.target.Push(q, 1);
+  }
+  f.target.set_threshold(0);  // everything over-allocated
+  f.engine.Kick();
+  f.sim.Run();
+  // All packets expelled, in round-robin order.
+  ASSERT_EQ(f.target.drops().size(), 12u);
+  for (size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(f.target.drops()[i], static_cast<int>(i % 3)) << "drop " << i;
+  }
+}
+
+TEST(ExpulsionEngineTest, LongestQueuePolicy) {
+  ExpulsionConfig cfg;
+  cfg.policy = DropPolicy::kLongestQueue;
+  EngineFixture f(2, Bandwidth::Gbps(80), 256.0, cfg);
+  for (int i = 0; i < 6; ++i) f.target.Push(0, 1);
+  for (int i = 0; i < 3; ++i) f.target.Push(1, 1);
+  f.target.set_threshold(400);  // 2 cells
+  f.engine.Kick();
+  f.sim.Run();
+  // Queue 0 must be drained toward the threshold before queue 1 is touched
+  // (longest-first), ending with both at threshold.
+  const auto& drops = f.target.drops();
+  ASSERT_EQ(drops.size(), 5u);
+  // First drops come from the longest queue (0 has 6 vs 3).
+  EXPECT_EQ(drops[0], 0);
+  EXPECT_EQ(drops[1], 0);
+  EXPECT_EQ(drops[2], 0);
+  EXPECT_EQ(f.target.qlen_bytes(0), 400);
+  EXPECT_EQ(f.target.qlen_bytes(1), 400);
+}
+
+TEST(ExpulsionEngineTest, BlocksWithoutRedundantBandwidth) {
+  EngineFixture f(1);
+  // Drain all tokens and go deeply negative (egress at full blast).
+  f.memory.ForceConsume(256 + 5000, 0);
+  f.target.Push(0, 5);
+  f.target.set_threshold(0);
+  f.engine.Kick();
+  // Within the first microsecond there is no redundant bandwidth
+  // (deficit 5005 cells at 50 cells/us needs ~100us).
+  f.sim.RunUntil(Microseconds(1));
+  EXPECT_EQ(f.engine.expelled_packets(), 0);
+  EXPECT_GE(f.engine.blocked_on_bandwidth(), 1);
+  // Eventually tokens accumulate and the packet is expelled.
+  f.sim.Run();
+  EXPECT_EQ(f.engine.expelled_packets(), 1);
+}
+
+TEST(ExpulsionEngineTest, ExpulsionConsumesTokens) {
+  EngineFixture f(1);
+  for (int i = 0; i < 10; ++i) f.target.Push(0, 10);
+  f.target.set_threshold(0);
+  f.engine.Kick();
+  f.sim.Run();
+  EXPECT_EQ(f.engine.expelled_packets(), 10);
+  // 100 cells consumed from a 256-cell bucket (minus tiny refill during ops).
+  EXPECT_LT(f.memory.Tokens(f.sim.now()), 170.0);
+}
+
+TEST(ExpulsionEngineTest, KickWhileScheduledIsNoOp) {
+  EngineFixture f(1);
+  f.target.Push(0, 1);
+  f.target.set_threshold(0);
+  f.engine.Kick();
+  f.engine.Kick();
+  f.engine.Kick();
+  f.sim.Run();
+  EXPECT_EQ(f.engine.expelled_packets(), 1);
+}
+
+TEST(ExpulsionEngineTest, OpLatencyPacesExpulsion) {
+  ExpulsionConfig cfg;
+  cfg.cycle = Nanoseconds(1);
+  cfg.selector_cycles = 2;
+  cfg.cell_ptr_batch = 4;
+  EngineFixture f(1, Bandwidth::Gbps(800), 1e9, cfg);  // bandwidth not limiting
+  for (int i = 0; i < 100; ++i) f.target.Push(0, 8);   // 8 cells -> 2 cycles
+  f.target.set_threshold(0);
+  f.engine.Kick();
+  f.sim.Run();
+  EXPECT_EQ(f.engine.expelled_packets(), 100);
+  // 100 packets x 2ns per op = 200ns (first op at t=0).
+  EXPECT_EQ(f.sim.now(), Nanoseconds(200));
+}
+
+TEST(ExpulsionEngineTest, ThresholdRisesMidway) {
+  // Simulates DT thresholds rising as the buffer drains: the engine must
+  // re-evaluate and stop early.
+  EngineFixture f(1);
+  for (int i = 0; i < 10; ++i) f.target.Push(0, 5);
+  f.target.set_threshold(1000);
+  f.engine.Kick();
+  f.sim.At(Nanoseconds(3), [&] { f.target.set_threshold(8000); });
+  f.sim.Run();
+  // Some packets were expelled before the threshold rose, then it stopped.
+  EXPECT_GT(f.engine.expelled_packets(), 0);
+  EXPECT_LT(f.engine.expelled_packets(), 6);
+  EXPECT_GE(f.target.qlen_bytes(0), 8000);
+}
+
+}  // namespace
+}  // namespace occamy::core

@@ -1,0 +1,50 @@
+// Test doubles shared by the BM / core unit tests.
+#pragma once
+
+#include <vector>
+
+#include "src/bm/tm_view.h"
+
+namespace occamy::test {
+
+// A hand-settable TmView for exercising BM schemes in isolation.
+class FakeTmView : public bm::TmView {
+ public:
+  FakeTmView(int64_t buffer_bytes, int num_queues)
+      : buffer_bytes_(buffer_bytes),
+        qlens_(static_cast<size_t>(num_queues), 0),
+        alphas_(static_cast<size_t>(num_queues), 1.0),
+        priorities_(static_cast<size_t>(num_queues), 0),
+        drain_rates_(static_cast<size_t>(num_queues), 1.0) {}
+
+  Time now() const override { return now_; }
+  int64_t buffer_bytes() const override { return buffer_bytes_; }
+  int64_t occupancy_bytes() const override {
+    int64_t sum = 0;
+    for (int64_t q : qlens_) sum += q;
+    return sum;
+  }
+  int num_queues() const override { return static_cast<int>(qlens_.size()); }
+  int64_t qlen_bytes(int q) const override { return qlens_[static_cast<size_t>(q)]; }
+  double alpha(int q) const override { return alphas_[static_cast<size_t>(q)]; }
+  int priority(int q) const override { return priorities_[static_cast<size_t>(q)]; }
+  double normalized_drain_rate(int q) const override {
+    return drain_rates_[static_cast<size_t>(q)];
+  }
+
+  void set_qlen(int q, int64_t v) { qlens_[static_cast<size_t>(q)] = v; }
+  void set_alpha(int q, double v) { alphas_[static_cast<size_t>(q)] = v; }
+  void set_priority(int q, int v) { priorities_[static_cast<size_t>(q)] = v; }
+  void set_drain_rate(int q, double v) { drain_rates_[static_cast<size_t>(q)] = v; }
+  void set_now(Time t) { now_ = t; }
+
+ private:
+  Time now_ = 0;
+  int64_t buffer_bytes_;
+  std::vector<int64_t> qlens_;
+  std::vector<double> alphas_;
+  std::vector<int> priorities_;
+  std::vector<double> drain_rates_;
+};
+
+}  // namespace occamy::test

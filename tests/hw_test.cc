@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "src/core/bitmap.h"
+#include "src/core/head_drop_selector.h"
+#include "src/core/round_robin_arbiter.h"
+#include "src/hw/circuits.h"
+#include "src/hw/cost_model.h"
+#include "src/util/rng.h"
+
+namespace occamy::hw {
+namespace {
+
+// ---------- Maximum Finder (Figure 4) ----------
+
+TEST(MaxFinderTest, FindsMaximum) {
+  MaximumFinder mf(8, 17);
+  std::vector<int64_t> v = {3, 9, 1, 7, 9, 2, 0, 5};
+  auto [max, idx] = mf.FindMax(v);
+  EXPECT_EQ(max, 9);
+  EXPECT_EQ(idx, 1);  // ties resolve to the lower index
+}
+
+TEST(MaxFinderTest, NonPowerOfTwoInputs) {
+  MaximumFinder mf(5, 8);
+  std::vector<int64_t> v = {10, 20, 30, 40, 50};
+  auto [max, idx] = mf.FindMax(v);
+  EXPECT_EQ(max, 50);
+  EXPECT_EQ(idx, 4);
+}
+
+TEST(MaxFinderTest, RandomizedMatchesStdMax) {
+  Rng rng(33);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int n = static_cast<int>(rng.UniformRange(2, 128));
+    MaximumFinder mf(n, 20);
+    std::vector<int64_t> v(static_cast<size_t>(n));
+    for (auto& x : v) x = static_cast<int64_t>(rng.UniformInt(1 << 20));
+    auto [max, idx] = mf.FindMax(v);
+    const auto it = std::max_element(v.begin(), v.end());
+    EXPECT_EQ(max, *it);
+    EXPECT_EQ(idx, static_cast<int>(it - v.begin()));
+  }
+}
+
+TEST(MaxFinderTest, TreeDepthIsLogN) {
+  EXPECT_EQ(MaximumFinder(8, 17).TreeLevels(), 3);
+  EXPECT_EQ(MaximumFinder(64, 17).TreeLevels(), 6);
+  EXPECT_EQ(MaximumFinder(65, 17).TreeLevels(), 7);
+}
+
+TEST(MaxFinderTest, LogicDepthGrowsWithNAndK) {
+  // O(log2 k * log2 N): the §2.2 argument against Pushout.
+  const int d_small = MaximumFinder(8, 8).LogicLevels();
+  const int d_more_inputs = MaximumFinder(64, 8).LogicLevels();
+  const int d_wider = MaximumFinder(8, 32).LogicLevels();
+  EXPECT_GT(d_more_inputs, d_small);
+  EXPECT_GT(d_wider, d_small);
+}
+
+// ---------- Comparator bank ----------
+
+TEST(ComparatorBankTest, BitmapMatchesThresholdCompare) {
+  ComparatorBank bank(8, 17);
+  std::vector<int64_t> qlens = {0, 100, 200, 201, 500, 199, 200, 1000};
+  auto words = bank.Compare(qlens, 200);
+  ASSERT_EQ(words.size(), 1u);
+  // Strictly greater: indices 3, 4, 7.
+  EXPECT_EQ(words[0], (1ULL << 3) | (1ULL << 4) | (1ULL << 7));
+}
+
+TEST(ComparatorBankTest, WideBankCrossesWords) {
+  ComparatorBank bank(130, 17);
+  std::vector<int64_t> qlens(130, 0);
+  qlens[64] = 10;
+  qlens[129] = 10;
+  auto words = bank.Compare(qlens, 5);
+  ASSERT_EQ(words.size(), 3u);
+  EXPECT_EQ(words[0], 0u);
+  EXPECT_EQ(words[1], 1ULL);
+  EXPECT_EQ(words[2], 1ULL << 1);
+}
+
+// ---------- RR arbiter circuit vs behavioral model ----------
+
+TEST(RrCircuitTest, MatchesBehavioralArbiter) {
+  // Property test: the gate-level arbiter and core::RoundRobinArbiter make
+  // identical grant sequences on random request traces.
+  Rng rng(77);
+  for (int n : {1, 2, 7, 64, 65, 128}) {
+    RoundRobinArbiterCircuit circuit(n);
+    core::RoundRobinArbiter behavioral(n);
+    for (int step = 0; step < 500; ++step) {
+      core::Bitmap bitmap(n);
+      std::vector<uint64_t> words(static_cast<size_t>((n + 63) / 64), 0);
+      for (int i = 0; i < n; ++i) {
+        if (rng.Bernoulli(0.3)) {
+          bitmap.Set(i, true);
+          words[static_cast<size_t>(i >> 6)] |= 1ULL << (i & 63);
+        }
+      }
+      const int expected = behavioral.Grant(bitmap);
+      const int actual = circuit.Arbitrate(words);
+      ASSERT_EQ(actual, expected) << "n=" << n << " step=" << step;
+    }
+  }
+}
+
+// ---------- Selector circuit vs behavioral selector ----------
+
+TEST(SelectorEquivalenceTest, CircuitMatchesBehavioralModel) {
+  // Drive both the core::HeadDropSelector (behavioral) and the composition
+  // ComparatorBank + RoundRobinArbiterCircuit (gate-level) with identical
+  // random (qlens, threshold) traces; victims must match exactly.
+  Rng rng(99);
+  const int n = 64;
+  core::HeadDropSelector behavioral(n, core::DropPolicy::kRoundRobin);
+  ComparatorBank bank(n, 20);
+  RoundRobinArbiterCircuit arbiter(n);
+  for (int step = 0; step < 2000; ++step) {
+    std::vector<int64_t> qlens(static_cast<size_t>(n));
+    for (auto& q : qlens) q = static_cast<int64_t>(rng.UniformInt(1 << 20));
+    const int64_t threshold = static_cast<int64_t>(rng.UniformInt(1 << 20));
+
+    behavioral.Refresh([&](int q) { return qlens[static_cast<size_t>(q)]; },
+                       [&](int) { return threshold; });
+    const int expected =
+        behavioral.SelectVictim([&](int q) { return qlens[static_cast<size_t>(q)]; });
+    const int actual = arbiter.Arbitrate(bank.Compare(qlens, threshold));
+    ASSERT_EQ(actual, expected) << "step=" << step;
+  }
+}
+
+// ---------- Executor pipeline ----------
+
+TEST(ExecutorPipelineTest, CyclesForPacket) {
+  HeadDropExecutorPipeline pipe(4);
+  EXPECT_EQ(pipe.CyclesForPacket(1), 3);   // 2 PD cycles + 1 pointer batch
+  EXPECT_EQ(pipe.CyclesForPacket(4), 3);
+  EXPECT_EQ(pipe.CyclesForPacket(5), 4);
+  EXPECT_EQ(pipe.CyclesForPacket(8), 4);   // 1500B packet: 8 cells
+}
+
+TEST(ExecutorPipelineTest, PipelinedSteadyState) {
+  HeadDropExecutorPipeline pipe(4);
+  // Paper §5.1: a packet can be expelled every ~2 cycles at 1 GHz.
+  EXPECT_EQ(pipe.PipelinedCyclesForPacket(8), 2);
+  EXPECT_EQ(pipe.PipelinedCyclesForPacket(16), 4);  // pointer-bound
+}
+
+// ---------- Cost model vs paper Table 1 ----------
+
+TEST(CostModelTest, SelectorNearPaperTable1) {
+  const ModuleCost c = SelectorCost(64, 17);
+  // Paper: 1262 LUTs, 47 FFs, 1.49ns, 0.023mm2, 0.895mW. The model is an
+  // estimate; require the same ballpark (+-35%).
+  EXPECT_NEAR(static_cast<double>(c.luts), 1262.0, 1262.0 * 0.35);
+  EXPECT_NEAR(static_cast<double>(c.flip_flops), 47.0, 47.0 * 0.35);
+  EXPECT_NEAR(c.timing_ns, 1.49, 1.49 * 0.35);
+  EXPECT_NEAR(c.area_mm2, 0.023, 0.023 * 0.5);
+  EXPECT_NEAR(c.power_mw, 0.895, 0.895 * 0.5);
+}
+
+TEST(CostModelTest, ArbiterTiny) {
+  const ModuleCost c = FixedPriorityArbiterCost(2);
+  EXPECT_LE(c.luts, 5);
+  EXPECT_EQ(c.flip_flops, 0);
+  EXPECT_LT(c.timing_ns, 0.5);
+  EXPECT_LT(c.area_mm2, 1e-3);
+}
+
+TEST(CostModelTest, ExecutorNearPaperTable1) {
+  const ModuleCost c = ExecutorCost();
+  EXPECT_NEAR(static_cast<double>(c.luts), 47.0, 47.0 * 0.35);
+  EXPECT_NEAR(static_cast<double>(c.flip_flops), 7.0, 2.0);
+  EXPECT_NEAR(c.timing_ns, 0.38, 0.38 * 0.5);
+}
+
+TEST(CostModelTest, SelectorMeetsTimingAt1GHzWithMargin) {
+  // The selector must produce a victim within 2 cycles at 1 GHz (§5.1).
+  const ModuleCost c = SelectorCost(64, 17);
+  EXPECT_LT(c.timing_ns, 2.0);
+}
+
+TEST(CostModelTest, MaxFinderSlowerAndBiggerThanSelector) {
+  // The §2.2 argument: Pushout's Maximum Finder has a longer critical path
+  // and a larger footprint than Occamy's bitmap + RR arbiter.
+  const ModuleCost sel = SelectorCost(64, 17);
+  const ModuleCost mf = MaximumFinderCost(64, 17);
+  EXPECT_GT(mf.timing_ns, sel.timing_ns);
+  EXPECT_GT(mf.luts, 0);
+}
+
+TEST(CostModelTest, CostsScaleWithQueueCount) {
+  const ModuleCost small = SelectorCost(32, 17);
+  const ModuleCost large = SelectorCost(128, 17);
+  EXPECT_LT(small.luts, large.luts);
+  EXPECT_LT(small.area_mm2, large.area_mm2);
+  EXPECT_LE(small.timing_ns, large.timing_ns);
+}
+
+TEST(CostModelTest, PaperReferenceIsComplete) {
+  const auto ref = PaperTable1();
+  ASSERT_EQ(ref.size(), 3u);
+  EXPECT_EQ(ref[0].module, "Selector");
+  EXPECT_EQ(ref[1].module, "Arbiter");
+  EXPECT_EQ(ref[2].module, "Executor");
+}
+
+}  // namespace
+}  // namespace occamy::hw

@@ -1,0 +1,250 @@
+// End-to-end integration tests reproducing the paper's headline behaviours
+// at small scale: burst absorption (Fig. 12), buffer choking mitigation
+// (Fig. 15), line-rate preservation under expulsion (§4.5), and
+// system-wide conservation invariants.
+#include <gtest/gtest.h>
+
+#include "bench/common/scenarios.h"
+#include "src/workload/open_loop.h"
+
+namespace occamy::bench {
+namespace {
+
+// P4-testbed shape (§6.1): 2 fast senders, 2 slow receivers, one shared
+// buffer. Long-lived overload to receiver A, then a burst to receiver B.
+struct BurstResult {
+  int64_t burst_drops = 0;
+  int64_t burst_packets = 0;
+  int64_t delivered_to_burst_receiver = 0;
+  double LossRate() const {
+    return burst_packets == 0
+               ? 0.0
+               : static_cast<double>(burst_drops) / static_cast<double>(burst_packets);
+  }
+};
+
+BurstResult RunBurst(Scheme scheme, double alpha, int64_t burst_bytes) {
+  StarSpec spec;
+  spec.num_hosts = 4;
+  spec.host_rates = {Bandwidth::Gbps(100), Bandwidth::Gbps(100), Bandwidth::Gbps(10),
+                     Bandwidth::Gbps(10)};
+  spec.link_propagation = Microseconds(1);
+  spec.buffer_bytes = 2 * 1000 * 1000;
+  spec.ecn_threshold_bytes = 0;  // open loop: no ECN
+  spec.scheme = scheme;
+  spec.alphas = {alpha};
+  StarScenario s(spec);
+
+  constexpr uint64_t kLongFlow = 1000, kBurstFlow = 2000;
+  BurstResult result;
+  s.sw().set_drop_hook([&](const Packet& pkt, tm::DropReason) {
+    if (pkt.flow_id == kBurstFlow) ++result.burst_drops;
+  });
+
+  workload::OpenLoopConfig lived;
+  lived.src = s.topo.hosts[0];
+  lived.dst = s.topo.hosts[2];
+  lived.rate = Bandwidth::Gbps(100);
+  lived.flow_id = kLongFlow;
+  lived.stop = Milliseconds(1);
+  workload::OpenLoopSender long_lived(&s.net, lived);
+  long_lived.Start();
+
+  workload::OpenLoopConfig burst;
+  burst.src = s.topo.hosts[1];
+  burst.dst = s.topo.hosts[3];
+  burst.rate = Bandwidth::Gbps(100);
+  burst.flow_id = kBurstFlow;
+  burst.start = Microseconds(400);  // after the long-lived queue reaches steady state
+  burst.total_bytes = burst_bytes;
+  workload::OpenLoopSender burst_sender(&s.net, burst);
+  burst_sender.Start();
+
+  s.sim.RunUntil(Milliseconds(4));
+  result.burst_packets = burst_sender.packets_sent();
+  result.delivered_to_burst_receiver = s.topo.host(s.net, 3).rx_packets();
+  return result;
+}
+
+TEST(BurstAbsorptionTest, OccamyAbsorbsMoreThanDt) {
+  // 600KB burst into a 2MB buffer pre-filled by the long-lived queue:
+  // DT (alpha=4) reserves only ~400KB and releases slowly -> drops.
+  // Occamy (alpha=4 here for apples-to-apples) expels the over-allocated
+  // long-lived queue and absorbs the burst.
+  const BurstResult dt = RunBurst(Scheme::kDt, 4.0, 600 * 1000);
+  const BurstResult occ = RunBurst(Scheme::kOccamy, 4.0, 600 * 1000);
+  EXPECT_GT(dt.LossRate(), 0.02);
+  EXPECT_LT(occ.LossRate(), dt.LossRate() / 2.0);
+}
+
+TEST(BurstAbsorptionTest, ConservationHolds) {
+  const BurstResult r = RunBurst(Scheme::kOccamy, 4.0, 500 * 1000);
+  // Every burst packet was either delivered or dropped (none in flight after
+  // the long drain window).
+  EXPECT_EQ(r.burst_packets, r.delivered_to_burst_receiver + r.burst_drops);
+}
+
+TEST(BurstAbsorptionTest, PushoutIsUpperBound) {
+  const BurstResult push = RunBurst(Scheme::kPushout, 1.0, 600 * 1000);
+  const BurstResult occ = RunBurst(Scheme::kOccamy, 8.0, 600 * 1000);
+  // Pushout (ideal preemption) absorbs the burst entirely; Occamy is close.
+  EXPECT_EQ(push.burst_drops, 0);
+  EXPECT_LT(occ.LossRate(), 0.05);
+}
+
+TEST(LineRateTest, ExpulsionDoesNotDegradeEgress) {
+  // Under identical overload, the burst receiver's delivered volume with
+  // Occamy (which expels packets concurrently) must match DT's within 2%:
+  // expulsion uses only redundant memory bandwidth.
+  const BurstResult dt = RunBurst(Scheme::kDt, 4.0, 0);     // no burst: pure egress
+  const BurstResult occ = RunBurst(Scheme::kOccamy, 4.0, 0);
+  sim::Simulator sim_dt, sim_occ;
+  // Compare long-lived deliveries at receiver 2 via a dedicated run below.
+  (void)dt;
+  (void)occ;
+  auto run_delivered = [](Scheme scheme) {
+    StarSpec spec;
+    spec.num_hosts = 4;
+    spec.host_rates = {Bandwidth::Gbps(100), Bandwidth::Gbps(100), Bandwidth::Gbps(10),
+                       Bandwidth::Gbps(10)};
+    spec.buffer_bytes = 2 * 1000 * 1000;
+    spec.ecn_threshold_bytes = 0;
+    spec.scheme = scheme;
+    spec.alphas = {4.0};
+    StarScenario s(spec);
+    workload::OpenLoopConfig lived;
+    lived.src = s.topo.hosts[0];
+    lived.dst = s.topo.hosts[2];
+    lived.rate = Bandwidth::Gbps(100);
+    lived.flow_id = 1;
+    lived.stop = Milliseconds(2);
+    workload::OpenLoopSender sender(&s.net, lived);
+    sender.Start();
+    // A second over-subscribed queue keeps the expulsion engine busy.
+    workload::OpenLoopConfig second = lived;
+    second.src = s.topo.hosts[1];
+    second.dst = s.topo.hosts[3];
+    second.flow_id = 2;
+    workload::OpenLoopSender sender2(&s.net, second);
+    sender2.Start();
+    s.sim.RunUntil(Milliseconds(2));
+    return s.topo.host(s.net, 2).rx_bytes() + s.topo.host(s.net, 3).rx_bytes();
+  };
+  const int64_t dt_bytes = run_delivered(Scheme::kDt);
+  const int64_t occ_bytes = run_delivered(Scheme::kOccamy);
+  EXPECT_NEAR(static_cast<double>(occ_bytes), static_cast<double>(dt_bytes),
+              static_cast<double>(dt_bytes) * 0.02);
+}
+
+TEST(ChokingTest, OccamyShieldsHighPriorityFromLowPriorityBuffer) {
+  // Â§6.2 Fig. 15 shape: strict priority; low-priority traffic holds buffer
+  // while draining slowly. The LP queues are kept saturated with open-loop
+  // streams (kernel CUBIC with SACK sustains full LP queues in the paper's
+  // testbed; our simplified no-SACK transport cannot, see DESIGN.md). A
+  // high-priority DCTCP incast then needs the buffer: Occamy expels the LP
+  // over-allocation, DT cannot.
+  auto run_qct = [](Scheme scheme, bool with_lp) {
+    StarSpec spec;
+    spec.num_hosts = 8;
+    // As in the paper's CE6865 setup: 8 class-of-service queues, one high
+    // priority (alpha=8) and seven low priority (alpha=1). Seven congested
+    // LP queues shrink the free buffer to ~B/8.
+    spec.queues_per_port = 8;
+    spec.scheduler = tm::SchedulerKind::kStrictPriority;
+    spec.scheme = scheme;
+    spec.alphas = {8.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0};
+    spec.buffer_bytes = 410 * 1000;
+    spec.ecn_threshold_bytes = 65 * 1500;
+    StarScenario s(spec);
+
+    std::vector<std::unique_ptr<workload::OpenLoopSender>> lp;
+    if (with_lp) {
+      // 7 saturating LP streams from two dedicated senders, one per LP
+      // class, all to the query client's port (11.9G into a 10G port).
+      for (int i = 0; i < 7; ++i) {
+        workload::OpenLoopConfig cfg;
+        cfg.src = s.topo.hosts[static_cast<size_t>(6 + (i % 2))];
+        cfg.dst = s.topo.hosts[0];
+        cfg.rate = Bandwidth::Mbps(1700);
+        cfg.traffic_class = static_cast<uint8_t>(1 + i);
+        cfg.flow_id = 900 + static_cast<uint64_t>(i);
+        cfg.stop = Milliseconds(100);
+        lp.push_back(std::make_unique<workload::OpenLoopSender>(&s.net, cfg));
+        lp.back()->Start();
+      }
+    }
+
+    workload::IncastConfig q;
+    q.clients = {s.topo.hosts[0]};
+    q.servers = {s.topo.hosts[1], s.topo.hosts[2], s.topo.hosts[3], s.topo.hosts[4],
+                 s.topo.hosts[5], s.topo.hosts[1], s.topo.hosts[2], s.topo.hosts[3],
+                 s.topo.hosts[4], s.topo.hosts[5]};
+    q.fanin = 10;  // two responders per server host, as in Â§6.2
+    q.query_size_bytes = 600 * 1000;  // ~150% of the buffer
+    q.traffic_class = 0;
+    q.max_queries = 5;
+    q.queries_per_second = 150;
+    q.stop = Milliseconds(80);
+    q.start = Milliseconds(10);  // after LP queues are established
+    workload::IncastWorkload incast(s.manager.get(), q);
+    incast.Start();
+    s.sim.RunUntil(Milliseconds(300));
+    EXPECT_EQ(incast.queries_completed(), incast.queries_issued());
+    return incast.qct().DurationsMs().Mean();
+  };
+
+  const double dt_with = run_qct(Scheme::kDt, true);
+  const double dt_without = run_qct(Scheme::kDt, false);
+  const double occ_with = run_qct(Scheme::kOccamy, true);
+  const double occ_without = run_qct(Scheme::kOccamy, false);
+
+  const double dt_degradation = dt_with / dt_without;
+  const double occ_degradation = occ_with / occ_without;
+  // DT suffers heavily from buffer choking (paper: up to ~6.6x avg QCT);
+  // Occamy is essentially unaffected.
+  EXPECT_GT(dt_degradation, 3.0);
+  EXPECT_LT(occ_degradation, 1.5);
+  EXPECT_LT(occ_with, dt_with / 2.0);
+}
+
+TEST(FabricSmokeTest, WebSearchPlusIncastRunsToCompletion) {
+  FabricSpec spec;
+  spec.scheme = Scheme::kOccamy;
+  FabricScenario s(spec, BenchScale::kSmoke);
+
+  workload::PoissonFlowConfig bg;
+  bg.hosts = s.topo.hosts;
+  bg.load = 0.4;
+  bg.host_rate = s.topo.config.host_rate;
+  bg.size_dist = workload::WebSearchDistribution();
+  bg.stop = Milliseconds(5);
+  bg.ideal_fn = s.IdealFn();
+  workload::PoissonFlowGenerator gen(s.manager.get(), bg);
+  gen.Start();
+
+  workload::IncastConfig q;
+  q.clients = s.topo.hosts;
+  q.servers = s.topo.hosts;
+  q.fanin = 6;
+  q.query_size_bytes = s.buffer_per_partition * 4 / 10;
+  q.queries_per_second = 2000;
+  q.stop = Milliseconds(5);
+  q.ideal_fn = s.IdealFn();
+  q.query_ideal_fn = s.QueryIdealFn();
+  workload::IncastWorkload incast(s.manager.get(), q);
+  incast.Start();
+
+  s.sim.RunUntil(Milliseconds(60));
+  EXPECT_GT(gen.flows_generated(), 0);
+  EXPECT_GT(incast.queries_issued(), 3);
+  // The vast majority of queries complete within the drain window.
+  EXPECT_GE(incast.queries_completed(), incast.queries_issued() * 8 / 10);
+  // Slowdowns are sane (>= ~1).
+  const auto slow = incast.qct().Slowdowns();
+  if (!slow.Empty()) {
+    EXPECT_GT(slow.Mean(), 0.9);
+  }
+}
+
+}  // namespace
+}  // namespace occamy::bench

@@ -1,0 +1,165 @@
+// Property tests for the egress schedulers: work conservation, byte-level
+// fairness of DRR across packet-size mixes, and strict-priority ordering —
+// parameterized sweeps (TEST_P) over queue counts and size mixes.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <tuple>
+
+#include "src/tm/scheduler.h"
+#include "src/util/rng.h"
+
+namespace occamy::tm {
+namespace {
+
+class QueueSim : public SchedulerView {
+ public:
+  explicit QueueSim(int n) : queues_(static_cast<size_t>(n)) {}
+
+  int num_queues() const override { return static_cast<int>(queues_.size()); }
+  bool queue_empty(int q) const override { return queues_[static_cast<size_t>(q)].empty(); }
+  int64_t head_bytes(int q) const override { return queues_[static_cast<size_t>(q)].front(); }
+
+  void Push(int q, int64_t bytes) { queues_[static_cast<size_t>(q)].push_back(bytes); }
+
+  int64_t Serve(Scheduler& sched, int* which = nullptr) {
+    const int q = sched.Pick(*this);
+    if (which != nullptr) *which = q;
+    if (q < 0) return -1;
+    const int64_t b = queues_[static_cast<size_t>(q)].front();
+    queues_[static_cast<size_t>(q)].erase(queues_[static_cast<size_t>(q)].begin());
+    return b;
+  }
+
+  bool AllEmpty() const {
+    for (const auto& q : queues_) {
+      if (!q.empty()) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<std::vector<int64_t>> queues_;
+};
+
+// ---- Work conservation: any scheduler drains everything ----
+
+class WorkConservationTest
+    : public ::testing::TestWithParam<std::tuple<SchedulerKind, int>> {};
+
+TEST_P(WorkConservationTest, DrainsAllPackets) {
+  const auto [kind, n] = GetParam();
+  auto sched = MakeScheduler(kind, 1600);
+  QueueSim sim(n);
+  Rng rng(static_cast<uint64_t>(n) * 7 + 1);
+  int total = 0;
+  for (int q = 0; q < n; ++q) {
+    const int count = static_cast<int>(rng.UniformRange(0, 20));
+    for (int i = 0; i < count; ++i) {
+      sim.Push(q, rng.UniformRange(64, 1500));
+      ++total;
+    }
+  }
+  int served = 0;
+  while (sim.Serve(*sched) >= 0) {
+    ++served;
+    ASSERT_LE(served, total) << "served more than enqueued";
+  }
+  EXPECT_EQ(served, total);
+  EXPECT_TRUE(sim.AllEmpty());
+}
+
+std::string SchedulerParamName(
+    const ::testing::TestParamInfo<std::tuple<SchedulerKind, int>>& param_info) {
+  static const char* const names[] = {"Fifo", "SP", "RR", "DRR"};
+  return std::string(names[static_cast<int>(std::get<0>(param_info.param))]) + "_q" +
+         std::to_string(std::get<1>(param_info.param));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchedulers, WorkConservationTest,
+    ::testing::Combine(::testing::Values(SchedulerKind::kFifo, SchedulerKind::kStrictPriority,
+                                         SchedulerKind::kRoundRobin, SchedulerKind::kDrr),
+                       ::testing::Values(1, 2, 8, 32)),
+    SchedulerParamName);
+
+// ---- DRR byte fairness across packet-size mixes ----
+
+class DrrFairnessTest : public ::testing::TestWithParam<std::tuple<int64_t, int64_t>> {};
+
+TEST_P(DrrFairnessTest, ByteSharesConverge) {
+  const auto [size_a, size_b] = GetParam();
+  DrrScheduler drr(1600);
+  QueueSim sim(2);
+  // Keep both queues permanently backlogged and account served bytes.
+  std::map<int, int64_t> bytes;
+  int64_t total = 0;
+  const int64_t target = 2000 * (size_a + size_b);
+  while (total < target) {
+    for (int i = 0; i < 64; ++i) {
+      sim.Push(0, size_a);
+      sim.Push(1, size_b);
+    }
+    for (int i = 0; i < 32 && total < target; ++i) {
+      int q = -1;
+      const int64_t b = sim.Serve(drr, &q);
+      ASSERT_GT(b, 0);
+      bytes[q] += b;
+      total += b;
+    }
+  }
+  const double share =
+      static_cast<double>(bytes[0]) / static_cast<double>(bytes[0] + bytes[1]);
+  EXPECT_NEAR(share, 0.5, 0.03) << "sizes " << size_a << "/" << size_b;
+}
+
+INSTANTIATE_TEST_SUITE_P(SizeMixes, DrrFairnessTest,
+                         ::testing::Values(std::make_tuple(1500, 1500),
+                                           std::make_tuple(1500, 100),
+                                           std::make_tuple(64, 1500),
+                                           std::make_tuple(700, 1460),
+                                           std::make_tuple(9000, 300)));
+
+// ---- Strict priority never serves a lower class while higher is backlogged ----
+
+TEST(StrictPriorityProperty, NoPriorityInversion) {
+  StrictPriorityScheduler sp;
+  QueueSim sim(4);
+  Rng rng(3);
+  for (int round = 0; round < 2000; ++round) {
+    // Random arrivals.
+    for (int q = 0; q < 4; ++q) {
+      if (rng.Bernoulli(0.3)) sim.Push(q, 1000);
+    }
+    int q = -1;
+    if (sim.Serve(sp, &q) < 0) continue;
+    for (int higher = 0; higher < q; ++higher) {
+      EXPECT_TRUE(sim.queue_empty(higher))
+          << "served " << q << " while " << higher << " backlogged";
+    }
+  }
+}
+
+// ---- Round robin serves all backlogged queues within one rotation ----
+
+TEST(RoundRobinProperty, BoundedInterService) {
+  RoundRobinScheduler rr;
+  const int n = 8;
+  QueueSim sim(n);
+  for (int q = 0; q < n; ++q) {
+    for (int i = 0; i < 100; ++i) sim.Push(q, 500);
+  }
+  std::map<int, int> since_served;
+  for (int i = 0; i < 400; ++i) {
+    int q = -1;
+    ASSERT_GT(sim.Serve(rr, &q), 0);
+    for (auto& [queue, gap] : since_served) ++gap;
+    since_served[q] = 0;
+    for (const auto& [queue, gap] : since_served) {
+      EXPECT_LE(gap, n) << "queue " << queue << " starved";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace occamy::tm

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+
+namespace occamy::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_FALSE(sim.HasPendingEvents());
+}
+
+TEST(SimulatorTest, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.At(Nanoseconds(30), [&] { order.push_back(3); });
+  sim.At(Nanoseconds(10), [&] { order.push_back(1); });
+  sim.At(Nanoseconds(20), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), Nanoseconds(30));
+}
+
+TEST(SimulatorTest, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.At(Nanoseconds(5), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, AfterSchedulesRelative) {
+  Simulator sim;
+  Time seen = -1;
+  sim.At(Nanoseconds(10), [&] {
+    sim.After(Nanoseconds(5), [&] { seen = sim.now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(seen, Nanoseconds(15));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(Nanoseconds(10), [&] { ++fired; });
+  sim.At(Nanoseconds(20), [&] { ++fired; });
+  sim.At(Nanoseconds(30), [&] { ++fired; });
+  sim.RunUntil(Nanoseconds(20));
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), Nanoseconds(20));
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesTimeEvenWithoutEvents) {
+  Simulator sim;
+  sim.RunUntil(Microseconds(7));
+  EXPECT_EQ(sim.now(), Microseconds(7));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle h = sim.At(Nanoseconds(10), [&] { ++fired; });
+  EXPECT_TRUE(h.IsPending());
+  EXPECT_TRUE(h.Cancel());
+  EXPECT_FALSE(h.IsPending());
+  EXPECT_FALSE(h.Cancel());  // second cancel is a no-op
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, CancelFromWithinEvent) {
+  Simulator sim;
+  int fired = 0;
+  EventHandle victim = sim.At(Nanoseconds(20), [&] { ++fired; });
+  sim.At(Nanoseconds(10), [&] { victim.Cancel(); });
+  sim.Run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(SimulatorTest, StopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(Nanoseconds(10), [&] {
+    ++fired;
+    sim.Stop();
+  });
+  sim.At(Nanoseconds(20), [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  // A later Run resumes.
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, ProcessedEventCount) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) sim.At(Nanoseconds(i), [] {});
+  sim.Run();
+  EXPECT_EQ(sim.processed_events(), 5u);
+}
+
+TEST(SimulatorTest, EventsCanScheduleCascades) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.After(Nanoseconds(1), recurse);
+  };
+  sim.After(0, recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), Nanoseconds(99));
+}
+
+TEST(SimulatorTest, SchedulingIntoPastAborts) {
+  Simulator sim;
+  sim.At(Nanoseconds(10), [&] {
+    EXPECT_DEATH(sim.At(Nanoseconds(5), [] {}), "scheduling into the past");
+  });
+  sim.Run();
+}
+
+TEST(EventQueueTest, SkipsCancelledHeads) {
+  EventQueue q;
+  auto h1 = q.Push(1, [] {});
+  q.Push(2, [] {});
+  h1.Cancel();
+  EXPECT_FALSE(q.Empty());
+  EXPECT_EQ(q.NextTime(), 2);
+}
+
+TEST(EventQueueTest, DeterministicAcrossRuns) {
+  // Two identical schedules must produce identical execution orders.
+  auto run = [] {
+    Simulator sim(123);
+    std::vector<int> order;
+    for (int i = 0; i < 50; ++i) {
+      const Time t = Nanoseconds(static_cast<int64_t>(sim.rng().UniformInt(20)));
+      sim.At(t, [&order, i] { order.push_back(i); });
+    }
+    sim.Run();
+    return order;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace occamy::sim

@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "src/stats/cdf.h"
+#include "src/stats/completion_stats.h"
+#include "src/stats/rate_estimator.h"
+#include "src/stats/summary.h"
+#include "src/stats/timeseries.h"
+#include "src/util/rng.h"
+
+namespace occamy::stats {
+namespace {
+
+TEST(SummaryTest, EmptyIsSafe) {
+  Summary s;
+  EXPECT_TRUE(s.Empty());
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.Percentile(99), 0.0);
+}
+
+TEST(SummaryTest, MeanMinMax) {
+  Summary s;
+  for (double v : {3.0, 1.0, 2.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.Sum(), 6.0);
+}
+
+TEST(SummaryTest, PercentileNearestRank) {
+  Summary s;
+  for (int i = 1; i <= 100; ++i) s.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(1), 1.0);
+}
+
+TEST(SummaryTest, AddAfterQueryResorts) {
+  Summary s;
+  s.Add(5.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 5.0);
+  s.Add(9.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+}
+
+TEST(EmpiricalCdfTest, QuantileInterpolates) {
+  EmpiricalCdf cdf;
+  cdf.Add(0.0);
+  cdf.Add(10.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 10.0);
+}
+
+TEST(EmpiricalCdfTest, FractionBelow) {
+  EmpiricalCdf cdf;
+  for (int i = 1; i <= 10; ++i) cdf.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(cdf.FractionBelow(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.FractionBelow(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.FractionBelow(10.0), 1.0);
+}
+
+TEST(EmpiricalCdfTest, RowsMonotonic) {
+  EmpiricalCdf cdf;
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) cdf.Add(rng.UniformDouble() * 100.0);
+  auto rows = cdf.Rows(10);
+  ASSERT_EQ(rows.size(), 11u);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(rows[i - 1].first, rows[i].first);
+    EXPECT_LT(rows[i - 1].second, rows[i].second);
+  }
+}
+
+TEST(PiecewiseCdfTest, SamplesWithinSupport) {
+  PiecewiseCdf cdf({{0.0, 0.0}, {100.0, 0.5}, {1000.0, 1.0}});
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = cdf.Sample(rng);
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1000.0);
+  }
+}
+
+TEST(PiecewiseCdfTest, SampleMeanMatchesAnalytic) {
+  PiecewiseCdf cdf({{0.0, 0.0}, {100.0, 0.5}, {1000.0, 1.0}});
+  // Analytic mean: 0.5*50 + 0.5*550 = 300.
+  EXPECT_DOUBLE_EQ(cdf.Mean(), 300.0);
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += cdf.Sample(rng);
+  EXPECT_NEAR(sum / n, 300.0, 5.0);
+}
+
+TEST(PiecewiseCdfTest, PointMassAtKnot) {
+  // A vertical step: 40% of mass exactly at value 7.
+  PiecewiseCdf cdf({{0.0, 0.0}, {7.0, 0.3}, {7.0, 0.7}, {10.0, 1.0}});
+  Rng rng(9);
+  int at7 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (cdf.Sample(rng) == 7.0) ++at7;
+  }
+  EXPECT_NEAR(static_cast<double>(at7) / n, 0.4, 0.02);
+}
+
+TEST(EwmaRateTest, ConvergesToSteadyRate) {
+  EwmaRateEstimator est(Microseconds(10));
+  // 1000 bytes every 1 us = 1e9 B/s.
+  Time t = 0;
+  for (int i = 0; i < 200; ++i) {
+    t += Microseconds(1);
+    est.Update(1000, t);
+  }
+  EXPECT_NEAR(est.BytesPerSec(t), 1e9, 1e8);
+}
+
+TEST(EwmaRateTest, DecaysWhenIdle) {
+  EwmaRateEstimator est(Microseconds(10));
+  est.Update(100000, Microseconds(1));
+  const double early = est.BytesPerSec(Microseconds(2));
+  const double late = est.BytesPerSec(Microseconds(200));
+  EXPECT_GT(early, 0.0);
+  EXPECT_LT(late, early / 100.0);
+}
+
+TEST(WindowedRateTest, MeasuresSteadyRate) {
+  WindowedRate rate(Microseconds(10));
+  Time t = 0;
+  for (int i = 0; i < 100; ++i) {
+    t += Microseconds(1);
+    rate.Update(1000, t);
+  }
+  EXPECT_NEAR(rate.BytesPerSec(t), 1e9, 2e8);
+}
+
+TEST(WindowedRateTest, LongIdleResets) {
+  WindowedRate rate(Microseconds(10));
+  rate.Update(1000000, Microseconds(1));
+  EXPECT_NEAR(rate.BytesPerSec(Milliseconds(10)), 0.0, 1.0);
+}
+
+TEST(CompletionTest, SlowdownComputation) {
+  CompletionRecord r;
+  r.start = Microseconds(0);
+  r.end = Microseconds(30);
+  r.ideal = Microseconds(10);
+  EXPECT_DOUBLE_EQ(r.Slowdown(), 3.0);
+}
+
+TEST(CompletionTest, CollectorFilters) {
+  CompletionCollector c;
+  CompletionRecord small;
+  small.bytes = 50 * 1000;
+  small.start = 0;
+  small.end = Milliseconds(1);
+  small.ideal = Microseconds(100);
+  CompletionRecord large = small;
+  large.bytes = 5 * 1000 * 1000;
+  large.end = Milliseconds(10);
+  c.Add(small);
+  c.Add(large);
+  EXPECT_EQ(c.DurationsMs().Count(), 2u);
+  EXPECT_EQ(c.DurationsMs(CompletionCollector::SmallFlows()).Count(), 1u);
+  EXPECT_DOUBLE_EQ(c.DurationsMs(CompletionCollector::SmallFlows()).Mean(), 1.0);
+  EXPECT_DOUBLE_EQ(c.Slowdowns().Max(), 100.0);
+}
+
+TEST(TimeSeriesTest, RecordAndQuery) {
+  TimeSeries ts("qlen");
+  ts.Record(Nanoseconds(10), 1.0);
+  ts.Record(Nanoseconds(20), 5.0);
+  ts.Record(Nanoseconds(30), 2.0);
+  EXPECT_DOUBLE_EQ(ts.MaxValue(), 5.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(Nanoseconds(25)), 5.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(Nanoseconds(5)), 0.0);
+}
+
+TEST(TimeSeriesTest, DownsampleBounds) {
+  TimeSeries ts;
+  for (int i = 0; i < 1000; ++i) ts.Record(Nanoseconds(i), static_cast<double>(i));
+  auto down = ts.Downsample(100);
+  EXPECT_LE(down.size(), 100u);
+  EXPECT_GE(down.size(), 99u);
+}
+
+}  // namespace
+}  // namespace occamy::stats

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "src/util/bandwidth.h"
+#include "src/util/env.h"
+#include "src/util/rng.h"
+#include "src/util/time.h"
+
+namespace occamy {
+namespace {
+
+TEST(TimeTest, UnitRelations) {
+  EXPECT_EQ(Nanoseconds(1), 1000 * kPicosecond);
+  EXPECT_EQ(Microseconds(1), 1000 * kNanosecond);
+  EXPECT_EQ(Milliseconds(1), 1000 * kMicrosecond);
+  EXPECT_EQ(Seconds(1), 1000 * kMillisecond);
+}
+
+TEST(TimeTest, Conversions) {
+  EXPECT_DOUBLE_EQ(ToSeconds(Seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(ToMilliseconds(Microseconds(1500)), 1.5);
+  EXPECT_DOUBLE_EQ(ToMicroseconds(Nanoseconds(2500)), 2.5);
+  EXPECT_EQ(FromSeconds(0.5), Milliseconds(500));
+}
+
+TEST(TimeTest, RangeCoversLongExperiments) {
+  // A day of simulated time must fit comfortably.
+  const Time day = Seconds(86400);
+  EXPECT_GT(day, 0);
+  EXPECT_LT(day, std::numeric_limits<Time>::max() / 100);
+}
+
+TEST(BandwidthTest, TxTimeExact10G) {
+  const Bandwidth b = Bandwidth::Gbps(10);
+  // 1250 bytes = 10000 bits at 10 Gb/s = 1 us.
+  EXPECT_EQ(b.TxTime(1250), Microseconds(1));
+}
+
+TEST(BandwidthTest, TxTimeExact100G) {
+  const Bandwidth b = Bandwidth::Gbps(100);
+  // 1500B at 100G = 120ns.
+  EXPECT_EQ(b.TxTime(1500), Nanoseconds(120));
+}
+
+TEST(BandwidthTest, TxTimeLargeTransferNoOverflow) {
+  const Bandwidth b = Bandwidth::Gbps(100);
+  const int64_t bytes = 100LL * 1000 * 1000 * 1000;  // 100 GB
+  EXPECT_EQ(b.TxTime(bytes), Seconds(8));
+}
+
+TEST(BandwidthTest, BytesInInvertsTxTime) {
+  const Bandwidth b = Bandwidth::Gbps(40);
+  const Time t = b.TxTime(123456);
+  EXPECT_EQ(b.BytesIn(t), 123456);
+}
+
+TEST(BandwidthTest, Arithmetic) {
+  EXPECT_EQ(Bandwidth::Gbps(10) + Bandwidth::Gbps(30), Bandwidth::Gbps(40));
+  EXPECT_EQ(Bandwidth::Gbps(10) * 8, Bandwidth::Gbps(80));
+  EXPECT_LT(Bandwidth::Gbps(10), Bandwidth::Gbps(11));
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMean) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(17);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformRange(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, ForkIndependent) {
+  Rng parent(99);
+  Rng child = parent.Fork();
+  // Child stream should not replay the parent stream.
+  Rng parent2(99);
+  parent2.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (child.Next() == parent.Next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(SplitMixTest, HashIsStable) {
+  EXPECT_EQ(SplitMix64(0), SplitMix64(0));
+  EXPECT_NE(SplitMix64(1), SplitMix64(2));
+}
+
+TEST(EnvTest, Fallbacks) {
+  EXPECT_EQ(GetEnvOr("OCCAMY_SURELY_NOT_SET_123", "dflt"), "dflt");
+  EXPECT_EQ(GetEnvLongOr("OCCAMY_SURELY_NOT_SET_123", 42), 42);
+}
+
+}  // namespace
+}  // namespace occamy
