@@ -48,6 +48,11 @@ struct DpdkRunResult {
   int64_t rtos = 0;
   int64_t drops = 0;
   int64_t expelled = 0;
+  int64_t delivered_bytes = 0;  // application bytes of completed transfers
+  int64_t peak_occupancy_bytes = 0;
+  int64_t buffer_bytes = 0;
+  double duration_ms = 0;  // traffic window (excludes the drain tail)
+  double drain_ms = 0;     // drain tail simulated after the traffic window
 };
 
 inline DpdkRunResult RunDpdk(const DpdkRunSpec& run) {
@@ -131,7 +136,8 @@ inline DpdkRunResult RunDpdk(const DpdkRunSpec& run) {
   workload::IncastWorkload incast(s.manager.get(), q);
   incast.Start();
 
-  s.sim.RunUntil(duration + Milliseconds(300));  // drain (RTO tails)
+  const Time drain = Milliseconds(300);  // RTO tails
+  s.sim.RunUntil(duration + drain);
 
   DpdkRunResult result;
   result.qct_avg_ms = incast.qct().DurationsMs().Mean();
@@ -150,6 +156,17 @@ inline DpdkRunResult RunDpdk(const DpdkRunSpec& run) {
   result.rtos = s.manager->counters().rtos;
   result.drops = s.sw().TotalDrops();
   result.expelled = s.sw().partition(0).stats().expelled_packets;
+  for (const auto& rec : s.manager->completions().records()) {
+    result.delivered_bytes += rec.bytes;
+  }
+  for (int p = 0; p < s.sw().num_partitions(); ++p) {
+    result.peak_occupancy_bytes =
+        std::max(result.peak_occupancy_bytes,
+                 s.sw().partition(p).shared_buffer().peak_occupancy_bytes());
+  }
+  result.buffer_bytes = run.buffer_bytes;
+  result.duration_ms = ToMilliseconds(duration);
+  result.drain_ms = ToMilliseconds(drain);
   return result;
 }
 

@@ -3,6 +3,7 @@
 // all-reduce) + incast query traffic, reporting QCT/FCT slowdowns.
 #pragma once
 
+#include <algorithm>
 #include <memory>
 
 #include "bench/common/scenarios.h"
@@ -40,6 +41,11 @@ struct FabricRunResult {
   int64_t bg_flows_completed = 0;
   int64_t drops = 0;
   int64_t expelled = 0;
+  int64_t delivered_bytes = 0;  // application bytes of completed transfers
+  int64_t peak_occupancy_bytes = 0;
+  int64_t buffer_bytes = 0;  // one leaf/spine partition
+  double duration_ms = 0;    // traffic window (excludes the drain tail)
+  double drain_ms = 0;       // drain tail simulated after the traffic window
 };
 
 inline Time DefaultFabricDuration(BenchScale scale) {
@@ -74,10 +80,14 @@ inline FabricRunResult RunFabric(const FabricRunSpec& run) {
       bg.size_dist = workload::WebSearchDistribution();
       break;
     case BgPattern::kAllToAll:
+      // A zero flow size makes the Poisson arrival rate unbounded (the
+      // generator spins forever emitting empty flows); fail loudly instead.
+      OCCAMY_CHECK(run.bg_fixed_size > 0) << "all-to-all needs bg_fixed_size > 0";
       bg = workload::MakeAllToAllConfig(s.topo.hosts, run.bg_load, host_rate,
                                         run.bg_fixed_size, 0, duration, run.seed + 17);
       break;
     case BgPattern::kAllReduce:
+      OCCAMY_CHECK(run.bg_fixed_size > 0) << "all-reduce needs bg_fixed_size > 0";
       bg = workload::MakeAllReduceConfig(s.topo.hosts, run.bg_load, host_rate,
                                          run.bg_fixed_size, 0, duration, run.seed + 17);
       break;
@@ -133,11 +143,26 @@ inline FabricRunResult RunFabric(const FabricRunSpec& run) {
     result.drops += sw.TotalDrops();
     for (int p = 0; p < sw.num_partitions(); ++p) {
       result.expelled += sw.partition(p).stats().expelled_packets;
+      result.peak_occupancy_bytes =
+          std::max(result.peak_occupancy_bytes,
+                   sw.partition(p).shared_buffer().peak_occupancy_bytes());
     }
   }
   for (auto& sw_id : s.topo.spines) {
-    result.drops += static_cast<net::SwitchNode&>(s.net.node(sw_id)).TotalDrops();
+    auto& sw = static_cast<net::SwitchNode&>(s.net.node(sw_id));
+    result.drops += sw.TotalDrops();
+    for (int p = 0; p < sw.num_partitions(); ++p) {
+      result.peak_occupancy_bytes =
+          std::max(result.peak_occupancy_bytes,
+                   sw.partition(p).shared_buffer().peak_occupancy_bytes());
+    }
   }
+  for (const auto& rec : s.manager->completions().records()) {
+    result.delivered_bytes += rec.bytes;
+  }
+  result.buffer_bytes = s.buffer_per_partition;
+  result.duration_ms = ToMilliseconds(duration);
+  result.drain_ms = ToMilliseconds(run.drain);
   return result;
 }
 

@@ -17,8 +17,13 @@ class Table {
   template <typename... Args>
   static std::string Fmt(const char* fmt, Args... args) {
     char buf[128];
-    std::snprintf(buf, sizeof(buf), fmt, args...);
-    return std::string(buf);
+    const int needed = std::snprintf(buf, sizeof(buf), fmt, args...);
+    if (needed < 0) return std::string();
+    if (static_cast<size_t>(needed) < sizeof(buf)) return std::string(buf);
+    // Cell did not fit the fixed buffer: size exactly and reformat.
+    std::string out(static_cast<size_t>(needed), '\0');
+    std::snprintf(out.data(), out.size() + 1, fmt, args...);
+    return out;
   }
 
   void Print() const {

@@ -4,6 +4,7 @@
 // aggregate occupancy used by every BM scheme's threshold computation.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -29,6 +30,8 @@ class SharedBuffer {
 
   int64_t occupancy_bytes() const { return cells_.used_cells() * cell_bytes_; }
   int64_t free_bytes() const { return cells_.free_cells() * cell_bytes_; }
+  // High-water mark of occupancy_bytes() over the buffer's lifetime.
+  int64_t peak_occupancy_bytes() const { return peak_used_cells_ * cell_bytes_; }
 
   PdQueue& queue(int q) { return queues_[static_cast<size_t>(q)]; }
   const PdQueue& queue(int q) const { return queues_[static_cast<size_t>(q)]; }
@@ -51,6 +54,7 @@ class SharedBuffer {
     pd.cell_count = static_cast<int32_t>(n);
     pd.enqueue_time = now;
     queues_[static_cast<size_t>(q)].Enqueue(std::move(pd), cell_bytes_);
+    peak_used_cells_ = std::max(peak_used_cells_, cells_.used_cells());
     return true;
   }
 
@@ -74,6 +78,7 @@ class SharedBuffer {
   int64_t buffer_bytes_;
   CellMemory cells_;
   std::vector<PdQueue> queues_;
+  int64_t peak_used_cells_ = 0;
 };
 
 }  // namespace occamy::buffer

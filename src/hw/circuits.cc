@@ -3,6 +3,14 @@
 #include <bit>
 #include <cmath>
 
+// This TU uses C++20 <bit> (std::countr_zero); fail loudly under an
+// under-configured toolchain instead of emitting an opaque template error.
+// CMake enforces cxx_std_20 on every target, so this only fires when the
+// file is hand-compiled with the wrong -std=.
+#if !defined(__cpp_lib_bitops) || __cpp_lib_bitops < 201907L
+#error "src/hw/circuits.cc requires C++20 <bit> (compile with -std=c++20 or newer)"
+#endif
+
 namespace occamy::hw {
 
 namespace {

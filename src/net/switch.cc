@@ -65,7 +65,18 @@ void SwitchNode::ReceivePacket(int in_port, Packet pkt) {
   OCCAMY_CHECK(initialized_);
   const auto it = routes_.find(pkt.dst);
   if (it == routes_.end()) {
-    OCCAMY_LOG(Warn) << "switch " << id() << ": no route to " << pkt.dst << ", dropping";
+    ++routeless_drops_;
+    // A missing route drops every packet of the flow; log the first few
+    // occurrences per switch and leave the rest to the counter.
+    constexpr int64_t kMaxRouteMissLogs = 3;
+    if (routeless_drops_ <= kMaxRouteMissLogs) {
+      OCCAMY_LOG(Warn) << "switch " << id() << ": no route to " << pkt.dst << ", dropping"
+                       << (routeless_drops_ == kMaxRouteMissLogs
+                               ? " (further route misses counted in routeless_drops)"
+                               : "");
+    } else {
+      OCCAMY_LOG(Debug) << "switch " << id() << ": no route to " << pkt.dst << ", dropping";
+    }
     return;
   }
   const std::vector<int>& candidates = it->second;

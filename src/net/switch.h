@@ -78,6 +78,10 @@ class SwitchNode final : public Node {
   int64_t TotalDrops();
   int64_t TotalEnqueued();
 
+  // Packets dropped because no route matched their destination (these never
+  // reach a partition, so they are not part of TotalDrops()).
+  int64_t routeless_drops() const { return routeless_drops_; }
+
   // Per-drop callback over all partitions.
   void set_drop_hook(std::function<void(const Packet&, tm::DropReason)> hook);
 
@@ -97,6 +101,7 @@ class SwitchNode final : public Node {
   std::vector<int> port_partition_;  // global port -> partition index
   std::vector<int> port_local_;      // global port -> local port in partition
   std::unordered_map<NodeId, std::vector<int>> routes_;
+  int64_t routeless_drops_ = 0;
   bool initialized_ = false;
 };
 

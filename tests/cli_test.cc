@@ -1,0 +1,115 @@
+// Smoke tests for the occamy_sim scenario-runner CLI (tools/sim_cli.h):
+// argument parsing, error paths, and a tiny run of the incast scenario under
+// every registered BM scheme asserting valid JSON with nonzero delivered
+// bytes.
+#include "tools/sim_cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace occamy::cli {
+namespace {
+
+// Extracts a numeric field from the CLI's flat JSON output.
+double JsonNumber(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto pos = json.find(needle);
+  EXPECT_NE(pos, std::string::npos) << "missing key " << key << " in " << json;
+  if (pos == std::string::npos) return 0.0;
+  return std::strtod(json.c_str() + pos + needle.size(), nullptr);
+}
+
+bool JsonHasString(const std::string& json, const std::string& key,
+                   const std::string& value) {
+  return json.find("\"" + key + "\":\"" + value + "\"") != std::string::npos;
+}
+
+TEST(CliParse, Defaults) {
+  const char* argv[] = {"occamy_sim"};
+  SimOptions opts;
+  EXPECT_FALSE(ParseArgs(1, argv, opts).has_value());
+  EXPECT_EQ(opts.scenario, "incast");
+  EXPECT_EQ(opts.bm, "occamy");
+  EXPECT_TRUE(opts.json_path.empty());
+}
+
+TEST(CliParse, AllOptions) {
+  const char* argv[] = {"occamy_sim",          "--scenario=choking", "--bm=dt",
+                        "--json=/tmp/out.json", "--scale=smoke",      "--seed=7",
+                        "--duration-ms=12.5",   "--alphas=8,1,1"};
+  SimOptions opts;
+  EXPECT_FALSE(ParseArgs(8, argv, opts).has_value());
+  EXPECT_EQ(opts.scenario, "choking");
+  EXPECT_EQ(opts.bm, "dt");
+  EXPECT_EQ(opts.json_path, "/tmp/out.json");
+  EXPECT_EQ(opts.scale, "smoke");
+  EXPECT_EQ(opts.seed, 7u);
+  EXPECT_DOUBLE_EQ(opts.duration_ms, 12.5);
+  EXPECT_EQ(opts.alphas, (std::vector<double>{8.0, 1.0, 1.0}));
+}
+
+TEST(CliParse, RejectsMalformedInput) {
+  SimOptions opts;
+  const char* bad_flag[] = {"occamy_sim", "--frobnicate=1"};
+  EXPECT_TRUE(ParseArgs(2, bad_flag, opts).has_value());
+  const char* bad_scale[] = {"occamy_sim", "--scale=medium"};
+  EXPECT_TRUE(ParseArgs(2, bad_scale, opts).has_value());
+  const char* bad_duration[] = {"occamy_sim", "--duration-ms=-3"};
+  EXPECT_TRUE(ParseArgs(2, bad_duration, opts).has_value());
+  const char* positional[] = {"occamy_sim", "incast"};
+  EXPECT_TRUE(ParseArgs(2, positional, opts).has_value());
+}
+
+TEST(CliRun, RejectsUnknownNames) {
+  SimOptions opts;
+  opts.bm = "no_such_scheme";
+  EXPECT_FALSE(RunScenario(opts).ok);
+  opts.bm = "occamy";
+  opts.scenario = "no_such_scenario";
+  EXPECT_FALSE(RunScenario(opts).ok);
+}
+
+TEST(CliRun, IncastUnderEveryScheme) {
+  for (const std::string& scheme : SchemeNames()) {
+    SimOptions opts;
+    opts.scenario = "incast";
+    opts.bm = scheme;
+    opts.scale = "smoke";
+    opts.duration_ms = 20;
+    const SimResult result = RunScenario(opts);
+    ASSERT_TRUE(result.ok) << scheme << ": " << result.error;
+    ASSERT_FALSE(result.json.empty()) << scheme;
+    EXPECT_EQ(result.json.front(), '{') << scheme;
+    EXPECT_EQ(result.json.back(), '}') << scheme;
+    EXPECT_TRUE(JsonHasString(result.json, "scenario", "incast")) << result.json;
+    EXPECT_TRUE(JsonHasString(result.json, "bm", scheme)) << result.json;
+    EXPECT_GT(JsonNumber(result.json, "delivered_bytes"), 0) << scheme;
+    EXPECT_GT(JsonNumber(result.json, "queries_completed"), 0) << scheme;
+    EXPECT_GT(JsonNumber(result.json, "peak_occupancy_bytes"), 0) << scheme;
+    EXPECT_GT(JsonNumber(result.json, "qct_p99_ms"), 0) << scheme;
+  }
+}
+
+TEST(CliRun, FabricScenarioProducesJson) {
+  SimOptions opts;
+  opts.scenario = "websearch";
+  opts.bm = "occamy";
+  opts.scale = "smoke";
+  opts.duration_ms = 5;
+  const SimResult result = RunScenario(opts);
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_TRUE(JsonHasString(result.json, "platform", "fabric")) << result.json;
+  EXPECT_GT(JsonNumber(result.json, "delivered_bytes"), 0) << result.json;
+}
+
+TEST(CliRun, ListsAreNonEmpty) {
+  EXPECT_GE(ScenarioNames().size(), 5u);
+  EXPECT_GE(SchemeNames().size(), 5u);
+  EXPECT_FALSE(UsageString().empty());
+}
+
+}  // namespace
+}  // namespace occamy::cli

@@ -1,0 +1,5 @@
+// Thin entry point for the occamy_sim scenario runner; all logic lives in
+// tools/sim_cli.{h,cc} so tests can exercise it in-process.
+#include "tools/sim_cli.h"
+
+int main(int argc, char** argv) { return occamy::cli::Main(argc, argv); }

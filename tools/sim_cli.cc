@@ -1,0 +1,424 @@
+#include "tools/sim_cli.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "bench/common/dpdk_run.h"
+#include "bench/common/fabric_run.h"
+
+namespace occamy::cli {
+
+namespace {
+
+using bench::Scheme;
+
+// ---------------- registries ----------------
+
+struct SchemeEntry {
+  const char* name;
+  Scheme scheme;
+};
+
+constexpr SchemeEntry kSchemes[] = {
+    {"dt", Scheme::kDt},
+    {"abm", Scheme::kAbm},
+    {"pushout", Scheme::kPushout},
+    {"occamy", Scheme::kOccamy},
+    {"occamy_lqd", Scheme::kOccamyLongestDrop},
+    {"cs", Scheme::kCompleteSharing},
+    {"edt", Scheme::kEdt},
+    {"tdt", Scheme::kTdt},
+    {"qpo", Scheme::kQpo},
+};
+
+struct ScenarioEntry {
+  const char* name;
+  const char* platform;  // "star" (§6.2 DPDK testbed) or "fabric" (§6.4)
+  const char* description;
+};
+
+constexpr ScenarioEntry kScenarios[] = {
+    {"incast", "star", "incast queries only, no background (§6.2)"},
+    {"burst_absorption", "star", "incast + DCTCP web-search background (Fig. 12)"},
+    {"isolation", "star", "incast vs CUBIC background in separate DRR queues (Fig. 14)"},
+    {"choking", "star", "HP incast vs saturating LP background, strict priority (Fig. 15)"},
+    {"websearch", "fabric", "leaf-spine, web-search background + incast queries (§6.4)"},
+    {"alltoall", "fabric", "leaf-spine, all-to-all collective background (Fig. 18)"},
+    {"allreduce", "fabric", "leaf-spine, all-reduce collective background (Fig. 19)"},
+};
+
+std::optional<Scheme> SchemeByName(const std::string& name) {
+  for (const auto& e : kSchemes) {
+    if (name == e.name) return e.scheme;
+  }
+  return std::nullopt;
+}
+
+const ScenarioEntry* ScenarioByName(const std::string& name) {
+  for (const auto& e : kScenarios) {
+    if (name == e.name) return &e;
+  }
+  return nullptr;
+}
+
+// The scale that actually applied (GetBenchScale maps unknown env values to
+// the default), not the raw environment string.
+const char* EffectiveScaleName() {
+  switch (bench::GetBenchScale()) {
+    case bench::BenchScale::kSmoke: return "smoke";
+    case bench::BenchScale::kFull: return "full";
+    case bench::BenchScale::kDefault: break;
+  }
+  return "default";
+}
+
+// Delivered application bytes over the whole simulated window (traffic +
+// drain): flows completing in the drain tail are counted in the numerator,
+// so the denominator must include the tail too or goodput can exceed line
+// rate.
+double GoodputGbps(int64_t delivered_bytes, double duration_ms, double drain_ms) {
+  const double total_ms = duration_ms + drain_ms;
+  if (total_ms <= 0) return 0.0;
+  return static_cast<double>(delivered_bytes) * 8.0 / (total_ms * 1e6);
+}
+
+// ---------------- JSON rendering ----------------
+
+// Flat single-object JSON writer; enough for the CLI's metric dictionary.
+class JsonBuilder {
+ public:
+  void Add(const std::string& key, const std::string& v) {
+    Key(key);
+    out_ << '"' << Escaped(v) << '"';
+  }
+  void Add(const std::string& key, const char* v) { Add(key, std::string(v)); }
+  void Add(const std::string& key, int64_t v) {
+    Key(key);
+    out_ << v;
+  }
+  void Add(const std::string& key, uint64_t v) {
+    Key(key);
+    out_ << v;
+  }
+  void Add(const std::string& key, double v) {
+    Key(key);
+    if (!std::isfinite(v)) v = 0.0;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    out_ << buf;
+  }
+
+  std::string Build() const {
+    std::string s = "{";
+    s += out_.str();
+    s += "}";
+    return s;
+  }
+
+ private:
+  void Key(const std::string& key) {
+    if (!first_) out_ << ",";
+    first_ = false;
+    out_ << '"' << Escaped(key) << "\":";
+  }
+
+  static std::string Escaped(const std::string& s) {
+    std::string r;
+    r.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') r += '\\';
+      r += c;
+    }
+    return r;
+  }
+
+  std::ostringstream out_;
+  bool first_ = true;
+};
+
+// ---------------- scenario execution ----------------
+
+std::string RunStar(const ScenarioEntry& entry, Scheme scheme, const SimOptions& opts) {
+  bench::DpdkRunSpec run;
+  run.scheme = scheme;
+  run.alphas = opts.alphas;
+  run.seed = opts.seed;
+
+  const std::string name = entry.name;
+  if (name == "incast") {
+    run.bg = bench::DpdkRunSpec::Bg::kNone;
+  } else if (name == "burst_absorption") {
+    run.bg = bench::DpdkRunSpec::Bg::kWebSearchDctcp;
+    run.bg_load = 0.5;
+  } else if (name == "isolation") {
+    // Fig. 14: queries and CUBIC background in separate DRR queues.
+    run.queues_per_port = 2;
+    run.scheduler = tm::SchedulerKind::kDrr;
+    run.bg = bench::DpdkRunSpec::Bg::kWebSearchCubic;
+    run.bg_load = 0.4;
+    run.bg_tc = 1;
+    run.query_tc = 0;
+    run.query_bytes = run.buffer_bytes * 6 / 10;
+  } else {  // choking (Fig. 15)
+    run.queues_per_port = 8;
+    run.scheduler = tm::SchedulerKind::kStrictPriority;
+    if (run.alphas.empty()) run.alphas = {8.0, 1, 1, 1, 1, 1, 1, 1};
+    run.bg = bench::DpdkRunSpec::Bg::kSaturatingLp;
+    run.bg_load = 1.0;
+    run.query_tc = 0;
+    run.query_bytes = run.buffer_bytes * 2;
+  }
+  if (opts.duration_ms > 0) {
+    run.duration = run.max_duration = FromSeconds(opts.duration_ms / 1000.0);
+    run.min_queries = 0;
+  }
+
+  const bench::DpdkRunResult r = bench::RunDpdk(run);
+
+  JsonBuilder json;
+  json.Add("schema_version", int64_t{1});
+  json.Add("scenario", entry.name);
+  json.Add("platform", entry.platform);
+  json.Add("bm", opts.bm);
+  json.Add("scale", EffectiveScaleName());
+  json.Add("seed", opts.seed);
+  json.Add("duration_ms", r.duration_ms);
+  json.Add("drain_ms", r.drain_ms);
+  json.Add("delivered_bytes", r.delivered_bytes);
+  json.Add("goodput_gbps", GoodputGbps(r.delivered_bytes, r.duration_ms, r.drain_ms));
+  json.Add("queries_completed", r.queries);
+  json.Add("qct_avg_ms", r.qct_avg_ms);
+  json.Add("qct_p99_ms", r.qct_p99_ms);
+  json.Add("fct_avg_ms", r.fct_avg_ms);
+  json.Add("fct_small_p99_ms", r.fct_small_p99_ms);
+  json.Add("rtos", r.rtos);
+  json.Add("drops", r.drops);
+  json.Add("expelled", r.expelled);
+  json.Add("buffer_bytes", r.buffer_bytes);
+  json.Add("peak_occupancy_bytes", r.peak_occupancy_bytes);
+  json.Add("peak_occupancy_frac",
+           r.buffer_bytes > 0 ? static_cast<double>(r.peak_occupancy_bytes) /
+                                    static_cast<double>(r.buffer_bytes)
+                              : 0.0);
+  return json.Build();
+}
+
+std::string RunFabricScenario(const ScenarioEntry& entry, Scheme scheme,
+                              const SimOptions& opts) {
+  bench::FabricRunSpec run;
+  run.scheme = scheme;
+  run.alphas = opts.alphas;
+  run.seed = opts.seed;
+
+  const std::string name = entry.name;
+  if (name == "alltoall") {
+    run.pattern = bench::BgPattern::kAllToAll;
+    run.bg_load = 0.6;
+    run.bg_fixed_size = 256 * 1024;  // midpoint of the Fig. 18 sweep
+  } else if (name == "allreduce") {
+    run.pattern = bench::BgPattern::kAllReduce;
+    run.bg_load = 0.6;
+    run.bg_fixed_size = 256 * 1024;
+  } else {  // websearch
+    run.pattern = bench::BgPattern::kWebSearch;
+    run.bg_load = 0.9;
+  }
+  if (opts.duration_ms > 0) run.duration = FromSeconds(opts.duration_ms / 1000.0);
+
+  const bench::FabricRunResult r = bench::RunFabric(run);
+
+  JsonBuilder json;
+  json.Add("schema_version", int64_t{1});
+  json.Add("scenario", entry.name);
+  json.Add("platform", entry.platform);
+  json.Add("bm", opts.bm);
+  json.Add("scale", EffectiveScaleName());
+  json.Add("seed", opts.seed);
+  json.Add("duration_ms", r.duration_ms);
+  json.Add("drain_ms", r.drain_ms);
+  json.Add("delivered_bytes", r.delivered_bytes);
+  json.Add("goodput_gbps", GoodputGbps(r.delivered_bytes, r.duration_ms, r.drain_ms));
+  json.Add("queries_completed", r.queries_completed);
+  json.Add("bg_flows_completed", r.bg_flows_completed);
+  json.Add("qct_avg_ms", r.qct_avg_ms);
+  json.Add("qct_p99_ms", r.qct_p99_ms);
+  json.Add("qct_avg_slowdown", r.qct_avg_slow);
+  json.Add("qct_p99_slowdown", r.qct_p99_slow);
+  json.Add("fct_avg_slowdown", r.fct_avg_slow);
+  json.Add("fct_p99_slowdown", r.fct_p99_slow);
+  json.Add("fct_small_p99_slowdown", r.fct_small_p99_slow);
+  json.Add("drops", r.drops);
+  json.Add("expelled", r.expelled);
+  json.Add("buffer_bytes", r.buffer_bytes);
+  json.Add("peak_occupancy_bytes", r.peak_occupancy_bytes);
+  json.Add("peak_occupancy_frac",
+           r.buffer_bytes > 0 ? static_cast<double>(r.peak_occupancy_bytes) /
+                                    static_cast<double>(r.buffer_bytes)
+                              : 0.0);
+  return json.Build();
+}
+
+}  // namespace
+
+// ---------------- public API ----------------
+
+std::vector<std::string> ScenarioNames() {
+  std::vector<std::string> names;
+  for (const auto& e : kScenarios) names.emplace_back(e.name);
+  return names;
+}
+
+std::vector<std::string> SchemeNames() {
+  std::vector<std::string> names;
+  for (const auto& e : kSchemes) names.emplace_back(e.name);
+  return names;
+}
+
+std::string UsageString() {
+  std::ostringstream out;
+  out << "Usage: occamy_sim [options]\n"
+         "\n"
+         "Runs a named buffer-management scenario and emits JSON metrics.\n"
+         "\n"
+         "Options:\n"
+         "  --scenario=<name>   scenario to run (default: incast); see --list\n"
+         "  --bm=<scheme>       buffer-management scheme (default: occamy); see --list\n"
+         "  --json=<path>       write the JSON result to <path> (default: stdout)\n"
+         "  --scale=<s>         smoke | default | full (sets OCCAMY_BENCH_SCALE)\n"
+         "  --seed=<n>          RNG seed (default: 1)\n"
+         "  --duration-ms=<ms>  traffic duration override (default: scenario-specific)\n"
+         "  --alphas=<a,b,...>  per-class alpha override (default: scheme-specific)\n"
+         "  --list              list scenarios and schemes, then exit\n"
+         "  --help              this message\n";
+  return out.str();
+}
+
+std::optional<std::string> ParseArgs(int argc, const char* const* argv, SimOptions& out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      out.list = true;
+      continue;
+    }
+    if (arg == "--help" || arg == "-h") {
+      out.help = true;
+      continue;
+    }
+    const auto eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos || eq == 2) {
+      return "unrecognized argument: " + arg;
+    }
+    const std::string key = arg.substr(2, eq - 2);
+    const std::string value = arg.substr(eq + 1);
+    if (value.empty()) return "empty value for --" + key;
+    if (key == "scenario") {
+      out.scenario = value;
+    } else if (key == "bm") {
+      out.bm = value;
+    } else if (key == "json") {
+      out.json_path = value;
+    } else if (key == "scale") {
+      if (value != "smoke" && value != "default" && value != "full") {
+        return "invalid --scale (want smoke|default|full): " + value;
+      }
+      out.scale = value;
+    } else if (key == "seed") {
+      // Digits only: strtoull would silently wrap negatives and overflow.
+      if (value.find_first_not_of("0123456789") != std::string::npos ||
+          value.size() > 19) {
+        return "invalid --seed: " + value;
+      }
+      out.seed = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (key == "duration-ms") {
+      char* end = nullptr;
+      out.duration_ms = std::strtod(value.c_str(), &end);
+      if (end == nullptr || *end != '\0' || out.duration_ms <= 0) {
+        return "invalid --duration-ms: " + value;
+      }
+    } else if (key == "alphas") {
+      out.alphas.clear();
+      std::istringstream ss(value);
+      std::string tok;
+      while (std::getline(ss, tok, ',')) {
+        char* end = nullptr;
+        const double a = std::strtod(tok.c_str(), &end);
+        if (tok.empty() || end == nullptr || *end != '\0' || a <= 0) {
+          return "invalid --alphas entry: " + tok;
+        }
+        out.alphas.push_back(a);
+      }
+      if (out.alphas.empty()) return "empty --alphas";
+    } else {
+      return "unknown option: --" + key;
+    }
+  }
+  return std::nullopt;
+}
+
+SimResult RunScenario(const SimOptions& opts) {
+  SimResult result;
+  const auto scheme = SchemeByName(opts.bm);
+  if (!scheme.has_value()) {
+    result.error = "unknown BM scheme: " + opts.bm + " (see --list)";
+    return result;
+  }
+  const ScenarioEntry* entry = ScenarioByName(opts.scenario);
+  if (entry == nullptr) {
+    result.error = "unknown scenario: " + opts.scenario + " (see --list)";
+    return result;
+  }
+  if (!opts.scale.empty()) {
+    ::setenv("OCCAMY_BENCH_SCALE", opts.scale.c_str(), /*overwrite=*/1);
+  }
+  result.json = std::string(entry->platform) == "star"
+                    ? RunStar(*entry, *scheme, opts)
+                    : RunFabricScenario(*entry, *scheme, opts);
+  result.ok = true;
+  return result;
+}
+
+int Main(int argc, const char* const* argv) {
+  SimOptions opts;
+  if (const auto err = ParseArgs(argc, argv, opts)) {
+    std::fprintf(stderr, "occamy_sim: %s\n\n%s", err->c_str(), UsageString().c_str());
+    return 2;
+  }
+  if (opts.help) {
+    std::fputs(UsageString().c_str(), stdout);
+    return 0;
+  }
+  if (opts.list) {
+    std::printf("Scenarios:\n");
+    for (const auto& e : kScenarios) {
+      std::printf("  %-18s %-8s %s\n", e.name, e.platform, e.description);
+    }
+    std::printf("BM schemes:\n ");
+    for (const auto& e : kSchemes) std::printf(" %s", e.name);
+    std::printf("\n");
+    return 0;
+  }
+
+  const SimResult result = RunScenario(opts);
+  if (!result.ok) {
+    std::fprintf(stderr, "occamy_sim: %s\n", result.error.c_str());
+    return 1;
+  }
+  if (!opts.json_path.empty()) {
+    std::ofstream out(opts.json_path);
+    if (!out) {
+      std::fprintf(stderr, "occamy_sim: cannot write %s\n", opts.json_path.c_str());
+      return 1;
+    }
+    out << result.json << "\n";
+    std::printf("occamy_sim: %s under %s done, JSON -> %s\n", opts.scenario.c_str(),
+                opts.bm.c_str(), opts.json_path.c_str());
+  } else {
+    std::printf("%s\n", result.json.c_str());
+  }
+  return 0;
+}
+
+}  // namespace occamy::cli

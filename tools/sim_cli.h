@@ -1,0 +1,56 @@
+// occamy_sim — scenario-runner CLI.
+//
+// Wraps the bench harness (bench/common/scenarios.h + scheme.h + the
+// dpdk/fabric runners) into one binary that runs any named scenario under
+// any BM scheme and emits machine-readable JSON for the perf trajectory:
+//
+//   occamy_sim --scenario=incast --bm=occamy --json=out.json
+//
+// The CLI logic lives in this small library so tests/cli_test.cc can
+// exercise parsing and scenario execution in-process; occamy_sim_main.cc is
+// a thin wrapper around Main().
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace occamy::cli {
+
+struct SimOptions {
+  std::string scenario = "incast";
+  std::string bm = "occamy";
+  std::string json_path;        // empty = print JSON to stdout
+  std::string scale;            // smoke | default | full; empty = env/default
+  uint64_t seed = 1;
+  double duration_ms = 0;       // 0 = scenario default
+  std::vector<double> alphas;   // per-class override; empty = scheme default
+  bool list = false;
+  bool help = false;
+};
+
+// Parses argv into `out`. Returns an error message on malformed input,
+// std::nullopt on success. Does not validate scenario/scheme names (that
+// happens in RunScenario, so --list works with anything else on the line).
+std::optional<std::string> ParseArgs(int argc, const char* const* argv, SimOptions& out);
+
+struct SimResult {
+  bool ok = false;
+  std::string error;  // set when !ok
+  std::string json;   // one JSON object, set when ok
+};
+
+// Runs `opts.scenario` under `opts.bm` and renders the result as JSON.
+SimResult RunScenario(const SimOptions& opts);
+
+// Registered names, for --list and for tests that sweep every scheme.
+std::vector<std::string> ScenarioNames();
+std::vector<std::string> SchemeNames();
+
+std::string UsageString();
+
+// Full CLI entry point (parse, run, emit). Returns the process exit code.
+int Main(int argc, const char* const* argv);
+
+}  // namespace occamy::cli
