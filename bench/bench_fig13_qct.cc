@@ -2,21 +2,51 @@
 // background FCT vs query size (as % of the 410KB buffer), for Occamy, ABM,
 // DT, and Pushout. Background: web-search at 50% load, DCTCP, same queue.
 //
+// Thin wrapper over the experiment engine: the grid itself lives in the
+// src/exp figure registry ("fig13") and runs in parallel across cores;
+// this binary only formats the records as the paper's tables.
+//
 // Paper expectation: Occamy cuts avg QCT by up to ~55% vs DT and ~42% vs
 // ABM; avoids RTOs up to ~80% of the buffer size; background FCT is not
 // hurt (small-flow p99 up to ~57% better than DT).
+#include <algorithm>
 #include <cstdio>
+#include <thread>
 
-#include "bench/common/dpdk_run.h"
 #include "bench/common/table.h"
+#include "src/exp/figures.h"
+#include "src/exp/sweep_runner.h"
 
 using namespace occamy;
 using namespace occamy::bench;
 
-int main() {
-  const Scheme schemes[] = {Scheme::kOccamy, Scheme::kAbm, Scheme::kDt, Scheme::kPushout};
-  const int64_t buffer = 410 * 1000;
+namespace {
 
+const exp::RunRecord* FindRecord(const std::vector<exp::RunRecord>& records,
+                                 const std::string& bm, int64_t query_bytes) {
+  for (const auto& rec : records) {
+    if (rec.ok && rec.metrics.Str("bm") == bm &&
+        rec.metrics.Number("query_bytes") == static_cast<double>(query_bytes)) {
+      return &rec;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+int main() {
+  const exp::SweepSpec spec = exp::FigureByName("fig13")->make();
+  std::vector<exp::SweepPoint> points;
+  if (const auto err = exp::ExpandSweep(spec, points)) {
+    std::fprintf(stderr, "fig13: %s\n", err->c_str());
+    return 1;
+  }
+  exp::SweepRunOptions options;
+  options.jobs = std::clamp(static_cast<int>(std::thread::hardware_concurrency()), 1, 8);
+  const std::vector<exp::RunRecord> records = exp::RunSweep(points, options);
+
+  const int64_t buffer = 410 * 1000;
   Table qct_avg({"Query(%B)", "Occamy", "ABM", "DT", "Pushout"});
   Table qct_p99 = qct_avg;
   Table fct_avg = qct_avg;
@@ -25,17 +55,16 @@ int main() {
   for (int pct = 20; pct <= 140; pct += 20) {
     std::vector<std::string> r1 = {Table::Fmt("%d", pct)};
     std::vector<std::string> r2 = r1, r3 = r1, r4 = r1;
-    for (Scheme scheme : schemes) {
-      DpdkRunSpec spec;
-      spec.scheme = scheme;
-      spec.bg = DpdkRunSpec::Bg::kWebSearchDctcp;
-      spec.bg_load = 0.5;
-      spec.query_bytes = buffer * pct / 100;
-      const DpdkRunResult r = RunDpdk(spec);
-      r1.push_back(Table::Fmt("%.2f", r.qct_avg_ms));
-      r2.push_back(Table::Fmt("%.2f", r.qct_p99_ms));
-      r3.push_back(Table::Fmt("%.2f", r.fct_avg_ms));
-      r4.push_back(Table::Fmt("%.2f", r.fct_small_p99_ms));
+    for (const char* bm : {"occamy", "abm", "dt", "pushout"}) {
+      const exp::RunRecord* rec = FindRecord(records, bm, buffer * pct / 100);
+      if (rec == nullptr) {
+        std::fprintf(stderr, "fig13: missing record for %s at %d%%\n", bm, pct);
+        return 1;
+      }
+      r1.push_back(Table::Fmt("%.2f", rec->metrics.Number("qct_avg_ms")));
+      r2.push_back(Table::Fmt("%.2f", rec->metrics.Number("qct_p99_ms")));
+      r3.push_back(Table::Fmt("%.2f", rec->metrics.Number("fct_avg_ms")));
+      r4.push_back(Table::Fmt("%.2f", rec->metrics.Number("fct_small_p99_ms")));
     }
     qct_avg.AddRow(r1);
     qct_p99.AddRow(r2);

@@ -2,35 +2,63 @@
 // avg QCT slowdown and background p99 FCT slowdown vs (identical) background
 // flow size.
 //
+// Thin wrapper over the experiment engine: the grid lives in the src/exp
+// figure registry ("fig18") and runs in parallel across cores; this binary
+// only formats the records as the paper's tables.
+//
 // Paper expectation: Occamy improves avg QCT over DT by up to ~33% and
 // background p99 FCT by up to ~88%.
+#include <algorithm>
 #include <cstdio>
+#include <thread>
 
-#include "bench/common/fabric_run.h"
 #include "bench/common/table.h"
+#include "src/exp/figures.h"
+#include "src/exp/sweep_runner.h"
 
 using namespace occamy;
 using namespace occamy::bench;
 
+namespace {
+
+const exp::RunRecord* FindRecord(const std::vector<exp::RunRecord>& records,
+                                 const std::string& bm, int64_t flow_bytes) {
+  for (const auto& rec : records) {
+    if (rec.ok && rec.metrics.Str("bm") == bm &&
+        rec.metrics.Number("bg_flow_bytes") == static_cast<double>(flow_bytes)) {
+      return &rec;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
 int main() {
-  const Scheme schemes[] = {Scheme::kOccamy, Scheme::kAbm, Scheme::kDt, Scheme::kPushout};
-  const int64_t sizes[] = {16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024, 2048 * 1024};
+  const exp::SweepSpec spec = exp::FigureByName("fig18")->make();
+  std::vector<exp::SweepPoint> points;
+  if (const auto err = exp::ExpandSweep(spec, points)) {
+    std::fprintf(stderr, "fig18: %s\n", err->c_str());
+    return 1;
+  }
+  exp::SweepRunOptions options;
+  options.jobs = std::clamp(static_cast<int>(std::thread::hardware_concurrency()), 1, 8);
+  const std::vector<exp::RunRecord> records = exp::RunSweep(points, options);
 
   Table qct({"FlowSize", "Occamy", "ABM", "DT", "Pushout"});
   Table fct = qct;
-  for (int64_t size : sizes) {
+  for (const int64_t size : {16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024, 2048 * 1024}) {
     std::vector<std::string> r1 = {Table::Fmt("%lldK", static_cast<long long>(size / 1024))};
     std::vector<std::string> r2 = r1;
-    for (Scheme scheme : schemes) {
-      FabricRunSpec spec;
-      spec.scheme = scheme;
-      spec.pattern = BgPattern::kAllToAll;
-      spec.bg_load = 0.9;
-      spec.bg_fixed_size = size;
-      spec.query_size_frac_of_buffer = 0.4;
-      const FabricRunResult r = RunFabric(spec);
-      r1.push_back(Table::Fmt("%.1f", r.qct_avg_slow));
-      r2.push_back(Table::Fmt("%.1f", r.fct_p99_slow));
+    for (const char* bm : {"occamy", "abm", "dt", "pushout"}) {
+      const exp::RunRecord* rec = FindRecord(records, bm, size);
+      if (rec == nullptr) {
+        std::fprintf(stderr, "fig18: missing record for %s at %lld bytes\n", bm,
+                     static_cast<long long>(size));
+        return 1;
+      }
+      r1.push_back(Table::Fmt("%.1f", rec->metrics.Number("qct_avg_slowdown")));
+      r2.push_back(Table::Fmt("%.1f", rec->metrics.Number("fct_p99_slowdown")));
     }
     qct.AddRow(r1);
     fct.AddRow(r2);

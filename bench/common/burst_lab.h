@@ -22,6 +22,9 @@ struct BurstLabSpec {
   Time horizon = Milliseconds(4);
   // Sampling interval for queue-length traces (0 = no traces).
   Time sample_every = 0;
+  // The open-loop senders are deterministic, but the seed still reaches the
+  // simulator so scheme-internal randomization (if any) is reproducible.
+  uint64_t seed = 1;
 };
 
 struct BurstLabResult {
@@ -50,6 +53,7 @@ inline BurstLabResult RunBurstLab(const BurstLabSpec& spec) {
   star.ecn_threshold_bytes = 0;  // open-loop: no ECN
   star.scheme = spec.scheme;
   star.alphas = {spec.alpha};
+  star.seed = spec.seed;
   StarScenario s(star);
 
   constexpr uint64_t kLongFlow = 1, kBurstFlow = 2;

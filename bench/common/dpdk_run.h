@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "bench/common/scenarios.h"
@@ -39,6 +40,9 @@ struct DpdkRunSpec {
   Time max_duration = Milliseconds(450);
   int min_queries = 60;
   uint64_t seed = 1;
+  // Explicit scale so parallel runs in one process never race on the
+  // OCCAMY_BENCH_SCALE environment variable; nullopt falls back to the env.
+  std::optional<BenchScale> scale;
 };
 
 struct DpdkRunResult {
@@ -56,6 +60,7 @@ struct DpdkRunResult {
 };
 
 inline DpdkRunResult RunDpdk(const DpdkRunSpec& run) {
+  const BenchScale scale = run.scale.value_or(GetBenchScale());
   StarSpec star;
   star.num_hosts = 8;
   star.host_rate = Bandwidth::Gbps(10);
@@ -73,7 +78,7 @@ inline DpdkRunResult RunDpdk(const DpdkRunSpec& run) {
   Time duration = run.duration;
   const Time needed = FromSeconds(static_cast<double>(run.min_queries) / qps);
   duration = std::clamp(needed, duration, run.max_duration);
-  if (GetBenchScale() == BenchScale::kSmoke) duration = std::min(duration, Milliseconds(20));
+  if (scale == BenchScale::kSmoke) duration = std::min(duration, Milliseconds(20));
 
   // ---- background ----
   std::unique_ptr<workload::PoissonFlowGenerator> bg_gen;

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <optional>
 
 #include "bench/common/scenarios.h"
 #include "src/workload/collective.h"
@@ -30,6 +31,9 @@ struct FabricRunSpec {
   Time duration = 0;  // 0 = scale default
   Time drain = Milliseconds(40);
   uint64_t seed = 1;
+  // Explicit scale so parallel runs in one process never race on the
+  // OCCAMY_BENCH_SCALE environment variable; nullopt falls back to the env.
+  std::optional<BenchScale> scale;
 };
 
 struct FabricRunResult {
@@ -58,7 +62,7 @@ inline Time DefaultFabricDuration(BenchScale scale) {
 }
 
 inline FabricRunResult RunFabric(const FabricRunSpec& run) {
-  const BenchScale scale = GetBenchScale();
+  const BenchScale scale = run.scale.value_or(GetBenchScale());
   FabricSpec spec;
   spec.scheme = run.scheme;
   spec.alphas = run.alphas;

@@ -1,0 +1,66 @@
+#include "src/exp/figures.h"
+
+namespace occamy::exp {
+
+namespace {
+
+// Fig. 12 (§6.1): burst loss rate vs burst size on the P4 burst lab, for
+// alpha in {1, 2, 4}, Occamy vs DT.
+SweepSpec MakeFig12() {
+  SweepSpec spec;
+  spec.scenarios = {"burst"};
+  spec.bms = {"occamy", "dt"};
+  spec.alphas = {1.0, 2.0, 4.0};
+  for (int64_t kb = 300; kb <= 800; kb += 100) spec.burst_bytes.push_back(kb * 1000);
+  return spec;
+}
+
+// Fig. 13 (§6.2): QCT / background FCT vs query size (as a fraction of the
+// 410KB DPDK-testbed buffer) under web-search background at 50% load.
+SweepSpec MakeFig13() {
+  SweepSpec spec;
+  spec.scenarios = {"burst_absorption"};
+  spec.bms = {"occamy", "abm", "dt", "pushout"};
+  const int64_t buffer = 410 * 1000;
+  for (int pct = 20; pct <= 140; pct += 20) {
+    spec.query_bytes.push_back(buffer * pct / 100);
+  }
+  return spec;
+}
+
+// Fig. 18 (§6.4): QCT / FCT slowdowns vs (identical) background flow size
+// under an all-to-all collective at 90% load on the leaf-spine fabric.
+SweepSpec MakeFig18() {
+  SweepSpec spec;
+  spec.scenarios = {"alltoall"};
+  spec.bms = {"occamy", "abm", "dt", "pushout"};
+  spec.bg_loads = {0.9};
+  spec.bg_flow_bytes = {16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024, 2048 * 1024};
+  return spec;
+}
+
+}  // namespace
+
+const std::vector<FigureDef>& Figures() {
+  static const std::vector<FigureDef> kFigures = {
+      {"fig12", "burst absorption: loss rate vs burst size (P4 lab)", &MakeFig12},
+      {"fig13", "burst absorption: QCT/FCT vs query size (DPDK testbed)", &MakeFig13},
+      {"fig18", "all-to-all collectives: slowdowns vs flow size (fabric)", &MakeFig18},
+  };
+  return kFigures;
+}
+
+const FigureDef* FigureByName(const std::string& name) {
+  for (const auto& f : Figures()) {
+    if (name == f.name) return &f;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> FigureNames() {
+  std::vector<std::string> names;
+  for (const auto& f : Figures()) names.emplace_back(f.name);
+  return names;
+}
+
+}  // namespace occamy::exp

@@ -1,0 +1,25 @@
+// Registry mapping paper figures onto SweepSpecs, so `occamy_sim figure
+// --name=fig12` (and the bench_fig* wrappers) reproduce a whole evaluation
+// grid through one engine instead of hand-rolled loops.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/exp/sweep.h"
+
+namespace occamy::exp {
+
+struct FigureDef {
+  const char* name;   // CLI name, e.g. "fig12"
+  const char* title;  // human-readable description
+  // Builds the figure's full grid at default scale with one seed; callers
+  // may override scale/seeds/duration before running.
+  SweepSpec (*make)();
+};
+
+const std::vector<FigureDef>& Figures();
+const FigureDef* FigureByName(const std::string& name);
+std::vector<std::string> FigureNames();
+
+}  // namespace occamy::exp

@@ -1,0 +1,111 @@
+// Ordered, typed metric dictionary produced by one experiment run.
+//
+// Keys keep insertion order so JSON/CSV output is stable and diffable; a
+// re-Set overwrites the value in place without reordering.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/json.h"
+
+namespace occamy::exp {
+
+class Metrics {
+ public:
+  enum class Kind { kInt, kDouble, kString };
+
+  struct Value {
+    Kind kind = Kind::kInt;
+    int64_t i = 0;
+    double d = 0.0;
+    std::string s;
+
+    // Numeric view of the value; string values have none.
+    double Number() const { return kind == Kind::kInt ? static_cast<double>(i) : d; }
+    bool IsNumeric() const { return kind != Kind::kString; }
+  };
+
+  struct Entry {
+    std::string key;
+    Value value;
+  };
+
+  void Set(const std::string& key, int64_t v) {
+    Value val;
+    val.kind = Kind::kInt;
+    val.i = v;
+    Upsert(key, std::move(val));
+  }
+  void Set(const std::string& key, uint64_t v) { Set(key, static_cast<int64_t>(v)); }
+  void Set(const std::string& key, int v) { Set(key, static_cast<int64_t>(v)); }
+  void Set(const std::string& key, double v) {
+    Value val;
+    val.kind = Kind::kDouble;
+    val.d = v;
+    Upsert(key, std::move(val));
+  }
+  void Set(const std::string& key, std::string v) {
+    Value val;
+    val.kind = Kind::kString;
+    val.s = std::move(v);
+    Upsert(key, std::move(val));
+  }
+  void Set(const std::string& key, const char* v) { Set(key, std::string(v)); }
+
+  const Value* Find(const std::string& key) const {
+    for (const auto& e : entries_) {
+      if (e.key == key) return &e.value;
+    }
+    return nullptr;
+  }
+
+  double Number(const std::string& key, double fallback = 0.0) const {
+    const Value* v = Find(key);
+    return (v != nullptr && v->IsNumeric()) ? v->Number() : fallback;
+  }
+
+  std::string Str(const std::string& key, const std::string& fallback = "") const {
+    const Value* v = Find(key);
+    return (v != nullptr && v->kind == Kind::kString) ? v->s : fallback;
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+
+  // Renders the dictionary as one flat JSON object.
+  std::string ToJson() const {
+    JsonBuilder json;
+    AppendTo(json);
+    return json.Build();
+  }
+
+  // Appends every entry to an existing builder (for callers that prepend
+  // their own fields, e.g. the JSONL sink's run_key).
+  void AppendTo(JsonBuilder& json) const {
+    for (const auto& e : entries_) {
+      switch (e.value.kind) {
+        case Kind::kInt: json.Add(e.key, e.value.i); break;
+        case Kind::kDouble: json.Add(e.key, e.value.d); break;
+        case Kind::kString: json.Add(e.key, e.value.s); break;
+      }
+    }
+  }
+
+ private:
+  void Upsert(const std::string& key, Value val) {
+    for (auto& e : entries_) {
+      if (e.key == key) {
+        e.value = std::move(val);
+        return;
+      }
+    }
+    entries_.push_back(Entry{key, std::move(val)});
+  }
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace occamy::exp

@@ -1,0 +1,339 @@
+#include "src/exp/scenario_runner.h"
+
+#include "bench/common/burst_lab.h"
+#include "bench/common/dpdk_run.h"
+#include "bench/common/fabric_run.h"
+
+namespace occamy::exp {
+
+namespace {
+
+using bench::BenchScale;
+using bench::Scheme;
+
+struct SchemeEntry {
+  const char* name;
+  Scheme scheme;
+};
+
+constexpr SchemeEntry kSchemes[] = {
+    {"dt", Scheme::kDt},
+    {"abm", Scheme::kAbm},
+    {"pushout", Scheme::kPushout},
+    {"occamy", Scheme::kOccamy},
+    {"occamy_lqd", Scheme::kOccamyLongestDrop},
+    {"cs", Scheme::kCompleteSharing},
+    {"edt", Scheme::kEdt},
+    {"tdt", Scheme::kTdt},
+    {"qpo", Scheme::kQpo},
+};
+
+const std::vector<ScenarioInfo>& ScenarioTable() {
+  static const std::vector<ScenarioInfo> kTable = {
+      {"burst", "p4", "open-loop overload + measured burst into one shared buffer (Fig. 12)"},
+      {"incast", "star", "incast queries only, no background (§6.2)"},
+      {"burst_absorption", "star", "incast + DCTCP web-search background (Fig. 13)"},
+      {"isolation", "star", "incast vs CUBIC background in separate DRR queues (Fig. 14)"},
+      {"choking", "star", "HP incast vs saturating LP background, strict priority (Fig. 15)"},
+      {"websearch", "fabric", "leaf-spine, web-search background + incast queries (§6.4)"},
+      {"alltoall", "fabric", "leaf-spine, all-to-all collective background (Fig. 18)"},
+      {"allreduce", "fabric", "leaf-spine, all-reduce collective background (Fig. 19)"},
+  };
+  return kTable;
+}
+
+// Delivered application bytes over the whole simulated window (traffic +
+// drain): flows completing in the drain tail are counted in the numerator,
+// so the denominator must include the tail too or goodput can exceed line
+// rate.
+double GoodputGbps(int64_t delivered_bytes, double duration_ms, double drain_ms) {
+  const double total_ms = duration_ms + drain_ms;
+  if (total_ms <= 0) return 0.0;
+  return static_cast<double>(delivered_bytes) * 8.0 / (total_ms * 1e6);
+}
+
+// Error for a knob that was set but has no effect on this scenario; silent
+// acceptance would make sweep grids lie about what they varied.
+std::string KnobError(const char* knob, const ScenarioInfo& entry) {
+  return std::string(knob) + " does not apply to scenario '" + entry.name +
+         "' (platform " + entry.platform + ")";
+}
+
+void AddCommonFields(Metrics& m, const ScenarioInfo& entry, const PointSpec& spec,
+                     BenchScale scale) {
+  m.Set("schema_version", int64_t{2});
+  m.Set("scenario", entry.name);
+  m.Set("platform", entry.platform);
+  m.Set("bm", spec.bm);
+  m.Set("scale", ScaleName(scale));
+  m.Set("seed", spec.seed);
+}
+
+void AddOccupancy(Metrics& m, int64_t buffer_bytes, int64_t peak_bytes) {
+  m.Set("buffer_bytes", buffer_bytes);
+  m.Set("peak_occupancy_bytes", peak_bytes);
+  m.Set("peak_occupancy_frac",
+        buffer_bytes > 0
+            ? static_cast<double>(peak_bytes) / static_cast<double>(buffer_bytes)
+            : 0.0);
+}
+
+PointResult RunBurst(const ScenarioInfo& entry, Scheme scheme, const PointSpec& spec,
+                     BenchScale scale) {
+  PointResult result;
+  if (spec.bg_load != 0) {
+    result.error = KnobError("bg_load", entry);
+    return result;
+  }
+  if (spec.query_bytes != 0) {
+    result.error = KnobError("query_bytes", entry);
+    return result;
+  }
+  if (spec.bg_flow_bytes != 0) {
+    result.error = KnobError("bg_flow_bytes", entry);
+    return result;
+  }
+
+  bench::BurstLabSpec run;
+  run.scheme = scheme;
+  if (!spec.alphas.empty()) run.alpha = spec.alphas.front();
+  if (spec.burst_bytes > 0) run.burst_bytes = spec.burst_bytes;
+  if (spec.buffer_bytes > 0) run.buffer_bytes = spec.buffer_bytes;
+  if (spec.duration_ms > 0) run.horizon = FromSeconds(spec.duration_ms / 1000.0);
+  run.seed = spec.seed;
+
+  const bench::BurstLabResult r = bench::RunBurstLab(run);
+
+  Metrics& m = result.metrics;
+  AddCommonFields(m, entry, spec, scale);
+  m.Set("alpha", run.alpha);
+  m.Set("burst_bytes", run.burst_bytes);
+  m.Set("horizon_ms", ToMilliseconds(run.horizon));
+  m.Set("burst_packets", r.burst_packets);
+  m.Set("burst_drops", r.burst_drops);
+  m.Set("burst_loss_rate", r.BurstLossRate());
+  m.Set("long_lived_drops", r.long_lived_drops);
+  m.Set("expelled", r.expelled);
+  m.Set("buffer_bytes", run.buffer_bytes);
+  result.ok = true;
+  return result;
+}
+
+PointResult RunStar(const ScenarioInfo& entry, Scheme scheme, const PointSpec& spec,
+                    BenchScale scale) {
+  PointResult result;
+  if (spec.bg_flow_bytes != 0) {
+    result.error = KnobError("bg_flow_bytes", entry);
+    return result;
+  }
+  if (spec.burst_bytes != 0) {
+    result.error = KnobError("burst_bytes", entry);
+    return result;
+  }
+
+  bench::DpdkRunSpec run;
+  run.scheme = scheme;
+  run.alphas = spec.alphas;
+  run.seed = spec.seed;
+  run.scale = scale;
+  if (spec.buffer_bytes > 0) run.buffer_bytes = spec.buffer_bytes;
+
+  const std::string name = entry.name;
+  if (name == "incast") {
+    if (spec.bg_load != 0) {
+      result.error = KnobError("bg_load", entry);
+      return result;
+    }
+    run.bg = bench::DpdkRunSpec::Bg::kNone;
+  } else if (name == "burst_absorption") {
+    run.bg = bench::DpdkRunSpec::Bg::kWebSearchDctcp;
+    run.bg_load = 0.5;
+  } else if (name == "isolation") {
+    // Fig. 14: queries and CUBIC background in separate DRR queues.
+    run.queues_per_port = 2;
+    run.scheduler = tm::SchedulerKind::kDrr;
+    run.bg = bench::DpdkRunSpec::Bg::kWebSearchCubic;
+    run.bg_load = 0.4;
+    run.bg_tc = 1;
+    run.query_tc = 0;
+    run.query_bytes = run.buffer_bytes * 6 / 10;
+  } else {  // choking (Fig. 15)
+    run.queues_per_port = 8;
+    run.scheduler = tm::SchedulerKind::kStrictPriority;
+    if (run.alphas.empty()) run.alphas = {8.0, 1, 1, 1, 1, 1, 1, 1};
+    run.bg = bench::DpdkRunSpec::Bg::kSaturatingLp;
+    run.bg_load = 1.0;
+    run.query_tc = 0;
+    run.query_bytes = run.buffer_bytes * 2;
+  }
+  if (spec.bg_load > 0) run.bg_load = spec.bg_load;
+  if (spec.query_bytes > 0) run.query_bytes = spec.query_bytes;
+  if (spec.duration_ms > 0) {
+    run.duration = run.max_duration = FromSeconds(spec.duration_ms / 1000.0);
+    run.min_queries = 0;
+  }
+
+  const bench::DpdkRunResult r = bench::RunDpdk(run);
+
+  Metrics& m = result.metrics;
+  AddCommonFields(m, entry, spec, scale);
+  m.Set("bg_load", run.bg == bench::DpdkRunSpec::Bg::kNone ? 0.0 : run.bg_load);
+  m.Set("query_bytes", run.query_bytes);
+  m.Set("duration_ms", r.duration_ms);
+  m.Set("drain_ms", r.drain_ms);
+  m.Set("delivered_bytes", r.delivered_bytes);
+  m.Set("goodput_gbps", GoodputGbps(r.delivered_bytes, r.duration_ms, r.drain_ms));
+  m.Set("queries_completed", r.queries);
+  m.Set("qct_avg_ms", r.qct_avg_ms);
+  m.Set("qct_p99_ms", r.qct_p99_ms);
+  m.Set("fct_avg_ms", r.fct_avg_ms);
+  m.Set("fct_small_p99_ms", r.fct_small_p99_ms);
+  m.Set("rtos", r.rtos);
+  m.Set("drops", r.drops);
+  m.Set("expelled", r.expelled);
+  AddOccupancy(m, r.buffer_bytes, r.peak_occupancy_bytes);
+  result.ok = true;
+  return result;
+}
+
+PointResult RunFabricScenario(const ScenarioInfo& entry, Scheme scheme,
+                              const PointSpec& spec, BenchScale scale) {
+  PointResult result;
+  if (spec.query_bytes != 0) {
+    result.error = KnobError("query_bytes", entry);
+    return result;
+  }
+  if (spec.buffer_bytes != 0) {
+    result.error = KnobError("buffer_bytes", entry);
+    return result;
+  }
+  if (spec.burst_bytes != 0) {
+    result.error = KnobError("burst_bytes", entry);
+    return result;
+  }
+
+  bench::FabricRunSpec run;
+  run.scheme = scheme;
+  run.alphas = spec.alphas;
+  run.seed = spec.seed;
+  run.scale = scale;
+
+  const std::string name = entry.name;
+  if (name == "alltoall") {
+    run.pattern = bench::BgPattern::kAllToAll;
+    run.bg_load = 0.6;
+    run.bg_fixed_size = 256 * 1024;  // midpoint of the Fig. 18 sweep
+  } else if (name == "allreduce") {
+    run.pattern = bench::BgPattern::kAllReduce;
+    run.bg_load = 0.6;
+    run.bg_fixed_size = 256 * 1024;
+  } else {  // websearch
+    if (spec.bg_flow_bytes != 0) {
+      result.error = KnobError("bg_flow_bytes", entry);
+      return result;
+    }
+    run.pattern = bench::BgPattern::kWebSearch;
+    run.bg_load = 0.9;
+  }
+  if (spec.bg_load > 0) run.bg_load = spec.bg_load;
+  if (spec.bg_flow_bytes > 0) run.bg_fixed_size = spec.bg_flow_bytes;
+  if (spec.duration_ms > 0) run.duration = FromSeconds(spec.duration_ms / 1000.0);
+
+  const bench::FabricRunResult r = bench::RunFabric(run);
+
+  Metrics& m = result.metrics;
+  AddCommonFields(m, entry, spec, scale);
+  m.Set("bg_load", run.bg_load);
+  if (run.pattern != bench::BgPattern::kWebSearch) {
+    m.Set("bg_flow_bytes", run.bg_fixed_size);
+  }
+  m.Set("duration_ms", r.duration_ms);
+  m.Set("drain_ms", r.drain_ms);
+  m.Set("delivered_bytes", r.delivered_bytes);
+  m.Set("goodput_gbps", GoodputGbps(r.delivered_bytes, r.duration_ms, r.drain_ms));
+  m.Set("queries_completed", r.queries_completed);
+  m.Set("bg_flows_completed", r.bg_flows_completed);
+  m.Set("qct_avg_ms", r.qct_avg_ms);
+  m.Set("qct_p99_ms", r.qct_p99_ms);
+  m.Set("qct_avg_slowdown", r.qct_avg_slow);
+  m.Set("qct_p99_slowdown", r.qct_p99_slow);
+  m.Set("fct_avg_slowdown", r.fct_avg_slow);
+  m.Set("fct_p99_slowdown", r.fct_p99_slow);
+  m.Set("fct_small_p99_slowdown", r.fct_small_p99_slow);
+  m.Set("drops", r.drops);
+  m.Set("expelled", r.expelled);
+  AddOccupancy(m, r.buffer_bytes, r.peak_occupancy_bytes);
+  result.ok = true;
+  return result;
+}
+
+}  // namespace
+
+// ---------------- registries ----------------
+
+const std::vector<ScenarioInfo>& Scenarios() { return ScenarioTable(); }
+
+const ScenarioInfo* ScenarioByName(const std::string& name) {
+  for (const auto& e : ScenarioTable()) {
+    if (name == e.name) return &e;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ScenarioNames() {
+  std::vector<std::string> names;
+  for (const auto& e : ScenarioTable()) names.emplace_back(e.name);
+  return names;
+}
+
+std::optional<Scheme> SchemeByName(const std::string& name) {
+  for (const auto& e : kSchemes) {
+    if (name == e.name) return e.scheme;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> SchemeNames() {
+  std::vector<std::string> names;
+  for (const auto& e : kSchemes) names.emplace_back(e.name);
+  return names;
+}
+
+std::optional<BenchScale> ScaleByName(const std::string& name) {
+  if (name == "smoke") return BenchScale::kSmoke;
+  if (name == "default") return BenchScale::kDefault;
+  if (name == "full") return BenchScale::kFull;
+  return std::nullopt;
+}
+
+const char* ScaleName(BenchScale scale) {
+  switch (scale) {
+    case BenchScale::kSmoke: return "smoke";
+    case BenchScale::kFull: return "full";
+    case BenchScale::kDefault: break;
+  }
+  return "default";
+}
+
+// ---------------- point execution ----------------
+
+PointResult RunPoint(const PointSpec& spec) {
+  PointResult result;
+  const auto scheme = SchemeByName(spec.bm);
+  if (!scheme.has_value()) {
+    result.error = "unknown BM scheme: " + spec.bm + " (see --list)";
+    return result;
+  }
+  const ScenarioInfo* entry = ScenarioByName(spec.scenario);
+  if (entry == nullptr) {
+    result.error = "unknown scenario: " + spec.scenario + " (see --list)";
+    return result;
+  }
+  const BenchScale scale = spec.scale.value_or(bench::GetBenchScale());
+  const std::string platform = entry->platform;
+  if (platform == "p4") return RunBurst(*entry, *scheme, spec, scale);
+  if (platform == "star") return RunStar(*entry, *scheme, spec, scale);
+  return RunFabricScenario(*entry, *scheme, spec, scale);
+}
+
+}  // namespace occamy::exp

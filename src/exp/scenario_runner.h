@@ -1,0 +1,69 @@
+// Single-point experiment execution: runs one (scenario, scheme, seed,
+// knobs) combination and returns a typed metric dictionary.
+//
+// This is the layer underneath both the occamy_sim CLI (single runs) and
+// the sweep engine (src/exp/sweep_runner.h): every knob is explicit in the
+// PointSpec, so points are safe to execute concurrently from many threads —
+// nothing here writes process-global state such as environment variables.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/common/scenarios.h"
+#include "bench/common/scheme.h"
+#include "src/exp/metrics.h"
+
+namespace occamy::exp {
+
+// ---------------- registries ----------------
+
+struct ScenarioInfo {
+  const char* name;
+  // "p4" (§6.1 burst lab), "star" (§6.2 DPDK testbed) or "fabric" (§6.4).
+  const char* platform;
+  const char* description;
+};
+
+const std::vector<ScenarioInfo>& Scenarios();
+const ScenarioInfo* ScenarioByName(const std::string& name);
+std::vector<std::string> ScenarioNames();
+
+std::optional<bench::Scheme> SchemeByName(const std::string& name);
+std::vector<std::string> SchemeNames();
+
+std::optional<bench::BenchScale> ScaleByName(const std::string& name);
+const char* ScaleName(bench::BenchScale scale);
+
+// ---------------- point execution ----------------
+
+struct PointSpec {
+  std::string scenario = "incast";
+  std::string bm = "occamy";
+  uint64_t seed = 1;
+  // nullopt = fall back to OCCAMY_BENCH_SCALE (read once, at run start).
+  std::optional<bench::BenchScale> scale;
+  double duration_ms = 0;      // 0 = scenario default
+  std::vector<double> alphas;  // per-class override; empty = scheme default
+
+  // Sweepable knobs; 0 = scenario default. Each knob only applies to some
+  // platforms (validated in RunPoint, see KnobError):
+  double bg_load = 0;        // star + fabric: background load fraction
+  int64_t query_bytes = 0;   // star: incast query size
+  int64_t buffer_bytes = 0;  // p4 + star: shared-buffer size
+  int64_t bg_flow_bytes = 0; // fabric alltoall/allreduce: fixed flow size
+  int64_t burst_bytes = 0;   // p4 burst lab: measured burst size
+};
+
+struct PointResult {
+  bool ok = false;
+  std::string error;  // set when !ok
+  Metrics metrics;    // set when ok
+};
+
+// Runs one point. Returns !ok with a descriptive error for unknown
+// scenario/scheme names or knobs that do not apply to the platform.
+PointResult RunPoint(const PointSpec& spec);
+
+}  // namespace occamy::exp

@@ -1,0 +1,44 @@
+// Result sinks for sweep runs: a JSONL stream (one flat JSON object per
+// run, in run-key order) and a per-cell CSV summary aggregating numeric
+// metrics across seeds (mean + nearest-rank p99).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/exp/sweep_runner.h"
+#include "src/stats/summary.h"
+
+namespace occamy::exp {
+
+// Renders one record as a flat JSON object: run_key, cell_key, ok, then
+// either the metric dictionary or an error string.
+std::string RecordJson(const RunRecord& record);
+
+// Writes one RecordJson line per record, in the given (run-key) order.
+void WriteJsonl(const std::vector<RunRecord>& records, std::ostream& out);
+
+// One aggregation cell: every seed of one parameter combination.
+struct CellSummary {
+  std::string cell_key;
+  // Key fields minus the seed, in key order (scenario, bm, knobs...).
+  std::vector<std::pair<std::string, std::string>> key_fields;
+  int runs = 0;    // successful runs aggregated into `metrics`
+  int failed = 0;  // runs that reported an error
+  // Numeric metrics in first-seen order; bookkeeping fields (seed,
+  // schema_version) and string metrics are excluded.
+  std::vector<std::pair<std::string, stats::Summary>> metrics;
+};
+
+// Groups records by cell_key (input must be sorted by run_key, as
+// RunSweep guarantees) and accumulates per-metric samples across seeds.
+std::vector<CellSummary> Aggregate(const std::vector<RunRecord>& records);
+
+// Writes the summary as CSV: key fields, runs, failed, then
+// <metric>_mean,<metric>_p99 per numeric metric (union across cells, in
+// first-seen order; blank when a cell lacks the metric).
+void WriteSummaryCsv(const std::vector<CellSummary>& cells, std::ostream& out);
+
+}  // namespace occamy::exp

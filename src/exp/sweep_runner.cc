@@ -1,0 +1,54 @@
+#include "src/exp/sweep_runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+namespace occamy::exp {
+
+std::vector<RunRecord> RunSweep(const std::vector<SweepPoint>& points,
+                                const SweepRunOptions& options) {
+  std::vector<RunRecord> records(points.size());
+  if (points.empty()) return records;
+
+  const int jobs = std::clamp(options.jobs, 1, 64);
+  std::atomic<size_t> next{0};
+  std::atomic<size_t> done{0};
+  std::mutex progress_mu;
+
+  const auto worker = [&]() {
+    for (;;) {
+      const size_t i = next.fetch_add(1);
+      if (i >= points.size()) return;
+      RunRecord& rec = records[i];
+      rec.point = points[i];
+      PointResult result = RunPoint(points[i].spec);
+      rec.ok = result.ok;
+      rec.error = std::move(result.error);
+      rec.metrics = std::move(result.metrics);
+      const size_t finished = done.fetch_add(1) + 1;
+      if (options.progress) {
+        const std::lock_guard<std::mutex> lock(progress_mu);
+        options.progress(finished, points.size(), rec);
+      }
+    }
+  };
+
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(jobs));
+    for (int t = 0; t < jobs; ++t) threads.emplace_back(worker);
+    for (auto& t : threads) t.join();
+  }
+
+  std::sort(records.begin(), records.end(),
+            [](const RunRecord& a, const RunRecord& b) {
+              return a.point.run_key < b.point.run_key;
+            });
+  return records;
+}
+
+}  // namespace occamy::exp

@@ -1,0 +1,38 @@
+// SweepRunner: executes an expanded sweep across a pool of worker threads.
+//
+// Determinism contract: each run point carries its own explicit seed and
+// scale (no process-global state), every simulation is fully isolated in
+// its own Simulator/Network, and records are reported sorted by run key —
+// so the output is byte-identical regardless of the job count or the order
+// in which workers happen to finish.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/exp/sweep.h"
+
+namespace occamy::exp {
+
+struct RunRecord {
+  SweepPoint point;
+  bool ok = false;
+  std::string error;  // set when !ok
+  Metrics metrics;    // set when ok
+};
+
+struct SweepRunOptions {
+  // Worker threads; clamped to [1, 64]. Values above the grid size waste
+  // nothing (excess workers exit immediately).
+  int jobs = 1;
+  // Called after each run completes, serialized under an internal mutex.
+  // `done` counts completed runs (1-based), `total` is the grid size.
+  std::function<void(size_t done, size_t total, const RunRecord& record)> progress;
+};
+
+// Runs every point and returns one record per point, sorted by run_key.
+std::vector<RunRecord> RunSweep(const std::vector<SweepPoint>& points,
+                                const SweepRunOptions& options);
+
+}  // namespace occamy::exp

@@ -1,0 +1,97 @@
+// Minimal JSON writing: a flat single-object builder shared by the
+// occamy_sim CLI and the experiment-orchestration JSONL sink (src/exp).
+//
+// Strings are escaped per RFC 8259: quote, backslash, and every control
+// character below 0x20 (common ones as \n/\t/..., the rest as \u00XX).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+namespace occamy {
+
+// Escapes `s` for embedding inside a JSON string literal (no surrounding
+// quotes added).
+inline std::string JsonEscaped(const std::string& s) {
+  std::string r;
+  r.reserve(s.size());
+  for (const char raw : s) {
+    const unsigned char c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': r += "\\\""; break;
+      case '\\': r += "\\\\"; break;
+      case '\n': r += "\\n"; break;
+      case '\t': r += "\\t"; break;
+      case '\r': r += "\\r"; break;
+      case '\b': r += "\\b"; break;
+      case '\f': r += "\\f"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          r += buf;
+        } else {
+          r += raw;
+        }
+    }
+  }
+  return r;
+}
+
+// Renders a double the way all occamy JSON/CSV output does: six significant
+// digits, non-finite values collapsed to 0 (JSON has no NaN/Inf).
+inline std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+// Flat single-object JSON writer; enough for a metric dictionary. Keys are
+// emitted in insertion order; the caller is responsible for uniqueness.
+class JsonBuilder {
+ public:
+  void Add(const std::string& key, const std::string& v) {
+    Key(key);
+    out_ << '"' << JsonEscaped(v) << '"';
+  }
+  void Add(const std::string& key, const char* v) { Add(key, std::string(v)); }
+  void Add(const std::string& key, int64_t v) {
+    Key(key);
+    out_ << v;
+  }
+  void Add(const std::string& key, uint64_t v) {
+    Key(key);
+    out_ << v;
+  }
+  void Add(const std::string& key, double v) {
+    Key(key);
+    out_ << JsonNumber(v);
+  }
+  void Add(const std::string& key, bool v) {
+    Key(key);
+    out_ << (v ? "true" : "false");
+  }
+
+  std::string Build() const {
+    std::string s = "{";
+    s += out_.str();
+    s += "}";
+    return s;
+  }
+
+ private:
+  void Key(const std::string& key) {
+    if (!first_) out_ << ",";
+    first_ = false;
+    out_ << '"' << JsonEscaped(key) << "\":";
+  }
+
+  std::ostringstream out_;
+  bool first_ = true;
+};
+
+}  // namespace occamy

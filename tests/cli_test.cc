@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "tools/sweep_cli.h"
+
 namespace occamy::cli {
 namespace {
 
@@ -61,6 +63,108 @@ TEST(CliParse, RejectsMalformedInput) {
   EXPECT_TRUE(ParseArgs(2, bad_duration, opts).has_value());
   const char* positional[] = {"occamy_sim", "incast"};
   EXPECT_TRUE(ParseArgs(2, positional, opts).has_value());
+}
+
+TEST(CliParse, ReportsDuplicateOptions) {
+  SimOptions opts;
+  const char* argv[] = {"occamy_sim", "--seed=1", "--seed=2"};
+  const auto err = ParseArgs(3, argv, opts);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("duplicate option --seed"), std::string::npos) << *err;
+  // Repeated bare flags stay harmless.
+  const char* lists[] = {"occamy_sim", "--list", "--list"};
+  EXPECT_FALSE(ParseArgs(3, lists, opts).has_value());
+}
+
+TEST(CliParse, ReportsEmptyListEntries) {
+  SimOptions opts;
+  const char* doubled[] = {"occamy_sim", "--alphas=1,,2"};
+  auto err = ParseArgs(2, doubled, opts);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("empty entry in --alphas"), std::string::npos) << *err;
+  const char* trailing[] = {"occamy_sim", "--alphas=1,2,"};
+  err = ParseArgs(2, trailing, opts);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("empty entry in --alphas"), std::string::npos) << *err;
+  const char* bad_value[] = {"occamy_sim", "--alphas=1,zero"};
+  err = ParseArgs(2, bad_value, opts);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("invalid --alphas entry: zero"), std::string::npos) << *err;
+}
+
+TEST(CliParse, RejectsNonFiniteNumbers) {
+  SimOptions opts;
+  const char* nan_alpha[] = {"occamy_sim", "--alphas=nan"};
+  EXPECT_TRUE(ParseArgs(2, nan_alpha, opts).has_value());
+  const char* inf_alpha[] = {"occamy_sim", "--alphas=1,inf"};
+  EXPECT_TRUE(ParseArgs(2, inf_alpha, opts).has_value());
+  const char* inf_duration[] = {"occamy_sim", "--duration-ms=inf"};
+  EXPECT_TRUE(ParseArgs(2, inf_duration, opts).has_value());
+
+  SweepOptions sweep;
+  const char* inf_load[] = {"sweep", "--scenarios=incast", "--bms=dt", "--bg-loads=inf"};
+  EXPECT_TRUE(ParseSweepArgs(4, inf_load, sweep).has_value());
+  FigureOptions figure;
+  const char* nan_ms[] = {"figure", "--name=fig12", "--duration-ms=nan"};
+  EXPECT_TRUE(ParseFigureArgs(3, nan_ms, figure).has_value());
+}
+
+TEST(SweepParse, FullCommandLine) {
+  const char* argv[] = {"sweep",
+                        "--scenarios=incast,websearch",
+                        "--bms=dt,occamy,pushout",
+                        "--seeds=2",
+                        "--jobs=4",
+                        "--scale=smoke",
+                        "--duration-ms=5",
+                        "--out=/tmp/sweep",
+                        "--bg-loads=0.5,0.9"};
+  SweepOptions opts;
+  const auto err = ParseSweepArgs(9, argv, opts);
+  ASSERT_FALSE(err.has_value()) << *err;
+  EXPECT_EQ(opts.spec.scenarios, (std::vector<std::string>{"incast", "websearch"}));
+  EXPECT_EQ(opts.spec.bms, (std::vector<std::string>{"dt", "occamy", "pushout"}));
+  EXPECT_EQ(opts.spec.seeds, 2);
+  EXPECT_EQ(opts.jobs, 4);
+  EXPECT_EQ(opts.out_dir, "/tmp/sweep");
+  EXPECT_EQ(opts.spec.bg_loads, (std::vector<double>{0.5, 0.9}));
+  ASSERT_TRUE(opts.spec.scale.has_value());
+}
+
+TEST(SweepParse, RejectsMissingRequiredDuplicatesAndEmptyEntries) {
+  SweepOptions opts;
+  const char* missing[] = {"sweep", "--bms=dt"};
+  auto err = ParseSweepArgs(2, missing, opts);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("--scenarios"), std::string::npos) << *err;
+
+  SweepOptions opts2;
+  const char* dup[] = {"sweep", "--scenarios=incast", "--bms=dt", "--jobs=2", "--jobs=3"};
+  err = ParseSweepArgs(5, dup, opts2);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("duplicate option --jobs"), std::string::npos) << *err;
+
+  SweepOptions opts3;
+  const char* empty_entry[] = {"sweep", "--scenarios=incast,,websearch", "--bms=dt"};
+  err = ParseSweepArgs(3, empty_entry, opts3);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("empty entry in --scenarios"), std::string::npos) << *err;
+}
+
+TEST(FigureParse, NameRequiredAndValidated) {
+  FigureOptions opts;
+  const char* bare[] = {"figure"};
+  auto err = ParseFigureArgs(1, bare, opts);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("--name"), std::string::npos) << *err;
+
+  FigureOptions opts2;
+  const char* good[] = {"figure", "--name=fig12", "--jobs=2", "--seeds=3"};
+  err = ParseFigureArgs(4, good, opts2);
+  ASSERT_FALSE(err.has_value()) << *err;
+  EXPECT_EQ(opts2.name, "fig12");
+  EXPECT_EQ(opts2.jobs, 2);
+  EXPECT_EQ(opts2.seeds, 3);
 }
 
 TEST(CliRun, RejectsUnknownNames) {

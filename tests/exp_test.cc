@@ -1,0 +1,245 @@
+// Tests for the experiment-orchestration subsystem (src/exp): grid
+// expansion and keys, CSV aggregation, the figure registry, knob
+// validation, and the determinism contract — the same sweep run twice, and
+// at jobs=1 vs jobs=4, must produce byte-identical sorted JSONL.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/exp/figures.h"
+#include "src/exp/sinks.h"
+#include "src/exp/sweep_runner.h"
+
+namespace occamy::exp {
+namespace {
+
+SweepSpec SmallRealSpec() {
+  // Two scenarios (P4 burst lab + DPDK star incast) x two schemes x two
+  // seeds, at smoke scale with a short traffic window: real simulations,
+  // small enough for a unit test.
+  SweepSpec spec;
+  spec.scenarios = {"burst", "incast"};
+  spec.bms = {"dt", "occamy"};
+  spec.seeds = 2;
+  spec.scale = bench::BenchScale::kSmoke;
+  spec.duration_ms = 8;  // incast queries start at t=5ms, so keep a tail
+  return spec;
+}
+
+std::string RunToJsonl(const SweepSpec& spec, int jobs) {
+  std::vector<SweepPoint> points;
+  const auto err = ExpandSweep(spec, points);
+  EXPECT_FALSE(err.has_value()) << *err;
+  SweepRunOptions options;
+  options.jobs = jobs;
+  const std::vector<RunRecord> records = RunSweep(points, options);
+  for (const auto& rec : records) {
+    EXPECT_TRUE(rec.ok) << rec.point.run_key << ": " << rec.error;
+  }
+  std::ostringstream out;
+  WriteJsonl(records, out);
+  return out.str();
+}
+
+TEST(SweepExpand, CartesianProductWithStableKeys) {
+  SweepSpec spec;
+  spec.scenarios = {"incast", "burst_absorption"};
+  spec.bms = {"dt", "occamy"};
+  spec.alphas = {1.0, 2.0};
+  spec.seeds = 2;
+
+  EXPECT_EQ(GridSize(spec), 16u);
+  std::vector<SweepPoint> points;
+  ASSERT_FALSE(ExpandSweep(spec, points).has_value());
+  ASSERT_EQ(points.size(), 16u);
+
+  std::set<std::string> run_keys, cell_keys;
+  for (const auto& p : points) {
+    run_keys.insert(p.run_key);
+    cell_keys.insert(p.cell_key);
+    EXPECT_EQ(p.run_key, p.cell_key + "|seed=" + std::to_string(p.spec.seed));
+  }
+  EXPECT_EQ(run_keys.size(), 16u) << "run keys must be unique";
+  EXPECT_EQ(cell_keys.size(), 8u) << "cells collapse the seed dimension";
+
+  // Expansion order is scenario-major, seed-minor.
+  EXPECT_EQ(points[0].run_key, "scenario=incast|bm=dt|alpha=1|seed=1");
+  EXPECT_EQ(points[1].run_key, "scenario=incast|bm=dt|alpha=1|seed=2");
+  EXPECT_EQ(points[2].run_key, "scenario=incast|bm=dt|alpha=2|seed=1");
+  EXPECT_EQ(points.back().run_key,
+            "scenario=burst_absorption|bm=occamy|alpha=2|seed=2");
+}
+
+TEST(SweepExpand, InactiveKnobsAddNoKeyFields) {
+  SweepSpec spec;
+  spec.scenarios = {"incast"};
+  spec.bms = {"dt"};
+  std::vector<SweepPoint> points;
+  ASSERT_FALSE(ExpandSweep(spec, points).has_value());
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].run_key, "scenario=incast|bm=dt|seed=1");
+  EXPECT_EQ(points[0].cell_key, "scenario=incast|bm=dt");
+}
+
+TEST(SweepExpand, RejectsUnknownNamesAndBadSeeds) {
+  SweepSpec spec;
+  spec.scenarios = {"no_such_scenario"};
+  spec.bms = {"dt"};
+  std::vector<SweepPoint> points;
+  auto err = ExpandSweep(spec, points);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("no_such_scenario"), std::string::npos);
+
+  spec.scenarios = {"incast"};
+  spec.bms = {"no_such_scheme"};
+  err = ExpandSweep(spec, points);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("no_such_scheme"), std::string::npos);
+
+  spec.bms = {"dt"};
+  spec.seeds = 0;
+  EXPECT_TRUE(ExpandSweep(spec, points).has_value());
+  EXPECT_EQ(GridSize(spec), 0u);
+}
+
+TEST(SweepExpand, RejectsKnobValuesThatCollideAfterFormatting) {
+  // Keys render doubles at 6 significant digits; values differing only
+  // beyond that must be rejected, not silently merged into one cell.
+  SweepSpec spec;
+  spec.scenarios = {"burst"};
+  spec.bms = {"dt"};
+  spec.alphas = {1.0000001, 1.0000002};
+  std::vector<SweepPoint> points;
+  const auto err = ExpandSweep(spec, points);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("duplicate run key"), std::string::npos) << *err;
+}
+
+TEST(RunPointTest, RejectsInapplicableKnobs) {
+  PointSpec spec;
+  spec.scenario = "websearch";  // fabric: query size derives from the buffer
+  spec.bm = "dt";
+  spec.query_bytes = 1000;
+  const PointResult result = RunPoint(spec);
+  ASSERT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("query_bytes"), std::string::npos) << result.error;
+
+  PointSpec burst;
+  burst.scenario = "incast";
+  burst.bm = "dt";
+  burst.burst_bytes = 1000;
+  const PointResult r2 = RunPoint(burst);
+  ASSERT_FALSE(r2.ok);
+  EXPECT_NE(r2.error.find("burst_bytes"), std::string::npos) << r2.error;
+}
+
+TEST(AggregateTest, MeanAndP99AcrossSeeds) {
+  // Three seeds of one cell plus one seed of another; synthetic metrics.
+  std::vector<RunRecord> records;
+  const double values[] = {1.0, 3.0, 2.0};
+  for (int i = 0; i < 3; ++i) {
+    RunRecord rec;
+    rec.ok = true;
+    rec.point.cell_key = "scenario=a|bm=dt";
+    rec.point.run_key = "scenario=a|bm=dt|seed=" + std::to_string(i + 1);
+    rec.point.key_fields = {{"scenario", "a"}, {"bm", "dt"},
+                            {"seed", std::to_string(i + 1)}};
+    rec.metrics.Set("seed", int64_t{i + 1});
+    rec.metrics.Set("qct_ms", values[i]);
+    rec.metrics.Set("scenario", "a");  // string metric: not aggregated
+    rec.metrics.Set("bm", 7.0);  // numeric echo of a key field: not aggregated
+    records.push_back(rec);
+  }
+  RunRecord other;
+  other.ok = false;
+  other.error = "boom";
+  other.point.cell_key = "scenario=b|bm=dt";
+  other.point.run_key = "scenario=b|bm=dt|seed=1";
+  other.point.key_fields = {{"scenario", "b"}, {"bm", "dt"}, {"seed", "1"}};
+  records.push_back(other);
+
+  const std::vector<CellSummary> cells = Aggregate(records);
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0].cell_key, "scenario=a|bm=dt");
+  EXPECT_EQ(cells[0].runs, 3);
+  EXPECT_EQ(cells[0].failed, 0);
+  ASSERT_EQ(cells[0].metrics.size(), 1u) << "seed and string metrics excluded";
+  EXPECT_EQ(cells[0].metrics[0].first, "qct_ms");
+  EXPECT_DOUBLE_EQ(cells[0].metrics[0].second.Mean(), 2.0);
+  EXPECT_DOUBLE_EQ(cells[0].metrics[0].second.P99(), 3.0);
+  EXPECT_EQ(cells[1].runs, 0);
+  EXPECT_EQ(cells[1].failed, 1);
+
+  std::ostringstream csv;
+  WriteSummaryCsv(cells, csv);
+  const std::string text = csv.str();
+  EXPECT_EQ(text.substr(0, text.find('\n')),
+            "scenario,bm,runs,failed,qct_ms_mean,qct_ms_p99");
+  EXPECT_NE(text.find("a,dt,3,0,2,3"), std::string::npos) << text;
+  EXPECT_NE(text.find("b,dt,0,1,,"), std::string::npos) << text;
+}
+
+TEST(FigureRegistry, KnownFiguresExpand) {
+  EXPECT_GE(Figures().size(), 3u);
+  ASSERT_NE(FigureByName("fig12"), nullptr);
+  ASSERT_NE(FigureByName("fig13"), nullptr);
+  ASSERT_NE(FigureByName("fig18"), nullptr);
+  EXPECT_EQ(FigureByName("fig99"), nullptr);
+
+  // Fig. 12 grid: 2 schemes x 3 alphas x 6 burst sizes x 1 seed.
+  std::vector<SweepPoint> points;
+  ASSERT_FALSE(ExpandSweep(FigureByName("fig12")->make(), points).has_value());
+  EXPECT_EQ(points.size(), 36u);
+
+  // Fig. 13: 4 schemes x 7 query sizes; Fig. 18: 4 schemes x 5 flow sizes.
+  ASSERT_FALSE(ExpandSweep(FigureByName("fig13")->make(), points).has_value());
+  EXPECT_EQ(points.size(), 28u);
+  ASSERT_FALSE(ExpandSweep(FigureByName("fig18")->make(), points).has_value());
+  EXPECT_EQ(points.size(), 20u);
+}
+
+TEST(SweepDeterminism, RepeatedRunsAndJobCountsAreByteIdentical) {
+  const SweepSpec spec = SmallRealSpec();
+  const std::string first = RunToJsonl(spec, 1);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, RunToJsonl(spec, 1)) << "same spec+seed must reproduce exactly";
+  EXPECT_EQ(first, RunToJsonl(spec, 4)) << "job count must not affect results";
+
+  // Sanity: the JSONL is sorted by run key and every line is a JSON object.
+  std::istringstream lines(first);
+  std::string line, prev_key;
+  size_t n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    ASSERT_EQ(line.front(), '{');
+    ASSERT_EQ(line.back(), '}');
+    const auto key_pos = line.find("\"run_key\":\"");
+    ASSERT_NE(key_pos, std::string::npos);
+    const auto start = key_pos + 11;
+    const std::string key = line.substr(start, line.find('"', start) - start);
+    EXPECT_LT(prev_key, key) << "lines must be sorted by run_key";
+    prev_key = key;
+  }
+  EXPECT_EQ(n, 8u);
+}
+
+TEST(SweepDeterminism, AggregationMatchesAcrossJobCounts) {
+  const SweepSpec spec = SmallRealSpec();
+  std::vector<SweepPoint> points;
+  ASSERT_FALSE(ExpandSweep(spec, points).has_value());
+
+  SweepRunOptions one, four;
+  one.jobs = 1;
+  four.jobs = 4;
+  std::ostringstream csv1, csv4;
+  WriteSummaryCsv(Aggregate(RunSweep(points, one)), csv1);
+  WriteSummaryCsv(Aggregate(RunSweep(points, four)), csv4);
+  EXPECT_EQ(csv1.str(), csv4.str());
+  EXPECT_FALSE(csv1.str().empty());
+}
+
+}  // namespace
+}  // namespace occamy::exp

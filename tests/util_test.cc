@@ -2,11 +2,42 @@
 
 #include "src/util/bandwidth.h"
 #include "src/util/env.h"
+#include "src/util/json.h"
 #include "src/util/rng.h"
 #include "src/util/time.h"
 
 namespace occamy {
 namespace {
+
+TEST(JsonTest, EscapesQuotesBackslashesAndControlChars) {
+  EXPECT_EQ(JsonEscaped("plain"), "plain");
+  EXPECT_EQ(JsonEscaped("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscaped("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscaped("line1\nline2\tend"), "line1\\nline2\\tend");
+  EXPECT_EQ(JsonEscaped("\r\b\f"), "\\r\\b\\f");
+  // Remaining control bytes below 0x20 become \u00XX.
+  EXPECT_EQ(JsonEscaped(std::string("a\x01z", 3)), "a\\u0001z");
+  EXPECT_EQ(JsonEscaped(std::string(1, '\x1f')), "\\u001f");
+  // Bytes >= 0x80 (UTF-8 continuation) pass through untouched.
+  EXPECT_EQ(JsonEscaped("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(JsonTest, BuilderRendersTypedFields) {
+  JsonBuilder json;
+  json.Add("s", "a\nb");
+  json.Add("i", int64_t{-7});
+  json.Add("u", uint64_t{42});
+  json.Add("d", 1.5);
+  json.Add("b", true);
+  EXPECT_EQ(json.Build(), "{\"s\":\"a\\nb\",\"i\":-7,\"u\":42,\"d\":1.5,\"b\":true}");
+}
+
+TEST(JsonTest, NonFiniteNumbersCollapseToZero) {
+  JsonBuilder json;
+  json.Add("nan", std::nan(""));
+  json.Add("inf", std::numeric_limits<double>::infinity());
+  EXPECT_EQ(json.Build(), "{\"nan\":0,\"inf\":0}");
+}
 
 TEST(TimeTest, UnitRelations) {
   EXPECT_EQ(Nanoseconds(1), 1000 * kPicosecond);

@@ -4,299 +4,80 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
 
-#include "bench/common/dpdk_run.h"
-#include "bench/common/fabric_run.h"
+#include "src/exp/figures.h"
+#include "src/exp/scenario_runner.h"
+#include "tools/sweep_cli.h"
 
 namespace occamy::cli {
 
 namespace {
 
-using bench::Scheme;
-
-// ---------------- registries ----------------
-
-struct SchemeEntry {
-  const char* name;
-  Scheme scheme;
-};
-
-constexpr SchemeEntry kSchemes[] = {
-    {"dt", Scheme::kDt},
-    {"abm", Scheme::kAbm},
-    {"pushout", Scheme::kPushout},
-    {"occamy", Scheme::kOccamy},
-    {"occamy_lqd", Scheme::kOccamyLongestDrop},
-    {"cs", Scheme::kCompleteSharing},
-    {"edt", Scheme::kEdt},
-    {"tdt", Scheme::kTdt},
-    {"qpo", Scheme::kQpo},
-};
-
-struct ScenarioEntry {
-  const char* name;
-  const char* platform;  // "star" (§6.2 DPDK testbed) or "fabric" (§6.4)
-  const char* description;
-};
-
-constexpr ScenarioEntry kScenarios[] = {
-    {"incast", "star", "incast queries only, no background (§6.2)"},
-    {"burst_absorption", "star", "incast + DCTCP web-search background (Fig. 12)"},
-    {"isolation", "star", "incast vs CUBIC background in separate DRR queues (Fig. 14)"},
-    {"choking", "star", "HP incast vs saturating LP background, strict priority (Fig. 15)"},
-    {"websearch", "fabric", "leaf-spine, web-search background + incast queries (§6.4)"},
-    {"alltoall", "fabric", "leaf-spine, all-to-all collective background (Fig. 18)"},
-    {"allreduce", "fabric", "leaf-spine, all-reduce collective background (Fig. 19)"},
-};
-
-std::optional<Scheme> SchemeByName(const std::string& name) {
-  for (const auto& e : kSchemes) {
-    if (name == e.name) return e.scheme;
+// Splits `value` at commas, reporting empty entries explicitly (the usual
+// victim is a doubled comma: "--alphas=1,,2").
+std::optional<std::string> SplitList(const std::string& flag, const std::string& value,
+                                     std::vector<std::string>& out) {
+  std::string tok;
+  std::istringstream ss(value);
+  // getline drops a trailing empty token ("1,2," parses as {1,2}); detect
+  // it up front so every empty entry is diagnosed the same way.
+  if (!value.empty() && value.back() == ',') {
+    return "empty entry in --" + flag + ": " + value;
   }
+  while (std::getline(ss, tok, ',')) {
+    if (tok.empty()) return "empty entry in --" + flag + ": " + value;
+    out.push_back(tok);
+  }
+  if (out.empty()) return "empty --" + flag;
   return std::nullopt;
-}
-
-const ScenarioEntry* ScenarioByName(const std::string& name) {
-  for (const auto& e : kScenarios) {
-    if (name == e.name) return &e;
-  }
-  return nullptr;
-}
-
-// The scale that actually applied (GetBenchScale maps unknown env values to
-// the default), not the raw environment string.
-const char* EffectiveScaleName() {
-  switch (bench::GetBenchScale()) {
-    case bench::BenchScale::kSmoke: return "smoke";
-    case bench::BenchScale::kFull: return "full";
-    case bench::BenchScale::kDefault: break;
-  }
-  return "default";
-}
-
-// Delivered application bytes over the whole simulated window (traffic +
-// drain): flows completing in the drain tail are counted in the numerator,
-// so the denominator must include the tail too or goodput can exceed line
-// rate.
-double GoodputGbps(int64_t delivered_bytes, double duration_ms, double drain_ms) {
-  const double total_ms = duration_ms + drain_ms;
-  if (total_ms <= 0) return 0.0;
-  return static_cast<double>(delivered_bytes) * 8.0 / (total_ms * 1e6);
-}
-
-// ---------------- JSON rendering ----------------
-
-// Flat single-object JSON writer; enough for the CLI's metric dictionary.
-class JsonBuilder {
- public:
-  void Add(const std::string& key, const std::string& v) {
-    Key(key);
-    out_ << '"' << Escaped(v) << '"';
-  }
-  void Add(const std::string& key, const char* v) { Add(key, std::string(v)); }
-  void Add(const std::string& key, int64_t v) {
-    Key(key);
-    out_ << v;
-  }
-  void Add(const std::string& key, uint64_t v) {
-    Key(key);
-    out_ << v;
-  }
-  void Add(const std::string& key, double v) {
-    Key(key);
-    if (!std::isfinite(v)) v = 0.0;
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.6g", v);
-    out_ << buf;
-  }
-
-  std::string Build() const {
-    std::string s = "{";
-    s += out_.str();
-    s += "}";
-    return s;
-  }
-
- private:
-  void Key(const std::string& key) {
-    if (!first_) out_ << ",";
-    first_ = false;
-    out_ << '"' << Escaped(key) << "\":";
-  }
-
-  static std::string Escaped(const std::string& s) {
-    std::string r;
-    r.reserve(s.size());
-    for (char c : s) {
-      if (c == '"' || c == '\\') r += '\\';
-      r += c;
-    }
-    return r;
-  }
-
-  std::ostringstream out_;
-  bool first_ = true;
-};
-
-// ---------------- scenario execution ----------------
-
-std::string RunStar(const ScenarioEntry& entry, Scheme scheme, const SimOptions& opts) {
-  bench::DpdkRunSpec run;
-  run.scheme = scheme;
-  run.alphas = opts.alphas;
-  run.seed = opts.seed;
-
-  const std::string name = entry.name;
-  if (name == "incast") {
-    run.bg = bench::DpdkRunSpec::Bg::kNone;
-  } else if (name == "burst_absorption") {
-    run.bg = bench::DpdkRunSpec::Bg::kWebSearchDctcp;
-    run.bg_load = 0.5;
-  } else if (name == "isolation") {
-    // Fig. 14: queries and CUBIC background in separate DRR queues.
-    run.queues_per_port = 2;
-    run.scheduler = tm::SchedulerKind::kDrr;
-    run.bg = bench::DpdkRunSpec::Bg::kWebSearchCubic;
-    run.bg_load = 0.4;
-    run.bg_tc = 1;
-    run.query_tc = 0;
-    run.query_bytes = run.buffer_bytes * 6 / 10;
-  } else {  // choking (Fig. 15)
-    run.queues_per_port = 8;
-    run.scheduler = tm::SchedulerKind::kStrictPriority;
-    if (run.alphas.empty()) run.alphas = {8.0, 1, 1, 1, 1, 1, 1, 1};
-    run.bg = bench::DpdkRunSpec::Bg::kSaturatingLp;
-    run.bg_load = 1.0;
-    run.query_tc = 0;
-    run.query_bytes = run.buffer_bytes * 2;
-  }
-  if (opts.duration_ms > 0) {
-    run.duration = run.max_duration = FromSeconds(opts.duration_ms / 1000.0);
-    run.min_queries = 0;
-  }
-
-  const bench::DpdkRunResult r = bench::RunDpdk(run);
-
-  JsonBuilder json;
-  json.Add("schema_version", int64_t{1});
-  json.Add("scenario", entry.name);
-  json.Add("platform", entry.platform);
-  json.Add("bm", opts.bm);
-  json.Add("scale", EffectiveScaleName());
-  json.Add("seed", opts.seed);
-  json.Add("duration_ms", r.duration_ms);
-  json.Add("drain_ms", r.drain_ms);
-  json.Add("delivered_bytes", r.delivered_bytes);
-  json.Add("goodput_gbps", GoodputGbps(r.delivered_bytes, r.duration_ms, r.drain_ms));
-  json.Add("queries_completed", r.queries);
-  json.Add("qct_avg_ms", r.qct_avg_ms);
-  json.Add("qct_p99_ms", r.qct_p99_ms);
-  json.Add("fct_avg_ms", r.fct_avg_ms);
-  json.Add("fct_small_p99_ms", r.fct_small_p99_ms);
-  json.Add("rtos", r.rtos);
-  json.Add("drops", r.drops);
-  json.Add("expelled", r.expelled);
-  json.Add("buffer_bytes", r.buffer_bytes);
-  json.Add("peak_occupancy_bytes", r.peak_occupancy_bytes);
-  json.Add("peak_occupancy_frac",
-           r.buffer_bytes > 0 ? static_cast<double>(r.peak_occupancy_bytes) /
-                                    static_cast<double>(r.buffer_bytes)
-                              : 0.0);
-  return json.Build();
-}
-
-std::string RunFabricScenario(const ScenarioEntry& entry, Scheme scheme,
-                              const SimOptions& opts) {
-  bench::FabricRunSpec run;
-  run.scheme = scheme;
-  run.alphas = opts.alphas;
-  run.seed = opts.seed;
-
-  const std::string name = entry.name;
-  if (name == "alltoall") {
-    run.pattern = bench::BgPattern::kAllToAll;
-    run.bg_load = 0.6;
-    run.bg_fixed_size = 256 * 1024;  // midpoint of the Fig. 18 sweep
-  } else if (name == "allreduce") {
-    run.pattern = bench::BgPattern::kAllReduce;
-    run.bg_load = 0.6;
-    run.bg_fixed_size = 256 * 1024;
-  } else {  // websearch
-    run.pattern = bench::BgPattern::kWebSearch;
-    run.bg_load = 0.9;
-  }
-  if (opts.duration_ms > 0) run.duration = FromSeconds(opts.duration_ms / 1000.0);
-
-  const bench::FabricRunResult r = bench::RunFabric(run);
-
-  JsonBuilder json;
-  json.Add("schema_version", int64_t{1});
-  json.Add("scenario", entry.name);
-  json.Add("platform", entry.platform);
-  json.Add("bm", opts.bm);
-  json.Add("scale", EffectiveScaleName());
-  json.Add("seed", opts.seed);
-  json.Add("duration_ms", r.duration_ms);
-  json.Add("drain_ms", r.drain_ms);
-  json.Add("delivered_bytes", r.delivered_bytes);
-  json.Add("goodput_gbps", GoodputGbps(r.delivered_bytes, r.duration_ms, r.drain_ms));
-  json.Add("queries_completed", r.queries_completed);
-  json.Add("bg_flows_completed", r.bg_flows_completed);
-  json.Add("qct_avg_ms", r.qct_avg_ms);
-  json.Add("qct_p99_ms", r.qct_p99_ms);
-  json.Add("qct_avg_slowdown", r.qct_avg_slow);
-  json.Add("qct_p99_slowdown", r.qct_p99_slow);
-  json.Add("fct_avg_slowdown", r.fct_avg_slow);
-  json.Add("fct_p99_slowdown", r.fct_p99_slow);
-  json.Add("fct_small_p99_slowdown", r.fct_small_p99_slow);
-  json.Add("drops", r.drops);
-  json.Add("expelled", r.expelled);
-  json.Add("buffer_bytes", r.buffer_bytes);
-  json.Add("peak_occupancy_bytes", r.peak_occupancy_bytes);
-  json.Add("peak_occupancy_frac",
-           r.buffer_bytes > 0 ? static_cast<double>(r.peak_occupancy_bytes) /
-                                    static_cast<double>(r.buffer_bytes)
-                              : 0.0);
-  return json.Build();
 }
 
 }  // namespace
 
-// ---------------- public API ----------------
-
-std::vector<std::string> ScenarioNames() {
-  std::vector<std::string> names;
-  for (const auto& e : kScenarios) names.emplace_back(e.name);
-  return names;
+std::optional<std::string> ParseDoubleList(const std::string& flag,
+                                           const std::string& value,
+                                           std::vector<double>& out) {
+  std::vector<std::string> toks;
+  if (auto err = SplitList(flag, value, toks)) return err;
+  for (const auto& tok : toks) {
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    // isfinite: strtod happily parses "nan" and "inf", and neither fails
+    // the v <= 0 test (NaN compares false to everything).
+    if (end == nullptr || *end != '\0' || !std::isfinite(v) || v <= 0) {
+      return "invalid --" + flag + " entry: " + tok;
+    }
+    out.push_back(v);
+  }
+  return std::nullopt;
 }
 
-std::vector<std::string> SchemeNames() {
-  std::vector<std::string> names;
-  for (const auto& e : kSchemes) names.emplace_back(e.name);
-  return names;
+std::optional<std::string> ParseInt64List(const std::string& flag,
+                                          const std::string& value,
+                                          std::vector<int64_t>& out) {
+  std::vector<std::string> toks;
+  if (auto err = SplitList(flag, value, toks)) return err;
+  for (const auto& tok : toks) {
+    if (tok.find_first_not_of("0123456789") != std::string::npos || tok.size() > 18) {
+      return "invalid --" + flag + " entry: " + tok;
+    }
+    const int64_t v = std::strtoll(tok.c_str(), nullptr, 10);
+    if (v <= 0) return "invalid --" + flag + " entry: " + tok;
+    out.push_back(v);
+  }
+  return std::nullopt;
 }
 
-std::string UsageString() {
-  std::ostringstream out;
-  out << "Usage: occamy_sim [options]\n"
-         "\n"
-         "Runs a named buffer-management scenario and emits JSON metrics.\n"
-         "\n"
-         "Options:\n"
-         "  --scenario=<name>   scenario to run (default: incast); see --list\n"
-         "  --bm=<scheme>       buffer-management scheme (default: occamy); see --list\n"
-         "  --json=<path>       write the JSON result to <path> (default: stdout)\n"
-         "  --scale=<s>         smoke | default | full (sets OCCAMY_BENCH_SCALE)\n"
-         "  --seed=<n>          RNG seed (default: 1)\n"
-         "  --duration-ms=<ms>  traffic duration override (default: scenario-specific)\n"
-         "  --alphas=<a,b,...>  per-class alpha override (default: scheme-specific)\n"
-         "  --list              list scenarios and schemes, then exit\n"
-         "  --help              this message\n";
-  return out.str();
+std::optional<std::string> ParseNameList(const std::string& flag,
+                                         const std::string& value,
+                                         std::vector<std::string>& out) {
+  return SplitList(flag, value, out);
 }
 
 std::optional<std::string> ParseArgs(int argc, const char* const* argv, SimOptions& out) {
+  std::set<std::string> seen;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--list") {
@@ -314,6 +95,12 @@ std::optional<std::string> ParseArgs(int argc, const char* const* argv, SimOptio
     const std::string key = arg.substr(2, eq - 2);
     const std::string value = arg.substr(eq + 1);
     if (value.empty()) return "empty value for --" + key;
+    // Last-wins on repeated flags silently discards the earlier value;
+    // report it instead, since it is almost always a typo in a long
+    // command line.
+    if (!seen.insert(key).second) {
+      return "duplicate option --" + key + " (each option may be given once)";
+    }
     if (key == "scenario") {
       out.scenario = value;
     } else if (key == "bm") {
@@ -321,7 +108,7 @@ std::optional<std::string> ParseArgs(int argc, const char* const* argv, SimOptio
     } else if (key == "json") {
       out.json_path = value;
     } else if (key == "scale") {
-      if (value != "smoke" && value != "default" && value != "full") {
+      if (!exp::ScaleByName(value).has_value()) {
         return "invalid --scale (want smoke|default|full): " + value;
       }
       out.scale = value;
@@ -335,22 +122,13 @@ std::optional<std::string> ParseArgs(int argc, const char* const* argv, SimOptio
     } else if (key == "duration-ms") {
       char* end = nullptr;
       out.duration_ms = std::strtod(value.c_str(), &end);
-      if (end == nullptr || *end != '\0' || out.duration_ms <= 0) {
+      if (end == nullptr || *end != '\0' || !std::isfinite(out.duration_ms) ||
+          out.duration_ms <= 0) {
         return "invalid --duration-ms: " + value;
       }
     } else if (key == "alphas") {
       out.alphas.clear();
-      std::istringstream ss(value);
-      std::string tok;
-      while (std::getline(ss, tok, ',')) {
-        char* end = nullptr;
-        const double a = std::strtod(tok.c_str(), &end);
-        if (tok.empty() || end == nullptr || *end != '\0' || a <= 0) {
-          return "invalid --alphas entry: " + tok;
-        }
-        out.alphas.push_back(a);
-      }
-      if (out.alphas.empty()) return "empty --alphas";
+      if (auto err = ParseDoubleList("alphas", value, out.alphas)) return err;
     } else {
       return "unknown option: --" + key;
     }
@@ -358,29 +136,62 @@ std::optional<std::string> ParseArgs(int argc, const char* const* argv, SimOptio
   return std::nullopt;
 }
 
+// ---------------- public API ----------------
+
+std::vector<std::string> ScenarioNames() { return exp::ScenarioNames(); }
+
+std::vector<std::string> SchemeNames() { return exp::SchemeNames(); }
+
+std::string UsageString() {
+  std::ostringstream out;
+  out << "Usage: occamy_sim [options]\n"
+         "       occamy_sim sweep [sweep options]\n"
+         "       occamy_sim figure --name=<fig> [figure options]\n"
+         "\n"
+         "Runs a named buffer-management scenario and emits JSON metrics.\n"
+         "The sweep/figure subcommands run whole experiment grids in\n"
+         "parallel (see `occamy_sim sweep --help`).\n"
+         "\n"
+         "Options:\n"
+         "  --scenario=<name>   scenario to run (default: incast); see --list\n"
+         "  --bm=<scheme>       buffer-management scheme (default: occamy); see --list\n"
+         "  --json=<path>       write the JSON result to <path> (default: stdout)\n"
+         "  --scale=<s>         smoke | default | full (default: OCCAMY_BENCH_SCALE)\n"
+         "  --seed=<n>          RNG seed (default: 1)\n"
+         "  --duration-ms=<ms>  traffic duration override (default: scenario-specific)\n"
+         "  --alphas=<a,b,...>  per-class alpha override (default: scheme-specific)\n"
+         "  --list              list scenarios and schemes, then exit\n"
+         "  --help              this message\n";
+  return out.str();
+}
+
 SimResult RunScenario(const SimOptions& opts) {
   SimResult result;
-  const auto scheme = SchemeByName(opts.bm);
-  if (!scheme.has_value()) {
-    result.error = "unknown BM scheme: " + opts.bm + " (see --list)";
+  exp::PointSpec spec;
+  spec.scenario = opts.scenario;
+  spec.bm = opts.bm;
+  spec.seed = opts.seed;
+  spec.duration_ms = opts.duration_ms;
+  spec.alphas = opts.alphas;
+  if (!opts.scale.empty()) spec.scale = exp::ScaleByName(opts.scale);
+
+  exp::PointResult point = exp::RunPoint(spec);
+  if (!point.ok) {
+    result.error = std::move(point.error);
     return result;
   }
-  const ScenarioEntry* entry = ScenarioByName(opts.scenario);
-  if (entry == nullptr) {
-    result.error = "unknown scenario: " + opts.scenario + " (see --list)";
-    return result;
-  }
-  if (!opts.scale.empty()) {
-    ::setenv("OCCAMY_BENCH_SCALE", opts.scale.c_str(), /*overwrite=*/1);
-  }
-  result.json = std::string(entry->platform) == "star"
-                    ? RunStar(*entry, *scheme, opts)
-                    : RunFabricScenario(*entry, *scheme, opts);
+  result.json = point.metrics.ToJson();
   result.ok = true;
   return result;
 }
 
 int Main(int argc, const char* const* argv) {
+  if (argc >= 2) {
+    const std::string sub = argv[1];
+    if (sub == "sweep") return SweepMain(argc - 1, argv + 1);
+    if (sub == "figure") return FigureMain(argc - 1, argv + 1);
+  }
+
   SimOptions opts;
   if (const auto err = ParseArgs(argc, argv, opts)) {
     std::fprintf(stderr, "occamy_sim: %s\n\n%s", err->c_str(), UsageString().c_str());
@@ -392,12 +203,15 @@ int Main(int argc, const char* const* argv) {
   }
   if (opts.list) {
     std::printf("Scenarios:\n");
-    for (const auto& e : kScenarios) {
+    for (const auto& e : exp::Scenarios()) {
       std::printf("  %-18s %-8s %s\n", e.name, e.platform, e.description);
     }
     std::printf("BM schemes:\n ");
-    for (const auto& e : kSchemes) std::printf(" %s", e.name);
-    std::printf("\n");
+    for (const auto& name : exp::SchemeNames()) std::printf(" %s", name.c_str());
+    std::printf("\nFigures:\n");
+    for (const auto& f : exp::Figures()) {
+      std::printf("  %-8s %s\n", f.name, f.title);
+    }
     return 0;
   }
 

@@ -1,14 +1,15 @@
 // occamy_sim — scenario-runner CLI.
 //
-// Wraps the bench harness (bench/common/scenarios.h + scheme.h + the
-// dpdk/fabric runners) into one binary that runs any named scenario under
-// any BM scheme and emits machine-readable JSON for the perf trajectory:
+// Wraps the experiment subsystem (src/exp) into one binary:
 //
-//   occamy_sim --scenario=incast --bm=occamy --json=out.json
+//   occamy_sim --scenario=incast --bm=occamy --json=out.json   # single run
+//   occamy_sim sweep --scenarios=... --bms=... --jobs=4 ...    # whole grid
+//   occamy_sim figure --name=fig12                             # paper figure
 //
 // The CLI logic lives in this small library so tests/cli_test.cc can
 // exercise parsing and scenario execution in-process; occamy_sim_main.cc is
-// a thin wrapper around Main().
+// a thin wrapper around Main(). The sweep/figure subcommands are in
+// tools/sweep_cli.h.
 #pragma once
 
 #include <cstdint>
@@ -30,10 +31,26 @@ struct SimOptions {
   bool help = false;
 };
 
-// Parses argv into `out`. Returns an error message on malformed input,
-// std::nullopt on success. Does not validate scenario/scheme names (that
-// happens in RunScenario, so --list works with anything else on the line).
+// Parses argv into `out`. Returns an error message on malformed input
+// (including repeated options and empty list entries), std::nullopt on
+// success. Does not validate scenario/scheme names (that happens in
+// RunScenario, so --list works with anything else on the line).
 std::optional<std::string> ParseArgs(int argc, const char* const* argv, SimOptions& out);
+
+// Splits a comma-separated list of positive doubles/integers, reporting
+// empty entries ("1,,2") and malformed values explicitly. Appends to `out`;
+// returns an error message or std::nullopt. Shared by the single-run and
+// sweep parsers.
+std::optional<std::string> ParseDoubleList(const std::string& flag,
+                                           const std::string& value,
+                                           std::vector<double>& out);
+std::optional<std::string> ParseInt64List(const std::string& flag,
+                                          const std::string& value,
+                                          std::vector<int64_t>& out);
+// Same splitting for names; rejects empty entries only.
+std::optional<std::string> ParseNameList(const std::string& flag,
+                                         const std::string& value,
+                                         std::vector<std::string>& out);
 
 struct SimResult {
   bool ok = false;
@@ -42,6 +59,8 @@ struct SimResult {
 };
 
 // Runs `opts.scenario` under `opts.bm` and renders the result as JSON.
+// Scale is threaded explicitly into the run (never via setenv), so
+// concurrent RunScenario calls are safe.
 SimResult RunScenario(const SimOptions& opts);
 
 // Registered names, for --list and for tests that sweep every scheme.
@@ -50,7 +69,8 @@ std::vector<std::string> SchemeNames();
 
 std::string UsageString();
 
-// Full CLI entry point (parse, run, emit). Returns the process exit code.
+// Full CLI entry point (parse, run, emit). Dispatches the `sweep` and
+// `figure` subcommands. Returns the process exit code.
 int Main(int argc, const char* const* argv);
 
 }  // namespace occamy::cli

@@ -1,0 +1,49 @@
+// The `occamy_sim sweep` and `occamy_sim figure` subcommands: parse a grid
+// (or a registered paper figure) from flags, run it across worker threads
+// via src/exp, and write runs.jsonl + summary.csv into an output directory.
+//
+// Split from sim_cli.h so tests can exercise the sweep parsers in-process.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/exp/sweep.h"
+
+namespace occamy::cli {
+
+struct SweepOptions {
+  exp::SweepSpec spec;
+  int jobs = 1;
+  std::string out_dir = "sweep_out";
+  bool help = false;
+};
+
+// Parses `occamy_sim sweep` flags (argv[0] is the subcommand name).
+// Returns an error message on malformed input, std::nullopt on success.
+std::optional<std::string> ParseSweepArgs(int argc, const char* const* argv,
+                                          SweepOptions& out);
+
+struct FigureOptions {
+  std::string name;       // required unless help/list
+  int jobs = 1;
+  std::string out_dir;    // empty = "figure_<name>"
+  std::string scale;      // empty = figure default (env)
+  int seeds = 0;          // 0 = figure default
+  double duration_ms = 0; // 0 = figure default
+  bool help = false;
+  bool list = false;
+};
+
+std::optional<std::string> ParseFigureArgs(int argc, const char* const* argv,
+                                           FigureOptions& out);
+
+std::string SweepUsageString();
+std::string FigureUsageString();
+
+// Subcommand entry points (argv[0] = "sweep"/"figure"). Return the process
+// exit code: 0 on success, 1 when any run failed, 2 on usage errors.
+int SweepMain(int argc, const char* const* argv);
+int FigureMain(int argc, const char* const* argv);
+
+}  // namespace occamy::cli
