@@ -35,6 +35,7 @@ struct BurstLabResult {
   stats::TimeSeries q_long{"q1"};
   stats::TimeSeries q_burst{"q2"};
   stats::TimeSeries threshold{"T"};
+  int64_t sim_events = 0;  // simulator events processed (deterministic)
 
   double BurstLossRate() const {
     return burst_packets == 0
@@ -105,6 +106,7 @@ inline BurstLabResult RunBurstLab(const BurstLabSpec& spec) {
   s.sim.RunUntil(spec.horizon);
   result.burst_packets = burst_sender.packets_sent();
   result.expelled = s.sw().partition(0).stats().expelled_packets;
+  result.sim_events = static_cast<int64_t>(s.sim.processed_events());
   return result;
 }
 

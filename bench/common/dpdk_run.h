@@ -57,6 +57,7 @@ struct DpdkRunResult {
   int64_t buffer_bytes = 0;
   double duration_ms = 0;  // traffic window (excludes the drain tail)
   double drain_ms = 0;     // drain tail simulated after the traffic window
+  int64_t sim_events = 0;  // simulator events processed (deterministic)
 };
 
 inline DpdkRunResult RunDpdk(const DpdkRunSpec& run) {
@@ -172,6 +173,7 @@ inline DpdkRunResult RunDpdk(const DpdkRunSpec& run) {
   result.buffer_bytes = run.buffer_bytes;
   result.duration_ms = ToMilliseconds(duration);
   result.drain_ms = ToMilliseconds(drain);
+  result.sim_events = static_cast<int64_t>(s.sim.processed_events());
   return result;
 }
 

@@ -50,6 +50,7 @@ struct FabricRunResult {
   int64_t buffer_bytes = 0;  // one leaf/spine partition
   double duration_ms = 0;    // traffic window (excludes the drain tail)
   double drain_ms = 0;       // drain tail simulated after the traffic window
+  int64_t sim_events = 0;    // simulator events processed (deterministic)
 };
 
 inline Time DefaultFabricDuration(BenchScale scale) {
@@ -167,6 +168,7 @@ inline FabricRunResult RunFabric(const FabricRunSpec& run) {
   result.buffer_bytes = s.buffer_per_partition;
   result.duration_ms = ToMilliseconds(duration);
   result.drain_ms = ToMilliseconds(run.drain);
+  result.sim_events = static_cast<int64_t>(s.sim.processed_events());
   return result;
 }
 

@@ -51,6 +51,13 @@ class BmScheme {
 
   // True if this scheme admits on free space and reclaims by eviction.
   virtual bool IsPreemptive() const { return false; }
+
+  // True if Threshold() depends on mutable TM state only through
+  // tm.free_bytes() and is non-decreasing in it (the DT family). This is
+  // the contract that lets the expulsion engine refresh its over-allocation
+  // bitmap incrementally; schemes without it get a full rescan every
+  // expulsion step (the pre-optimization behaviour).
+  virtual bool ThresholdIsFreeBytesMonotone() const { return false; }
 };
 
 }  // namespace occamy::bm

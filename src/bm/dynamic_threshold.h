@@ -28,6 +28,11 @@ class DynamicThreshold : public BmScheme {
     (void)bytes;
     return tm.qlen_bytes(q) < Threshold(tm, q);
   }
+
+  // T = alpha * free: exactly the incremental-refresh contract. Subclasses
+  // that add other mutable threshold inputs must override this back to
+  // false.
+  bool ThresholdIsFreeBytesMonotone() const override { return true; }
 };
 
 }  // namespace occamy::bm

@@ -4,10 +4,17 @@
 // metadata plus the head of its cell-pointer chain. Queues support normal
 // dequeue at the head and head-drop (the same operation minus the cell-data
 // read — paper Figure 10).
+//
+// Storage is a power-of-two ring over one contiguous allocation (grown
+// geometrically, never shrunk) instead of std::deque: no per-chunk
+// allocation on the enqueue path, and descriptors are constructed in place
+// at the tail via EmplaceBack. Descriptors are move-only so nothing on the
+// datapath copies one by accident.
 #pragma once
 
 #include <cstdint>
-#include <deque>
+#include <utility>
+#include <vector>
 
 #include "src/buffer/cell_memory.h"
 #include "src/buffer/packet.h"
@@ -20,34 +27,54 @@ struct PacketDescriptor {
   int32_t cell_head = kNullCell;
   int32_t cell_count = 0;
   Time enqueue_time = 0;
+
+  PacketDescriptor() = default;
+  PacketDescriptor(PacketDescriptor&&) = default;
+  PacketDescriptor& operator=(PacketDescriptor&&) = default;
+  PacketDescriptor(const PacketDescriptor&) = delete;
+  PacketDescriptor& operator=(const PacketDescriptor&) = delete;
 };
 
 class PdQueue {
  public:
-  bool Empty() const { return pds_.empty(); }
-  size_t PacketCount() const { return pds_.size(); }
+  bool Empty() const { return size_ == 0; }
+  size_t PacketCount() const { return size_; }
 
   // Queue length in buffer bytes (cell-granular) — the `q_i(t)` of Eq. (1).
   int64_t LengthBytes() const { return length_bytes_; }
   int64_t LengthCells() const { return length_cells_; }
 
   const PacketDescriptor& Head() const {
-    OCCAMY_CHECK(!pds_.empty());
-    return pds_.front();
+    OCCAMY_CHECK(size_ > 0);
+    return ring_[head_];
+  }
+
+  // Builds the descriptor in place at the tail — the enqueue fast path used
+  // by SharedBuffer (no descriptor travels through the call chain).
+  void EmplaceBack(const Packet& pkt, int32_t cell_head, int32_t cell_count, Time now,
+                   int cell_bytes) {
+    if (size_ == ring_.size()) Grow();
+    PacketDescriptor& pd = ring_[(head_ + size_) & (ring_.size() - 1)];
+    pd.packet = pkt;
+    pd.cell_head = cell_head;
+    pd.cell_count = cell_count;
+    pd.enqueue_time = now;
+    ++size_;
+    length_cells_ += cell_count;
+    length_bytes_ += static_cast<int64_t>(cell_count) * cell_bytes;
   }
 
   void Enqueue(PacketDescriptor pd, int cell_bytes) {
-    length_cells_ += pd.cell_count;
-    length_bytes_ += static_cast<int64_t>(pd.cell_count) * cell_bytes;
-    pds_.push_back(std::move(pd));
+    EmplaceBack(pd.packet, pd.cell_head, pd.cell_count, pd.enqueue_time, cell_bytes);
   }
 
   // Removes and returns the head descriptor (both normal dequeue and
   // head-drop use this; the difference is only whether cell data is read).
   PacketDescriptor DequeueHead(int cell_bytes) {
-    OCCAMY_CHECK(!pds_.empty());
-    PacketDescriptor pd = std::move(pds_.front());
-    pds_.pop_front();
+    OCCAMY_CHECK(size_ > 0);
+    PacketDescriptor pd = std::move(ring_[head_]);
+    head_ = (head_ + 1) & (ring_.size() - 1);
+    --size_;
     length_cells_ -= pd.cell_count;
     length_bytes_ -= static_cast<int64_t>(pd.cell_count) * cell_bytes;
     OCCAMY_CHECK_GE(length_cells_, 0);
@@ -55,7 +82,20 @@ class PdQueue {
   }
 
  private:
-  std::deque<PacketDescriptor> pds_;
+  // Doubles the ring, unrolling the wrapped window into FIFO order.
+  void Grow() {
+    const size_t old_cap = ring_.size();
+    std::vector<PacketDescriptor> grown(old_cap == 0 ? 8 : old_cap * 2);
+    for (size_t i = 0; i < size_; ++i) {
+      grown[i] = std::move(ring_[(head_ + i) & (old_cap - 1)]);
+    }
+    ring_ = std::move(grown);
+    head_ = 0;
+  }
+
+  std::vector<PacketDescriptor> ring_;  // capacity always a power of two
+  size_t head_ = 0;
+  size_t size_ = 0;
   int64_t length_bytes_ = 0;
   int64_t length_cells_ = 0;
 };

@@ -43,17 +43,14 @@ class SharedBuffer {
   }
 
   // Writes a packet into queue q. The caller has already passed admission.
-  // Returns false if the buffer is physically out of cells.
+  // Returns false if the buffer is physically out of cells. The descriptor
+  // is built in place in the queue's ring — no copy through the call chain.
   bool Enqueue(int q, const Packet& pkt, Time now) {
     const int64_t n = CellsFor(pkt.size_bytes, cell_bytes_);
     const int32_t head = cells_.AllocChain(n);
     if (head == kNullCell) return false;
-    PacketDescriptor pd;
-    pd.packet = pkt;
-    pd.cell_head = head;
-    pd.cell_count = static_cast<int32_t>(n);
-    pd.enqueue_time = now;
-    queues_[static_cast<size_t>(q)].Enqueue(std::move(pd), cell_bytes_);
+    queues_[static_cast<size_t>(q)].EmplaceBack(pkt, head, static_cast<int32_t>(n), now,
+                                                cell_bytes_);
     peak_used_cells_ = std::max(peak_used_cells_, cells_.used_cells());
     return true;
   }

@@ -49,6 +49,11 @@ class Bitmap {
     for (auto& w : words_) w = 0;
   }
 
+  // Raw 64-bit words, for callers that iterate set bits (or unions of two
+  // same-sized bitmaps) without per-bit Test() calls.
+  size_t WordCount() const { return words_.size(); }
+  uint64_t Word(size_t i) const { return words_[i]; }
+
   // First set bit at index >= start, searching with wrap-around; -1 if none.
   int FindFirstFrom(int start) const {
     OCCAMY_CHECK(start >= 0 && start < bits_ + 1);

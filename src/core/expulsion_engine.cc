@@ -4,33 +4,51 @@ namespace occamy::core {
 
 void ExpulsionEngine::Step() {
   scheduled_ = false;
+  in_step_ = true;
 
   // (1) Refresh the over-allocation bitmap (comparator bank, Figure 9).
+  // Incremental (DT-family schemes only): just the queues marked dirty by
+  // KickQueue plus those whose threshold moved across their length are
+  // re-evaluated. Other schemes rescan every queue, as the pre-optimization
+  // engine did.
   const auto qlen = [this](int q) { return target_->qlen_bytes(q); };
   const auto threshold = [this](int q) { return target_->expulsion_threshold(q); };
-  selector_.Refresh(qlen, threshold);
-  if (!selector_.AnyOverAllocated()) return;  // go idle; a Kick() will wake us
+  if (!config_.incremental_refresh) selector_.MarkAllDirty();
+  selector_.RefreshIncremental(target_->threshold_key(), qlen, threshold);
+  if (!selector_.AnyOverAllocated()) {
+    in_step_ = false;
+    return;  // go idle; a Kick() will wake us
+  }
 
   // (2) Pick the victim queue.
   const int victim = selector_.SelectVictim(qlen);
-  if (victim < 0) return;
+  if (victim < 0) {
+    in_step_ = false;
+    return;
+  }
 
   const int64_t cells = target_->head_cells(victim);
-  if (cells <= 0) return;  // raced with a dequeue; next Kick re-evaluates
+  if (cells <= 0) {
+    in_step_ = false;
+    return;  // raced with a dequeue; next Kick re-evaluates
+  }
 
   // (3) Fixed-priority arbitration: only proceed on redundant bandwidth.
   const Time now = sim_->now();
   if (!memory_->TryConsume(cells, now)) {
     ++blocked_on_bandwidth_;
     const Time wait = memory_->TimeUntilAvailable(cells, now);
-    scheduled_ = true;
-    pending_ = sim_->After(wait, [this] { Step(); });
+    in_step_ = false;
+    Reschedule(wait);
     return;
   }
 
   // (4) Execute the head drop (PD dequeue + cell-pointer free, Figure 10).
+  // HeadDropOnePacket may run a drop hook that feeds back into the TM; any
+  // Kick from there only marks dirty state (see ScheduleFromKick).
   const int64_t bytes_before = target_->qlen_bytes(victim);
   target_->HeadDropOnePacket(victim);
+  selector_.MarkDirty(victim);
   const int64_t dropped_bytes = bytes_before - target_->qlen_bytes(victim);
   ++expelled_packets_;
   expelled_cells_ += cells;
@@ -38,8 +56,8 @@ void ExpulsionEngine::Step() {
 
   // (5) Keep going while work remains; the op itself occupies the pipeline
   // for a few cycles.
-  scheduled_ = true;
-  pending_ = sim_->After(OpLatency(cells), [this] { Step(); });
+  in_step_ = false;
+  Reschedule(OpLatency(cells));
 }
 
 }  // namespace occamy::core

@@ -29,8 +29,15 @@ class ExpulsionTarget {
   virtual int64_t qlen_bytes(int q) const = 0;
 
   // The over-allocation threshold T(t) for queue q (Occamy uses its DT
-  // threshold; see §4.3 "Selecting a head-drop queue").
+  // threshold; see §4.3 "Selecting a head-drop queue"). Must be >= 0, and a
+  // non-decreasing function of threshold_key() and (besides the queue's own
+  // length) of nothing else mutable — the contract that lets the selector
+  // refresh its bitmap incrementally (see HeadDropSelector).
   virtual int64_t expulsion_threshold(int q) const = 0;
+
+  // Scalar capturing everything mutable that thresholds depend on. For the
+  // DT family (T = alpha_q * free) this is the free buffer bytes.
+  virtual int64_t threshold_key() const = 0;
 
   // Cells occupied by the head packet of q, or 0 if q is empty.
   virtual int64_t head_cells(int q) const = 0;
@@ -41,6 +48,13 @@ class ExpulsionTarget {
 
 struct ExpulsionConfig {
   DropPolicy policy = DropPolicy::kRoundRobin;
+
+  // Refresh the selector's over-allocation bitmap incrementally (dirty
+  // queues + threshold_key delta) instead of rescanning every queue per
+  // step. Only exact when the target's thresholds honour the threshold_key
+  // contract (DT family); TmPartition enables it iff the scheme reports
+  // ThresholdIsFreeBytesMonotone(). Off by default: full rescan per step.
+  bool incremental_refresh = false;
 
   // Latency of one expulsion operation: the selector produces a victim every
   // other cycle at 1 GHz (paper §5.1), and dequeuing the PD + cell pointers
@@ -64,12 +78,20 @@ class ExpulsionEngine {
   ExpulsionEngine(const ExpulsionEngine&) = delete;
   ExpulsionEngine& operator=(const ExpulsionEngine&) = delete;
 
-  // Notifies the engine that TM state changed (enqueue/dequeue). Schedules a
-  // step if the engine is idle. Cheap: no-op when already scheduled.
+  // Notifies the engine that TM state changed in a way it cannot attribute
+  // to one queue: the next step rescans every queue. Schedules a step if the
+  // engine is idle. Cheap: no-op when already scheduled.
   void Kick() {
-    if (scheduled_) return;
-    scheduled_ = true;
-    pending_ = sim_->After(0, [this] { Step(); });
+    selector_.MarkAllDirty();
+    ScheduleFromKick();
+  }
+
+  // Notifies the engine that queue q's length changed (enqueue/dequeue/
+  // head-drop). The next step re-evaluates only q plus whatever the shared
+  // threshold movement implies — the hot-path flavour of Kick().
+  void KickQueue(int q) {
+    selector_.MarkDirty(q);
+    ScheduleFromKick();
   }
 
   int64_t expelled_packets() const { return expelled_packets_; }
@@ -79,6 +101,23 @@ class ExpulsionEngine {
 
  private:
   void Step();
+
+  // Kick-side scheduling. While Step() executes (in_step_), kicks only mark
+  // dirty state — Step's epilogue owns the reschedule, so a stray re-entrant
+  // Kick() (e.g. a drop hook feeding back into the TM) can neither
+  // double-schedule Step nor shortcut the pipeline's OpLatency pacing.
+  void ScheduleFromKick() {
+    if (scheduled_ || in_step_) return;
+    scheduled_ = true;
+    pending_ = sim_->After(0, [this] { Step(); });
+  }
+
+  // Step-side rescheduling; only valid from inside Step().
+  void Reschedule(Time delay) {
+    scheduled_ = true;
+    pending_ = sim_->After(delay, [this] { Step(); });
+  }
+
   Time OpLatency(int64_t cells) const {
     const int64_t ptr_cycles = (cells + config_.cell_ptr_batch - 1) / config_.cell_ptr_batch;
     const int64_t cycles = std::max<int64_t>(config_.selector_cycles, ptr_cycles);
@@ -92,6 +131,7 @@ class ExpulsionEngine {
   HeadDropSelector selector_;
 
   bool scheduled_ = false;
+  bool in_step_ = false;
   sim::EventHandle pending_;
 
   int64_t expelled_packets_ = 0;

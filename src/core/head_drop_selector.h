@@ -7,10 +7,29 @@
 // The paper also evaluates a "longest queue drop" variant (Fig. 21); both
 // policies are provided. A cycle-level gate model of the same circuit lives
 // in src/hw and is property-tested for equivalence against this class.
+//
+// Refreshing the bitmap comes in two flavours:
+//  - Refresh(): full rescan of every queue (simple, used by tests and the
+//    gate-model equivalence harness).
+//  - RefreshIncremental(): re-evaluates only queues that can have changed
+//    state — the dirty set (queues whose length changed since the last
+//    refresh, reported via MarkDirty from the enqueue/dequeue path) plus the
+//    queues whose threshold may have crossed their unchanged length. The
+//    latter is derived from a scalar `threshold_key`: the caller guarantees
+//    that for a fixed queue, T(q) is a non-decreasing function of the key
+//    and of nothing else mutable (DT-family schemes: key = free buffer
+//    bytes, T = alpha_q * free). Then
+//      key fell      -> thresholds fell: only bits can turn ON, and only for
+//                       non-empty queues (a zero-length queue is never over-
+//                       allocated since T >= 0) -> re-evaluate nonempty|dirty;
+//      key rose      -> thresholds rose: only set bits can turn OFF
+//                       -> re-evaluate overallocated|dirty;
+//      key unchanged -> thresholds unchanged -> re-evaluate dirty only.
+//    This is exactly equivalent to a full rescan under that contract; a
+//    property test in tests/core_test.cc checks the equivalence.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "src/core/bitmap.h"
 #include "src/core/round_robin_arbiter.h"
@@ -25,18 +44,57 @@ enum class DropPolicy {
 class HeadDropSelector {
  public:
   explicit HeadDropSelector(int num_queues, DropPolicy policy = DropPolicy::kRoundRobin)
-      : policy_(policy), bitmap_(num_queues), arbiter_(num_queues) {}
+      : policy_(policy), bitmap_(num_queues), nonempty_(num_queues), dirty_(num_queues) {}
 
   int num_queues() const { return bitmap_.size(); }
   DropPolicy policy() const { return policy_; }
 
-  // Refreshes the over-allocation bitmap from the given state readers.
+  // Marks queue q as having a changed length since the last refresh.
+  void MarkDirty(int q) { dirty_.Set(q, true); }
+  // Conservative: the next refresh rescans everything (used when the caller
+  // cannot attribute the change to specific queues).
+  void MarkAllDirty() { all_dirty_ = true; }
+
+  // Full rescan of the over-allocation bitmap from the given state readers.
   // qlen(q) and threshold(q) are in bytes.
-  void Refresh(const std::function<int64_t(int)>& qlen,
-               const std::function<int64_t(int)>& threshold) {
-    for (int q = 0; q < bitmap_.size(); ++q) {
-      bitmap_.Set(q, qlen(q) > threshold(q));
+  template <typename QlenFn, typename ThresholdFn>
+  void Refresh(const QlenFn& qlen, const ThresholdFn& threshold) {
+    for (int q = 0; q < bitmap_.size(); ++q) EvalQueue(q, qlen, threshold);
+    dirty_.ClearAll();
+    all_dirty_ = false;
+    have_key_ = false;  // a later RefreshIncremental starts from a full scan
+  }
+
+  // Incremental refresh; exact under the threshold_key contract above.
+  template <typename QlenFn, typename ThresholdFn>
+  void RefreshIncremental(int64_t threshold_key, const QlenFn& qlen,
+                          const ThresholdFn& threshold) {
+    if (all_dirty_ || !have_key_) {
+      Refresh(qlen, threshold);
+    } else if (threshold_key != last_key_) {
+      const Bitmap& maybe_flipped = threshold_key < last_key_ ? nonempty_ : bitmap_;
+      for (size_t w = 0; w < dirty_.WordCount(); ++w) {
+        uint64_t bits = maybe_flipped.Word(w) | dirty_.Word(w);
+        while (bits != 0) {
+          const int q = static_cast<int>(w << 6) + __builtin_ctzll(bits);
+          bits &= bits - 1;
+          EvalQueue(q, qlen, threshold);
+        }
+      }
+      dirty_.ClearAll();
+    } else {
+      for (size_t w = 0; w < dirty_.WordCount(); ++w) {
+        uint64_t bits = dirty_.Word(w);
+        while (bits != 0) {
+          const int q = static_cast<int>(w << 6) + __builtin_ctzll(bits);
+          bits &= bits - 1;
+          EvalQueue(q, qlen, threshold);
+        }
+      }
+      dirty_.ClearAll();
     }
+    last_key_ = threshold_key;
+    have_key_ = true;
   }
 
   bool AnyOverAllocated() const { return bitmap_.Any(); }
@@ -45,7 +103,8 @@ class HeadDropSelector {
 
   // Selects the next victim queue, or -1 if no queue is over-allocated.
   // For kLongestQueue the caller's qlen reader is consulted again.
-  int SelectVictim(const std::function<int64_t(int)>& qlen) {
+  template <typename QlenFn>
+  int SelectVictim(const QlenFn& qlen) {
     if (!bitmap_.Any()) return -1;
     if (policy_ == DropPolicy::kRoundRobin) return arbiter_.Grant(bitmap_);
     int victim = -1;
@@ -64,9 +123,23 @@ class HeadDropSelector {
   const Bitmap& bitmap_for_test() const { return bitmap_; }
 
  private:
+  template <typename QlenFn, typename ThresholdFn>
+  void EvalQueue(int q, const QlenFn& qlen, const ThresholdFn& threshold) {
+    const int64_t len = qlen(q);
+    nonempty_.Set(q, len > 0);
+    // A zero-length queue is never flagged: it has no packet to head-drop
+    // (and with T >= 0 the strict comparison is false anyway).
+    bitmap_.Set(q, len > 0 && len > threshold(q));
+  }
+
   DropPolicy policy_;
-  Bitmap bitmap_;
-  RoundRobinArbiter arbiter_;
+  Bitmap bitmap_;            // over-allocated queues
+  Bitmap nonempty_;          // queues with qlen > 0, as of the last refresh
+  Bitmap dirty_;             // queues whose length changed since then
+  bool all_dirty_ = true;    // first refresh is always a full scan
+  bool have_key_ = false;
+  int64_t last_key_ = 0;
+  RoundRobinArbiter arbiter_{bitmap_.size()};
 };
 
 }  // namespace occamy::core

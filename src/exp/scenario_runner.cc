@@ -1,5 +1,7 @@
 #include "src/exp/scenario_runner.h"
 
+#include <chrono>
+
 #include "bench/common/burst_lab.h"
 #include "bench/common/dpdk_run.h"
 #include "bench/common/fabric_run.h"
@@ -10,6 +12,8 @@ namespace {
 
 using bench::BenchScale;
 using bench::Scheme;
+
+using PerfClock = std::chrono::steady_clock;
 
 struct SchemeEntry {
   const char* name;
@@ -61,12 +65,26 @@ std::string KnobError(const char* knob, const ScenarioInfo& entry) {
 
 void AddCommonFields(Metrics& m, const ScenarioInfo& entry, const PointSpec& spec,
                      BenchScale scale) {
-  m.Set("schema_version", int64_t{2});
+  m.Set("schema_version", int64_t{3});
   m.Set("scenario", entry.name);
   m.Set("platform", entry.platform);
   m.Set("bm", spec.bm);
   m.Set("scale", ScaleName(scale));
   m.Set("seed", spec.seed);
+}
+
+// Perf telemetry appended to every point (schema v3): the deterministic
+// simulator event count, plus wall-clock-derived throughput. wall_ms and
+// events_per_sec vary run to run and machine to machine — the JSONL sink
+// carries them per run, but the CSV summary excludes them (see sinks.cc) so
+// sweep output stays byte-reproducible.
+void AddPerfFields(Metrics& m, int64_t sim_events, PerfClock::time_point start) {
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(PerfClock::now() - start).count();
+  m.Set("sim_events", sim_events);
+  m.Set("wall_ms", wall_ms);
+  m.Set("events_per_sec", wall_ms > 0 ? static_cast<double>(sim_events) / wall_ms * 1e3
+                                      : 0.0);
 }
 
 void AddOccupancy(Metrics& m, int64_t buffer_bytes, int64_t peak_bytes) {
@@ -102,6 +120,7 @@ PointResult RunBurst(const ScenarioInfo& entry, Scheme scheme, const PointSpec& 
   if (spec.duration_ms > 0) run.horizon = FromSeconds(spec.duration_ms / 1000.0);
   run.seed = spec.seed;
 
+  const PerfClock::time_point start = PerfClock::now();
   const bench::BurstLabResult r = bench::RunBurstLab(run);
 
   Metrics& m = result.metrics;
@@ -115,6 +134,7 @@ PointResult RunBurst(const ScenarioInfo& entry, Scheme scheme, const PointSpec& 
   m.Set("long_lived_drops", r.long_lived_drops);
   m.Set("expelled", r.expelled);
   m.Set("buffer_bytes", run.buffer_bytes);
+  AddPerfFields(m, r.sim_events, start);
   result.ok = true;
   return result;
 }
@@ -173,6 +193,7 @@ PointResult RunStar(const ScenarioInfo& entry, Scheme scheme, const PointSpec& s
     run.min_queries = 0;
   }
 
+  const PerfClock::time_point start = PerfClock::now();
   const bench::DpdkRunResult r = bench::RunDpdk(run);
 
   Metrics& m = result.metrics;
@@ -192,6 +213,7 @@ PointResult RunStar(const ScenarioInfo& entry, Scheme scheme, const PointSpec& s
   m.Set("drops", r.drops);
   m.Set("expelled", r.expelled);
   AddOccupancy(m, r.buffer_bytes, r.peak_occupancy_bytes);
+  AddPerfFields(m, r.sim_events, start);
   result.ok = true;
   return result;
 }
@@ -239,6 +261,7 @@ PointResult RunFabricScenario(const ScenarioInfo& entry, Scheme scheme,
   if (spec.bg_flow_bytes > 0) run.bg_fixed_size = spec.bg_flow_bytes;
   if (spec.duration_ms > 0) run.duration = FromSeconds(spec.duration_ms / 1000.0);
 
+  const PerfClock::time_point start = PerfClock::now();
   const bench::FabricRunResult r = bench::RunFabric(run);
 
   Metrics& m = result.metrics;
@@ -263,6 +286,7 @@ PointResult RunFabricScenario(const ScenarioInfo& entry, Scheme scheme,
   m.Set("drops", r.drops);
   m.Set("expelled", r.expelled);
   AddOccupancy(m, r.buffer_bytes, r.peak_occupancy_bytes);
+  AddPerfFields(m, r.sim_events, start);
   result.ok = true;
   return result;
 }

@@ -9,7 +9,12 @@ namespace occamy::exp {
 namespace {
 
 bool IsBookkeepingMetric(const std::string& key) {
-  return key == "seed" || key == "schema_version";
+  if (key == "seed" || key == "schema_version") return true;
+  // Wall-clock perf telemetry varies run to run and machine to machine;
+  // aggregating it would make summary.csv non-reproducible (the determinism
+  // contract in sweep_runner.h). It stays per-run in the JSONL stream; the
+  // deterministic sim_events metric IS aggregated.
+  return key == "wall_ms" || key == "events_per_sec";
 }
 
 stats::Summary* FindMetric(CellSummary& cell, const std::string& key) {

@@ -4,7 +4,10 @@
 // scale (no process-global state), every simulation is fully isolated in
 // its own Simulator/Network, and records are reported sorted by run key —
 // so the output is byte-identical regardless of the job count or the order
-// in which workers happen to finish.
+// in which workers happen to finish, with one exception: the wall-clock
+// perf fields (`wall_ms`, `events_per_sec`, schema v3) legitimately vary
+// per run. Everything else, including `sim_events`, is exact; summary.csv
+// excludes the wall-clock fields and stays fully byte-identical.
 #pragma once
 
 #include <functional>

@@ -1,31 +1,43 @@
 // Event queue for the discrete-event engine.
 //
-// A binary min-heap ordered by (time, sequence). The sequence number makes
+// A 4-ary min-heap ordered by (time, sequence). The sequence number makes
 // ordering of same-time events deterministic (FIFO in scheduling order).
-// Events are cancellable through EventHandle without heap surgery: cancelled
-// events are skipped when popped.
+//
+// Two layout decisions drive the hot path:
+//  - Heap entries are 16 bytes: the time plus a packed (seq << 24 | slot)
+//    word. The sort key (time, seq) is embedded, so sifting is pure
+//    sequential-array work — comparisons never dereference into the arena —
+//    and since seq occupies the high bits, comparing the packed word
+//    compares seq. This caps the arena at 2^24 concurrent events and one
+//    queue at 2^40 total events; both are checked.
+//  - Event state (callback + liveness) lives in a contiguous freelist-
+//    recycled arena: after warm-up, scheduling performs no allocation (the
+//    arena and heap vectors are reused, and sim::Callback keeps typical
+//    captures inline). EventHandle is a {slot, generation} pair instead of
+//    a weak_ptr: cancelling a stale handle whose slot has been recycled is
+//    a generation mismatch, hence a no-op.
+//
+// Cancelled events are skipped lazily when they surface at the heap root,
+// and compacted eagerly once they outnumber live events (so a workload that
+// cancels many far-future timers — e.g. retransmit timers — cannot grow the
+// heap unboundedly).
+//
+// Handles are only valid while the owning EventQueue is alive; they are
+// plain {queue, slot, generation} triples with no ownership.
 #pragma once
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <memory>
 #include <vector>
 
+#include "src/sim/callback.h"
+#include "src/util/check.h"
 #include "src/util/time.h"
 
 namespace occamy::sim {
 
-using Callback = std::function<void()>;
-
-namespace internal {
-struct Event {
-  Time time = 0;
-  uint64_t seq = 0;
-  bool cancelled = false;
-  Callback callback;
-};
-}  // namespace internal
+class EventQueue;
 
 // A handle to a scheduled event; default-constructed handles are inert.
 // Cancelling an already-fired or already-cancelled event is a no-op.
@@ -34,76 +46,209 @@ class EventHandle {
   EventHandle() = default;
 
   // Cancels the event if it has not fired yet. Returns true if it was live.
-  bool Cancel() {
-    if (auto ev = event_.lock(); ev != nullptr && !ev->cancelled) {
-      ev->cancelled = true;
-      ev->callback = nullptr;  // release captured state eagerly
-      return true;
-    }
-    return false;
-  }
+  inline bool Cancel();
 
-  bool IsPending() const {
-    auto ev = event_.lock();
-    return ev != nullptr && !ev->cancelled;
-  }
+  inline bool IsPending() const;
 
  private:
   friend class EventQueue;
-  explicit EventHandle(std::weak_ptr<internal::Event> ev) : event_(std::move(ev)) {}
-  std::weak_ptr<internal::Event> event_;
+  EventHandle(EventQueue* queue, uint32_t slot, uint32_t generation)
+      : queue_(queue), slot_(slot), generation_(generation) {}
+
+  EventQueue* queue_ = nullptr;
+  uint32_t slot_ = 0;
+  uint32_t generation_ = 0;
 };
 
 class EventQueue {
  public:
   EventHandle Push(Time time, Callback cb) {
-    auto ev = std::make_shared<internal::Event>();
-    ev->time = time;
-    ev->seq = next_seq_++;
-    ev->callback = std::move(cb);
-    heap_.push_back(ev);
-    std::push_heap(heap_.begin(), heap_.end(), Later);
-    return EventHandle(ev);
+    // The pop path invokes unconditionally (the old queue silently skipped
+    // null callbacks); reject the programming error at schedule time.
+    OCCAMY_CHECK(static_cast<bool>(cb)) << "scheduling a null callback";
+    uint32_t slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+    } else {
+      slot = static_cast<uint32_t>(slots_.size());
+      OCCAMY_CHECK(slot < (1u << kSlotBits)) << "too many concurrent events";
+      slots_.emplace_back();
+    }
+    Slot& s = slots_[slot];
+    s.cancelled = false;
+    s.callback = std::move(cb);
+    OCCAMY_CHECK(next_seq_ >> (64 - kSlotBits) == 0) << "event sequence overflow";
+    heap_.push_back(Entry{time, (next_seq_++ << kSlotBits) | slot});
+    SiftUp(heap_.size() - 1);
+    ++live_;
+    return EventHandle(this, slot, s.generation);
   }
 
-  bool Empty() {
-    SkipCancelled();
-    return heap_.empty();
-  }
+  bool Empty() const { return live_ == 0; }
 
+  // Events that will still fire (excludes cancelled-but-not-yet-removed
+  // entries). Non-mutating, unlike NextTime().
+  size_t live_size() const { return live_; }
+
+  // Raw heap occupancy including cancelled entries awaiting removal; the
+  // lazy compaction keeps this below 2x live_size() (plus a small floor).
   size_t SizeForTest() const { return heap_.size(); }
 
   // Time of the earliest live event. Undefined if Empty().
   Time NextTime() {
-    SkipCancelled();
-    return heap_.front()->time;
+    PruneDeadHead();
+    return heap_.front().time;
   }
 
-  // Pops and returns the earliest live event. Undefined if Empty().
-  std::shared_ptr<internal::Event> Pop() {
-    SkipCancelled();
-    std::pop_heap(heap_.begin(), heap_.end(), Later);
-    auto ev = std::move(heap_.back());
-    heap_.pop_back();
-    return ev;
+  // Pops the earliest live event, moving its callback into `cb` and
+  // returning its time. The slot is recycled before the callback runs, so
+  // the callback may freely schedule new events. Undefined if Empty().
+  Time PopLive(Callback& cb) {
+    PruneDeadHead();
+    const Entry head = heap_.front();
+    RemoveRoot();
+    const uint32_t slot = SlotOf(head);
+    cb = std::move(slots_[slot].callback);
+    FreeSlot(slot);
+    --live_;
+    return head.time;
   }
 
  private:
-  static bool Later(const std::shared_ptr<internal::Event>& a,
-                    const std::shared_ptr<internal::Event>& b) {
-    if (a->time != b->time) return a->time > b->time;
-    return a->seq > b->seq;
+  friend class EventHandle;
+
+  // Arena slot index width inside Entry::seq_slot; the high 40 bits hold
+  // the scheduling sequence number.
+  static constexpr int kSlotBits = 24;
+
+  // Heap entry: the (time, seq) sort key is embedded so comparisons stay in
+  // this contiguous array; the slot part points at callback/liveness state.
+  struct Entry {
+    Time time;
+    uint64_t seq_slot;  // (seq << kSlotBits) | slot
+  };
+
+  static uint32_t SlotOf(const Entry& e) {
+    return static_cast<uint32_t>(e.seq_slot & ((1u << kSlotBits) - 1));
   }
 
-  void SkipCancelled() {
-    while (!heap_.empty() && heap_.front()->cancelled) {
-      std::pop_heap(heap_.begin(), heap_.end(), Later);
-      heap_.pop_back();
+  struct Slot {
+    uint32_t generation = 0;
+    bool cancelled = false;
+    Callback callback;
+  };
+
+  // Compaction kicks in only past this heap size: tiny queues never pay the
+  // rebuild, and the bound "dead <= max(live, floor)" still holds.
+  static constexpr size_t kCompactMinHeap = 64;
+
+  bool CancelSlot(uint32_t slot, uint32_t generation) {
+    if (slot >= slots_.size()) return false;
+    Slot& s = slots_[slot];
+    if (s.generation != generation || s.cancelled) return false;
+    s.cancelled = true;
+    s.callback = nullptr;  // release captured state eagerly
+    --live_;
+    if (heap_.size() >= kCompactMinHeap && (heap_.size() - live_) * 2 > heap_.size()) {
+      Compact();
+    }
+    return true;
+  }
+
+  bool IsPendingSlot(uint32_t slot, uint32_t generation) const {
+    return slot < slots_.size() && slots_[slot].generation == generation &&
+           !slots_[slot].cancelled;
+  }
+
+  // seq sits in the high bits of seq_slot, so comparing the packed word
+  // compares seq (slot bits only separate identical seqs, which cannot
+  // happen).
+  static bool Before(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq_slot < b.seq_slot;
+  }
+
+  void SiftUp(size_t i) {
+    const Entry v = heap_[i];
+    while (i > 0) {
+      const size_t parent = (i - 1) / 4;
+      if (!Before(v, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = v;
+  }
+
+  void SiftDown(size_t i) {
+    const Entry v = heap_[i];
+    const size_t n = heap_.size();
+    for (;;) {
+      const size_t first = 4 * i + 1;
+      if (first >= n) break;
+      size_t best = first;
+      const size_t last = std::min(first + 4, n);
+      for (size_t c = first + 1; c < last; ++c) {
+        if (Before(heap_[c], heap_[best])) best = c;
+      }
+      if (!Before(heap_[best], v)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = v;
+  }
+
+  void RemoveRoot() {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) SiftDown(0);
+  }
+
+  void FreeSlot(uint32_t slot) {
+    Slot& s = slots_[slot];
+    ++s.generation;  // invalidates every outstanding handle to this slot
+    s.callback = nullptr;
+    free_.push_back(slot);
+  }
+
+  void PruneDeadHead() {
+    while (!heap_.empty() && slots_[SlotOf(heap_.front())].cancelled) {
+      FreeSlot(SlotOf(heap_.front()));
+      RemoveRoot();
     }
   }
 
-  std::vector<std::shared_ptr<internal::Event>> heap_;
+  // Removes every cancelled entry and rebuilds the heap in O(n). The pop
+  // order is unchanged: (time, seq) is a total order, so any valid heap of
+  // the same live set yields the identical extraction sequence.
+  void Compact() {
+    size_t kept = 0;
+    for (const Entry& e : heap_) {
+      if (slots_[SlotOf(e)].cancelled) {
+        FreeSlot(SlotOf(e));
+      } else {
+        heap_[kept++] = e;
+      }
+    }
+    heap_.resize(kept);
+    if (kept > 1) {
+      for (size_t i = (kept - 2) / 4 + 1; i-- > 0;) SiftDown(i);
+    }
+  }
+
+  std::vector<Slot> slots_;     // arena; indexed by EventHandle::slot_
+  std::vector<uint32_t> free_;  // recycled arena slots
+  std::vector<Entry> heap_;     // 4-ary min-heap keyed by (time, seq)
+  size_t live_ = 0;             // heap entries not cancelled
   uint64_t next_seq_ = 0;
 };
+
+inline bool EventHandle::Cancel() {
+  return queue_ != nullptr && queue_->CancelSlot(slot_, generation_);
+}
+
+inline bool EventHandle::IsPending() const {
+  return queue_ != nullptr && queue_->IsPendingSlot(slot_, generation_);
+}
 
 }  // namespace occamy::sim

@@ -54,21 +54,20 @@ class Simulator {
   void Stop() { stopped_ = true; }
 
   uint64_t processed_events() const { return processed_; }
-  bool HasPendingEvents() { return !queue_.Empty(); }
+  bool HasPendingEvents() const { return queue_.live_size() > 0; }
 
  private:
   uint64_t RunCore(Time until) {
     uint64_t n = 0;
     stopped_ = false;
     while (!stopped_ && !queue_.Empty() && queue_.NextTime() <= until) {
-      auto ev = queue_.Pop();
-      OCCAMY_CHECK_GE(ev->time, now_);
-      now_ = ev->time;
-      if (!ev->cancelled && ev->callback) {
-        ev->callback();
-        ++n;
-        ++processed_;
-      }
+      Callback cb;
+      const Time t = queue_.PopLive(cb);
+      OCCAMY_DCHECK_GE(t, now_);  // At() rejects past times; debug-only here
+      now_ = t;
+      cb();
+      ++n;
+      ++processed_;
     }
     return n;
   }

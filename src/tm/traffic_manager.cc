@@ -49,7 +49,12 @@ TmPartition::TmPartition(sim::Simulator* sim, TmConfig config,
   drain_rates_.assign(queue_configs_.size(), stats::EwmaRateEstimator(Microseconds(100)));
 
   if (config_.enable_expulsion) {
-    engine_ = std::make_unique<core::ExpulsionEngine>(sim_, this, &memory_, config_.expulsion);
+    // Incremental bitmap refresh is only exact for DT-family thresholds
+    // (threshold_key == free bytes); other schemes fall back to a full
+    // rescan per expulsion step.
+    core::ExpulsionConfig expulsion = config_.expulsion;
+    expulsion.incremental_refresh = scheme_->ThresholdIsFreeBytesMonotone();
+    engine_ = std::make_unique<core::ExpulsionEngine>(sim_, this, &memory_, expulsion);
   }
 
   if (config_.stats_sync_interval > 0) {
@@ -99,6 +104,7 @@ TmPartition::EnqueueResult TmPartition::Enqueue(int port, Packet pkt) {
     const buffer::PacketDescriptor evicted = shared_.DequeueHead(*victim);
     ++stats_.pushout_evictions;
     scheme_->OnDequeue(*this, *victim, evicted.cell_count * config_.cell_bytes);
+    if (engine_ != nullptr) engine_->KickQueue(*victim);
     RecordDrop(evicted.packet, DropReason::kPushoutEvicted);
   }
 
@@ -120,7 +126,7 @@ TmPartition::EnqueueResult TmPartition::Enqueue(int port, Packet pkt) {
 
   // Wake Occamy's reactive component: this enqueue may have pushed some
   // queue above the (now lower) threshold.
-  if (engine_ != nullptr) engine_->Kick();
+  if (engine_ != nullptr) engine_->KickQueue(q);
   return result;
 }
 
@@ -149,7 +155,7 @@ std::optional<Packet> TmPartition::DequeueForPort(int port) {
   stats_.dequeued_bytes += pd.packet.size_bytes;
   drain_rates_[static_cast<size_t>(q)].Update(bytes, sim_->now());
   scheme_->OnDequeue(*this, q, bytes);
-  if (engine_ != nullptr) engine_->Kick();
+  if (engine_ != nullptr) engine_->KickQueue(q);
   return pd.packet;
 }
 

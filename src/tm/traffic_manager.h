@@ -142,6 +142,9 @@ class TmPartition final : public bm::TmView, public core::ExpulsionTarget {
 
   // ---- core::ExpulsionTarget ----
   int64_t expulsion_threshold(int q) const override { return scheme_->Threshold(*this, q); }
+  // Occamy's expulsion threshold is its DT threshold alpha_q * free, so the
+  // free buffer bytes capture every shared input of the threshold bank.
+  int64_t threshold_key() const override { return shared_.free_bytes(); }
   int64_t head_cells(int q) const override {
     const auto& queue = shared_.queue(q);
     return queue.Empty() ? 0 : queue.Head().cell_count;

@@ -43,3 +43,18 @@ class CheckFailStream {
 #define OCCAMY_CHECK_GE(a, b) OCCAMY_CHECK((a) >= (b)) << " [" << (a) << " vs " << (b) << "] "
 #define OCCAMY_CHECK_LE(a, b) OCCAMY_CHECK((a) <= (b)) << " [" << (a) << " vs " << (b) << "] "
 #define OCCAMY_CHECK_EQ(a, b) OCCAMY_CHECK((a) == (b)) << " [" << (a) << " vs " << (b) << "] "
+
+// Debug-only variants for per-event/per-packet hot paths: full checks in
+// debug builds, compiled out (but still parsed) under NDEBUG. Reserve these
+// for invariants that a unit test also covers; accounting invariants stay on
+// OCCAMY_CHECK in all build types.
+#ifdef NDEBUG
+#define OCCAMY_DCHECK(cond) \
+  if (true) {               \
+  } else                    \
+    OCCAMY_CHECK(cond)
+#else
+#define OCCAMY_DCHECK(cond) OCCAMY_CHECK(cond)
+#endif
+
+#define OCCAMY_DCHECK_GE(a, b) OCCAMY_DCHECK((a) >= (b)) << " [" << (a) << " vs " << (b) << "] "

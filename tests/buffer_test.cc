@@ -103,6 +103,54 @@ TEST(PdQueueTest, FifoOrderAndLengths) {
   EXPECT_EQ(q.LengthBytes(), 0);
 }
 
+TEST(PdQueueTest, RingWrapsAndGrowsPreservingFifo) {
+  // Drive the ring through many partial fill/drain cycles so head/tail wrap
+  // repeatedly, then force growth mid-wrap; FIFO order and accounting must
+  // survive both.
+  CellMemory mem(100000);
+  PdQueue q;
+  uint64_t next_in = 0, next_out = 0;
+  Rng rng(7);
+  for (int step = 0; step < 5000; ++step) {
+    if (rng.Bernoulli(0.55)) {
+      Packet p;
+      p.seq = next_in++;
+      p.size_bytes = 400;
+      const int32_t head = mem.AllocChain(2);
+      ASSERT_NE(head, kNullCell);
+      q.EmplaceBack(p, head, 2, /*now=*/static_cast<Time>(step), 200);
+    } else if (!q.Empty()) {
+      PacketDescriptor pd = q.DequeueHead(200);
+      EXPECT_EQ(pd.packet.seq, next_out++) << "FIFO violated at step " << step;
+      mem.FreeChain(pd.cell_head, pd.cell_count);
+    }
+    ASSERT_EQ(q.PacketCount(), next_in - next_out);
+    ASSERT_EQ(q.LengthCells(), static_cast<int64_t>(next_in - next_out) * 2);
+  }
+  while (!q.Empty()) {
+    PacketDescriptor pd = q.DequeueHead(200);
+    EXPECT_EQ(pd.packet.seq, next_out++);
+    mem.FreeChain(pd.cell_head, pd.cell_count);
+  }
+  EXPECT_EQ(next_in, next_out);
+  EXPECT_EQ(q.LengthBytes(), 0);
+}
+
+TEST(PdQueueTest, EmplaceBackMatchesEnqueue) {
+  CellMemory mem(100);
+  PdQueue q;
+  Packet p;
+  p.seq = 42;
+  p.size_bytes = 500;
+  const int32_t head = mem.AllocChain(3);
+  q.EmplaceBack(p, head, 3, Nanoseconds(9), 200);
+  EXPECT_EQ(q.PacketCount(), 1u);
+  EXPECT_EQ(q.LengthBytes(), 600);
+  EXPECT_EQ(q.Head().packet.seq, 42u);
+  EXPECT_EQ(q.Head().cell_head, head);
+  EXPECT_EQ(q.Head().enqueue_time, Nanoseconds(9));
+}
+
 TEST(SharedBufferTest, EnqueueDequeueAccounting) {
   SharedBuffer buf(10000, 4, 200);  // 50 cells
   EXPECT_EQ(buf.buffer_bytes(), 10000);

@@ -61,6 +61,7 @@ class OneQueueTarget : public ExpulsionTarget {
     return cells * 200;
   }
   int64_t expulsion_threshold(int) const override { return threshold_; }
+  int64_t threshold_key() const override { return threshold_; }
   int64_t head_cells(int) const override { return packets_.empty() ? 0 : packets_.front(); }
   void HeadDropOnePacket(int) override {
     ASSERT_FALSE(packets_.empty());

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <algorithm>
+#include <vector>
 
 #include "src/core/bitmap.h"
 #include "src/core/head_drop_selector.h"
@@ -240,6 +242,57 @@ TEST(SelectorTest, NoVictimWhenNoneOverAllocated) {
   const auto qlen = [](int) { return int64_t{100}; };
   sel.Refresh(qlen, [](int) { return int64_t{200}; });
   EXPECT_EQ(sel.SelectVictim(qlen), -1);
+}
+
+TEST(SelectorTest, IncrementalRefreshMatchesFullRescan) {
+  // Property test for the RefreshIncremental contract: under a DT-style
+  // threshold (T_q = alpha_q * free, monotone in the free-bytes key) and
+  // dirty marks on every queue-length change, the incremental bitmap must be
+  // bit-identical to a full rescan at every step.
+  constexpr int kQueues = 67;  // straddles a word boundary
+  constexpr int64_t kBufferBytes = 100000;
+  Rng rng(4242);
+  std::vector<int64_t> qlen(kQueues, 0);
+  std::vector<double> alpha(kQueues);
+  for (auto& a : alpha) a = 0.25 * static_cast<double>(1 + rng.UniformInt(16));
+  int64_t occupancy = 0;
+
+  const auto qlen_fn = [&](int q) { return qlen[static_cast<size_t>(q)]; };
+  const auto threshold_fn = [&](int q) {
+    return static_cast<int64_t>(alpha[static_cast<size_t>(q)] *
+                                static_cast<double>(kBufferBytes - occupancy));
+  };
+
+  HeadDropSelector incremental(kQueues);
+  HeadDropSelector full(kQueues);
+  for (int step = 0; step < 5000; ++step) {
+    // A batch of enqueues/dequeues between engine steps.
+    const int batch = 1 + static_cast<int>(rng.UniformInt(4));
+    for (int i = 0; i < batch; ++i) {
+      const int q = static_cast<int>(rng.UniformInt(kQueues));
+      if (rng.Bernoulli(0.55)) {
+        const int64_t bytes = 200 * static_cast<int64_t>(1 + rng.UniformInt(8));
+        if (occupancy + bytes > kBufferBytes) continue;
+        qlen[static_cast<size_t>(q)] += bytes;
+        occupancy += bytes;
+      } else if (qlen[static_cast<size_t>(q)] > 0) {
+        const int64_t bytes = std::min<int64_t>(qlen[static_cast<size_t>(q)], 400);
+        qlen[static_cast<size_t>(q)] -= bytes;
+        occupancy -= bytes;
+      } else {
+        continue;
+      }
+      incremental.MarkDirty(q);
+    }
+    if (rng.Bernoulli(0.02)) incremental.MarkAllDirty();  // legacy Kick() path
+
+    incremental.RefreshIncremental(kBufferBytes - occupancy, qlen_fn, threshold_fn);
+    full.Refresh(qlen_fn, threshold_fn);
+    for (int q = 0; q < kQueues; ++q) {
+      ASSERT_EQ(incremental.IsOverAllocated(q), full.IsOverAllocated(q))
+          << "step " << step << " queue " << q;
+    }
+  }
 }
 
 }  // namespace

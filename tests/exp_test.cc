@@ -29,6 +29,20 @@ SweepSpec SmallRealSpec() {
   return spec;
 }
 
+// Removes the wall-clock perf fields, whose values legitimately differ from
+// run to run; every other byte of the JSONL must be identical. The fields
+// are never first in a record (run_key is), so each is preceded by a comma.
+std::string StripPerfFields(std::string jsonl) {
+  for (const std::string key : {"\"wall_ms\":", "\"events_per_sec\":"}) {
+    size_t pos = 0;
+    while ((pos = jsonl.find(key, pos)) != std::string::npos) {
+      const size_t value_end = jsonl.find_first_of(",}", pos + key.size());
+      jsonl.erase(pos - 1, value_end - (pos - 1));
+    }
+  }
+  return jsonl;
+}
+
 std::string RunToJsonl(const SweepSpec& spec, int jobs) {
   std::vector<SweepPoint> points;
   const auto err = ExpandSweep(spec, points);
@@ -203,10 +217,18 @@ TEST(FigureRegistry, KnownFiguresExpand) {
 
 TEST(SweepDeterminism, RepeatedRunsAndJobCountsAreByteIdentical) {
   const SweepSpec spec = SmallRealSpec();
-  const std::string first = RunToJsonl(spec, 1);
-  ASSERT_FALSE(first.empty());
-  EXPECT_EQ(first, RunToJsonl(spec, 1)) << "same spec+seed must reproduce exactly";
-  EXPECT_EQ(first, RunToJsonl(spec, 4)) << "job count must not affect results";
+  const std::string raw = RunToJsonl(spec, 1);
+  ASSERT_FALSE(raw.empty());
+  // Schema v3 carries per-run perf telemetry; only the wall-clock-derived
+  // fields may differ between runs (sim_events is deterministic and stays).
+  EXPECT_NE(raw.find("\"wall_ms\":"), std::string::npos);
+  EXPECT_NE(raw.find("\"events_per_sec\":"), std::string::npos);
+  EXPECT_NE(raw.find("\"sim_events\":"), std::string::npos);
+  const std::string first = StripPerfFields(raw);
+  EXPECT_EQ(first, StripPerfFields(RunToJsonl(spec, 1)))
+      << "same spec+seed must reproduce exactly";
+  EXPECT_EQ(first, StripPerfFields(RunToJsonl(spec, 4)))
+      << "job count must not affect results";
 
   // Sanity: the JSONL is sorted by run key and every line is a JSON object.
   std::istringstream lines(first);

@@ -23,8 +23,12 @@ class FakeTarget : public ExpulsionTarget {
     return cells * cell_bytes_;
   }
   int64_t expulsion_threshold(int q) const override {
-    return thresholds_.empty() ? threshold_ : thresholds_[static_cast<size_t>(q)];
+    (void)q;
+    return threshold_;
   }
+  // The single mutable threshold is its own key (trivially monotone), so
+  // this fixture is valid for both full-rescan and incremental refresh.
+  int64_t threshold_key() const override { return threshold_; }
   int64_t head_cells(int q) const override {
     const auto& queue = queues_[static_cast<size_t>(q)];
     return queue.empty() ? 0 : queue.front();
@@ -44,7 +48,6 @@ class FakeTarget : public ExpulsionTarget {
   int cell_bytes_;
   std::vector<std::deque<int64_t>> queues_;
   int64_t threshold_ = 0;
-  std::vector<int64_t> thresholds_;
   std::vector<int> drops_;
 };
 
@@ -171,6 +174,76 @@ TEST(ExpulsionEngineTest, OpLatencyPacesExpulsion) {
   EXPECT_EQ(f.engine.expelled_packets(), 100);
   // 100 packets x 2ns per op = 200ns (first op at t=0).
   EXPECT_EQ(f.sim.now(), Nanoseconds(200));
+}
+
+TEST(ExpulsionEngineTest, IncrementalRefreshMatchesFullRescanBehavior) {
+  // FakeTarget honours the threshold_key contract (key = the single mutable
+  // threshold), so the incremental-refresh engine must behave exactly like
+  // the default full-rescan engine, including when thresholds move while
+  // the engine chain is running.
+  std::vector<int> reference;
+  for (const bool incremental : {false, true}) {
+    ExpulsionConfig cfg;
+    cfg.incremental_refresh = incremental;
+    EngineFixture f(3, Bandwidth::Gbps(80), 256.0, cfg);
+    for (int q = 0; q < 3; ++q) {
+      for (int i = 0; i < 10; ++i) f.target.Push(q, 5);
+    }
+    f.target.set_threshold(4000);
+    f.engine.Kick();
+    f.sim.At(Nanoseconds(5), [&] { f.target.set_threshold(8000); });
+    f.sim.Run();
+    for (int q = 0; q < 3; ++q) {
+      EXPECT_LE(f.target.qlen_bytes(q), 8000) << "incremental=" << incremental;
+    }
+    EXPECT_GT(f.engine.expelled_packets(), 0) << "incremental=" << incremental;
+    // Both modes must land on the identical drop sequence.
+    if (!incremental) {
+      reference = f.target.drops();
+    } else {
+      EXPECT_EQ(f.target.drops(), reference);
+    }
+  }
+}
+
+// A target whose HeadDropOnePacket feeds back into the engine, as a TM drop
+// hook re-entering the traffic manager would.
+class KickingTarget : public FakeTarget {
+ public:
+  using FakeTarget::FakeTarget;
+  void set_engine(ExpulsionEngine* engine) { engine_ = engine; }
+  void HeadDropOnePacket(int q) override {
+    FakeTarget::HeadDropOnePacket(q);
+    if (engine_ != nullptr) engine_->Kick();  // stray re-entrant kick
+  }
+
+ private:
+  ExpulsionEngine* engine_ = nullptr;
+};
+
+TEST(ExpulsionEngineTest, ReentrantKickCannotDoubleScheduleOrBreakPacing) {
+  // Regression test: a Kick() arriving while Step() executes used to be able
+  // to schedule a second Step (the pending_ handle was then overwritten
+  // without cancelling), double-running the engine and bypassing the
+  // OpLatency pipeline pacing. With the guard, the schedule from inside
+  // Step() wins and pacing is identical to the kick-free case.
+  ExpulsionConfig cfg;
+  cfg.cycle = Nanoseconds(1);
+  cfg.selector_cycles = 2;
+  cfg.cell_ptr_batch = 4;
+  sim::Simulator sim;
+  KickingTarget target(1);
+  MemoryBandwidthModel memory(Bandwidth::Gbps(800), 200, 1e9);  // not limiting
+  ExpulsionEngine engine(&sim, &target, &memory, cfg);
+  target.set_engine(&engine);
+  for (int i = 0; i < 100; ++i) target.Push(0, 8);  // 8 cells -> 2 cycles/op
+  target.set_threshold(0);
+  engine.Kick();
+  sim.Run();
+  EXPECT_EQ(engine.expelled_packets(), 100);
+  // Same schedule as OpLatencyPacesExpulsion: one drop every 2 ns. Any
+  // double-scheduling would finish earlier (two drops per instant).
+  EXPECT_EQ(sim.now(), Nanoseconds(200));
 }
 
 TEST(ExpulsionEngineTest, ThresholdRisesMidway) {

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/sim/simulator.h"
@@ -133,6 +135,163 @@ TEST(EventQueueTest, SkipsCancelledHeads) {
   h1.Cancel();
   EXPECT_FALSE(q.Empty());
   EXPECT_EQ(q.NextTime(), 2);
+}
+
+TEST(EventQueueTest, LiveSizeExcludesCancelled) {
+  EventQueue q;
+  auto h1 = q.Push(10, [] {});
+  auto h2 = q.Push(20, [] {});
+  q.Push(30, [] {});
+  EXPECT_EQ(q.live_size(), 3u);
+  h1.Cancel();
+  h2.Cancel();
+  // live_size/Empty are non-mutating: the dead events still occupy the heap.
+  EXPECT_EQ(q.live_size(), 1u);
+  EXPECT_EQ(q.SizeForTest(), 3u);
+  EXPECT_FALSE(q.Empty());
+  Callback cb;
+  EXPECT_EQ(q.PopLive(cb), 30);
+  EXPECT_EQ(q.live_size(), 0u);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, CancelHeavyWorkloadKeepsHeapBounded) {
+  // Regression test for the cancelled-event leak: a long-lived simulation
+  // that keeps cancelling far-future timers (the retransmit-timer pattern)
+  // must not grow the heap unboundedly. Lazy compaction bounds the heap at
+  // < 2x the live count (plus the small compaction floor).
+  EventQueue q;
+  std::vector<EventHandle> live;
+  for (int round = 0; round < 10000; ++round) {
+    // Re-arm a timer: cancel the oldest pending, schedule a new far-future
+    // one, plus a near event that actually fires.
+    live.push_back(q.Push(Nanoseconds(1000000 + round), [] {}));
+    if (live.size() > 100) {
+      live.front().Cancel();
+      live.erase(live.begin());
+    }
+    q.Push(Nanoseconds(round), [] {});
+    Callback cb;
+    q.PopLive(cb);
+    ASSERT_LE(q.SizeForTest(), 2 * q.live_size() + 64)
+        << "heap must stay bounded under cancel churn (round " << round << ")";
+  }
+  EXPECT_LE(q.SizeForTest(), 2 * q.live_size() + 64);
+}
+
+TEST(EventQueueTest, StaleHandleAfterSlotReuseIsNoOp) {
+  // Generation safety: once an event fires, its arena slot may be recycled
+  // by a new event. The old handle must neither cancel nor report the new
+  // occupant.
+  EventQueue q;
+  EventHandle stale = q.Push(1, [] {});
+  Callback cb;
+  q.PopLive(cb);  // fires the event; slot 0 goes back to the freelist
+  cb();
+
+  int fired = 0;
+  q.Push(2, [&] { ++fired; });  // recycles slot 0 with a new generation
+  EXPECT_FALSE(stale.IsPending());
+  EXPECT_FALSE(stale.Cancel()) << "stale cancel must be a no-op";
+  EXPECT_EQ(q.live_size(), 1u) << "the recycled slot's event must survive";
+  q.PopLive(cb);
+  cb();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueueTest, CancelledHandleStaysCancelledAfterReuse) {
+  EventQueue q;
+  EventHandle h = q.Push(5, [] {});
+  EXPECT_TRUE(h.Cancel());
+  // Drain the dead head so the slot is recycled.
+  q.Push(6, [] {});
+  Callback cb;
+  q.PopLive(cb);
+  EXPECT_TRUE(q.Empty());
+  q.Push(7, [] {});
+  EXPECT_FALSE(h.Cancel()) << "handle from a previous slot life must stay inert";
+  EXPECT_EQ(q.live_size(), 1u);
+}
+
+TEST(EventQueueTest, SameTimeFifoOrderSurvivesCancellationAndCompaction) {
+  // Determinism: same-time events pop in scheduling order (the contract the
+  // old binary heap provided via seq) even after heavy interleaved
+  // cancellation has forced compactions.
+  std::vector<int> expected_order;
+  for (Time t = 100; t < 105; ++t) {
+    for (int i = 0; i < 500; ++i) {
+      if (i % 3 != 0 && 100 + (i % 5) == t) expected_order.push_back(i);
+    }
+  }
+
+  EventQueue q;
+  std::vector<EventHandle> to_cancel;
+  std::vector<int> order;
+  for (int i = 0; i < 500; ++i) {
+    const Time t = 100 + (i % 5);  // many seq ties per time bucket
+    if (i % 3 == 0) {
+      to_cancel.push_back(q.Push(t, [] {}));
+    } else {
+      q.Push(t, [&order, i] { order.push_back(i); });
+    }
+  }
+  for (auto& h : to_cancel) h.Cancel();
+  while (!q.Empty()) {
+    Callback cb;
+    q.PopLive(cb);
+    cb();
+  }
+  EXPECT_EQ(order, expected_order);
+}
+
+TEST(EventQueueTest, NullCallbackIsRejectedAtPush) {
+  // The pop path invokes unconditionally, so a null callback must be caught
+  // when scheduled, not crash when it fires.
+  EventQueue q;
+  EXPECT_DEATH(q.Push(1, nullptr), "null callback");
+}
+
+TEST(CallbackTest, InlineAndHeapStorage) {
+  int hits = 0;
+  Callback small([&hits] { ++hits; });
+  EXPECT_TRUE(static_cast<bool>(small));
+  EXPECT_TRUE(small.IsInlineForTest()) << "one-pointer capture must stay inline";
+  small();
+  EXPECT_EQ(hits, 1);
+
+  struct Big {
+    int64_t payload[16];  // 128 bytes: exceeds the 48-byte inline buffer
+  };
+  Big big{};
+  big.payload[15] = 7;
+  int64_t seen = 0;
+  Callback large([big, &seen] { seen = big.payload[15]; });
+  EXPECT_FALSE(large.IsInlineForTest()) << "oversized capture must heap-allocate";
+  large();
+  EXPECT_EQ(seen, 7);
+}
+
+TEST(CallbackTest, MoveTransfersOwnership) {
+  auto counter = std::make_shared<int>(0);
+  Callback a([counter] { ++*counter; });
+  EXPECT_EQ(counter.use_count(), 2);
+  Callback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(counter.use_count(), 2) << "move must not duplicate the capture";
+  b();
+  EXPECT_EQ(*counter, 1);
+  b = nullptr;
+  EXPECT_EQ(counter.use_count(), 1) << "reset must release the capture";
+}
+
+TEST(CallbackTest, WrapsStdFunction) {
+  int hits = 0;
+  std::function<void()> fn = [&hits] { ++hits; };
+  Callback cb(fn);  // copies the std::function into the callback
+  cb();
+  EXPECT_EQ(hits, 1);
+  fn();
+  EXPECT_EQ(hits, 2);
 }
 
 TEST(EventQueueTest, DeterministicAcrossRuns) {

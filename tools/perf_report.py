@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Perf-baseline tracker for the core hot path.
+
+Runs bench_core_hotpath (and through it a fixed incast scenario), writes the
+resulting flat metric dictionary to BENCH_core.json, and optionally compares
+every *events_per_sec / *ops_per_sec metric against a checked-in baseline,
+failing when any regresses by more than --max-regression (default 30%).
+
+Usage:
+  tools/perf_report.py --bench=build/bench_core_hotpath --out=BENCH_core.json
+  tools/perf_report.py --bench=build/bench_core_hotpath --out=new.json \
+      --check=BENCH_core.json [--max-regression=0.30] [--bench-arg=--quick]
+
+Exit codes: 0 ok, 1 regression or bench failure, 2 usage error.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+# Default metrics gated against the baseline (higher is better). The
+# *_speedup ratios (current vs in-process legacy) are nearly machine-
+# independent — a drop there means a real code change; the absolute
+# *_events_per_sec / *_ops_per_sec rates also track the host, so gate them
+# only against baselines recorded on comparable machines (CI gates ratios
+# alone via --gate-suffixes=_speedup).
+DEFAULT_GATED_SUFFIXES = "_events_per_sec,_ops_per_sec,_speedup"
+
+
+def run_bench(bench, out_path, extra_args):
+    cmd = [bench, f"--json={out_path}"] + extra_args
+    print("perf_report: running", " ".join(cmd))
+    result = subprocess.run(cmd)
+    if result.returncode != 0:
+        print(f"perf_report: bench exited {result.returncode}", file=sys.stderr)
+        sys.exit(1)
+    with open(out_path) as f:
+        return json.load(f)
+
+
+def check(current, baseline_path, max_regression, gated_suffixes):
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    failures = []
+    for key, base in sorted(baseline.items()):
+        if not key.endswith(tuple(gated_suffixes)):
+            continue
+        if "_legacy_" in key:
+            continue  # the embedded comparator's speed is not our regression
+        if not isinstance(base, (int, float)) or base <= 0:
+            continue
+        cur = current.get(key)
+        if cur is None:
+            failures.append(f"{key}: missing from current run")
+            continue
+        ratio = cur / base
+        marker = "OK"
+        if ratio < 1.0 - max_regression:
+            failures.append(f"{key}: {cur:.3g} vs baseline {base:.3g} "
+                            f"({(1.0 - ratio) * 100.0:.1f}% regression)")
+            marker = "REGRESSED"
+        print(f"perf_report: {key}: {cur:.3g} / baseline {base:.3g} = {ratio:.2f} {marker}")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bench", default="build/bench_core_hotpath",
+                        help="path to the bench_core_hotpath binary")
+    parser.add_argument("--out", default="BENCH_core.json",
+                        help="where to write the fresh metrics")
+    parser.add_argument("--check", default=None,
+                        help="baseline BENCH_core.json to compare against")
+    parser.add_argument("--max-regression", type=float, default=0.30,
+                        help="allowed fractional drop per gated metric (default 0.30)")
+    parser.add_argument("--gate-suffixes", default=DEFAULT_GATED_SUFFIXES,
+                        help="comma-separated metric-name suffixes to gate "
+                             f"(default: {DEFAULT_GATED_SUFFIXES}; CI uses _speedup "
+                             "only, since absolute rates are machine-dependent)")
+    parser.add_argument("--bench-arg", action="append", default=[],
+                        help="extra argument forwarded to the bench (repeatable)")
+    args = parser.parse_args()
+
+    current = run_bench(args.bench, args.out, args.bench_arg)
+    print(f"perf_report: wrote {args.out}")
+
+    if args.check:
+        suffixes = [s for s in args.gate_suffixes.split(",") if s]
+        failures = check(current, args.check, args.max_regression, suffixes)
+        if failures:
+            print("perf_report: PERFORMANCE REGRESSION:", file=sys.stderr)
+            for f in failures:
+                print("  " + f, file=sys.stderr)
+            sys.exit(1)
+        print("perf_report: no regression beyond "
+              f"{args.max_regression * 100:.0f}% against {args.check}")
+
+
+if __name__ == "__main__":
+    main()
