@@ -1,14 +1,27 @@
 // Shared runner for the large-scale simulation experiments (§6.4):
 // leaf-spine fabric + background traffic (web-search / all-to-all /
 // all-reduce) + incast query traffic, reporting QCT/FCT slowdowns.
+//
+// Two engines run the same scenario:
+//  * shards == 0 — the legacy single-threaded sim::Simulator path, with
+//    live workload generators (unchanged semantics, the testbed oracle).
+//  * shards >= 1 — the partition-parallel sim::ShardedSimulator path:
+//    workload arrivals are pre-generated, every flow start is bound to its
+//    source host's shard, and QCT/FCT metrics are derived from completion
+//    records merged in canonical order. Results are byte-identical for any
+//    shards value >= 1 (see src/sim/sharded_simulator.h); they are *not*
+//    required to match the legacy path bit for bit (flow ids are assigned
+//    in pre-generation order rather than arrival-interleaved order).
 #pragma once
 
 #include <algorithm>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 
 #include "bench/common/scenarios.h"
 #include "src/workload/collective.h"
+#include "src/workload/pregen.h"
 
 namespace occamy::bench {
 
@@ -34,6 +47,13 @@ struct FabricRunSpec {
   // Explicit scale so parallel runs in one process never race on the
   // OCCAMY_BENCH_SCALE environment variable; nullopt falls back to the env.
   std::optional<BenchScale> scale;
+
+  // 0 = legacy single-threaded engine; >= 1 = partition-parallel engine
+  // with that many shards (1 is the deterministic single-shard oracle).
+  int shards = 0;
+  // Sharded engine only: run shards on worker threads (off = same windowed
+  // algorithm inline; byte-identical either way — a determinism test knob).
+  bool shard_threads = true;
 };
 
 struct FabricRunResult {
@@ -51,6 +71,8 @@ struct FabricRunResult {
   double duration_ms = 0;    // traffic window (excludes the drain tail)
   double drain_ms = 0;       // drain tail simulated after the traffic window
   int64_t sim_events = 0;    // simulator events processed (deterministic)
+  int shards = 0;            // engine: 0 = single-threaded, >= 1 = sharded
+  double parallel_efficiency = 0;  // sharded engine only; wall-clock derived
 };
 
 inline Time DefaultFabricDuration(BenchScale scale) {
@@ -62,24 +84,14 @@ inline Time DefaultFabricDuration(BenchScale scale) {
   return Milliseconds(20);
 }
 
-inline FabricRunResult RunFabric(const FabricRunSpec& run) {
-  const BenchScale scale = run.scale.value_or(GetBenchScale());
-  FabricSpec spec;
-  spec.scheme = run.scheme;
-  spec.alphas = run.alphas;
-  spec.buffer_per_port_per_gbps = run.buffer_per_port_per_gbps;
-  spec.seed = run.seed;
-  FabricScenario s(spec, scale);
-
-  const Time duration = run.duration > 0 ? run.duration : DefaultFabricDuration(scale);
-  const Bandwidth host_rate = s.topo.config.host_rate;
-  const int n_hosts = s.topo.num_hosts();
-
-  // Background traffic.
+// Background traffic config shared by both engines.
+inline workload::PoissonFlowConfig MakeFabricBgConfig(
+    const FabricRunSpec& run, const std::vector<net::NodeId>& hosts,
+    Bandwidth host_rate, Time duration, workload::IdealFn ideal_fn) {
   workload::PoissonFlowConfig bg;
   switch (run.pattern) {
     case BgPattern::kWebSearch:
-      bg.hosts = s.topo.hosts;
+      bg.hosts = hosts;
       bg.load = run.bg_load;
       bg.host_rate = host_rate;
       bg.size_dist = workload::WebSearchDistribution();
@@ -88,61 +100,48 @@ inline FabricRunResult RunFabric(const FabricRunSpec& run) {
       // A zero flow size makes the Poisson arrival rate unbounded (the
       // generator spins forever emitting empty flows); fail loudly instead.
       OCCAMY_CHECK(run.bg_fixed_size > 0) << "all-to-all needs bg_fixed_size > 0";
-      bg = workload::MakeAllToAllConfig(s.topo.hosts, run.bg_load, host_rate,
+      bg = workload::MakeAllToAllConfig(hosts, run.bg_load, host_rate,
                                         run.bg_fixed_size, 0, duration, run.seed + 17);
       break;
     case BgPattern::kAllReduce:
       OCCAMY_CHECK(run.bg_fixed_size > 0) << "all-reduce needs bg_fixed_size > 0";
-      bg = workload::MakeAllReduceConfig(s.topo.hosts, run.bg_load, host_rate,
+      bg = workload::MakeAllReduceConfig(hosts, run.bg_load, host_rate,
                                          run.bg_fixed_size, 0, duration, run.seed + 17);
       break;
   }
   bg.cc = run.bg_cc;
   bg.stop = duration;
-  bg.ideal_fn = s.IdealFn();
+  bg.ideal_fn = std::move(ideal_fn);
   bg.seed = run.seed + 17;
-  workload::PoissonFlowGenerator bg_gen(s.manager.get(), bg);
-  bg_gen.Start();
+  return bg;
+}
 
-  // Query (incast) traffic.
+// Incast query config shared by both engines.
+inline workload::IncastConfig MakeFabricQueryConfig(
+    const FabricRunSpec& run, const std::vector<net::NodeId>& hosts, int n_hosts,
+    Bandwidth host_rate, int64_t buffer_per_partition, Time duration,
+    workload::IdealFn ideal_fn,
+    std::function<Time(net::NodeId, int64_t)> query_ideal_fn) {
   workload::IncastConfig q;
-  q.clients = s.topo.hosts;
-  q.servers = s.topo.hosts;
+  q.clients = hosts;
+  q.servers = hosts;
   q.fanin = std::min(run.fanin, n_hosts - 1);
-  q.query_size_bytes =
-      static_cast<int64_t>(run.query_size_frac_of_buffer *
-                           static_cast<double>(s.buffer_per_partition));
+  q.query_size_bytes = static_cast<int64_t>(run.query_size_frac_of_buffer *
+                                            static_cast<double>(buffer_per_partition));
   const double aggregate = host_rate.bytes_per_sec() * n_hosts;
   q.queries_per_second =
       run.query_load * aggregate / static_cast<double>(q.query_size_bytes);
   q.stop = duration;
-  q.ideal_fn = s.IdealFn();
-  q.query_ideal_fn = s.QueryIdealFn();
+  q.ideal_fn = std::move(ideal_fn);
+  q.query_ideal_fn = std::move(query_ideal_fn);
   q.seed = run.seed + 31;
-  workload::IncastWorkload incast(s.manager.get(), q);
-  incast.Start();
+  return q;
+}
 
-  s.sim.RunUntil(duration + run.drain);
-
-  FabricRunResult result;
-  const auto qct_ms = incast.qct().DurationsMs();
-  const auto qct_slow = incast.qct().Slowdowns();
-  result.qct_avg_ms = qct_ms.Mean();
-  result.qct_p99_ms = qct_ms.P99();
-  result.qct_avg_slow = qct_slow.Mean();
-  result.qct_p99_slow = qct_slow.P99();
-  result.queries_completed = incast.queries_completed();
-
-  const auto bg_filter = [&](const stats::CompletionRecord& r) { return bg_gen.Owns(r.id); };
-  const auto bg_slow = s.manager->completions().Slowdowns(bg_filter);
-  result.fct_avg_slow = bg_slow.Mean();
-  result.fct_p99_slow = bg_slow.P99();
-  const auto small_filter = [&](const stats::CompletionRecord& r) {
-    return bg_gen.Owns(r.id) && r.bytes < 100 * 1000;
-  };
-  result.fct_small_p99_slow = s.manager->completions().Slowdowns(small_filter).P99();
-  result.bg_flows_completed = s.manager->completions().DurationsMs(bg_filter).Count();
-
+// Drop / expulsion / peak-occupancy counters over every switch. Identical
+// between engines: all integer maxima/sums, read after the run.
+template <typename Scenario>
+void CollectFabricSwitchStats(Scenario& s, FabricRunResult& result) {
   for (auto& sw_id : s.topo.leaves) {
     auto& sw = static_cast<net::SwitchNode&>(s.net.node(sw_id));
     result.drops += sw.TotalDrops();
@@ -162,9 +161,174 @@ inline FabricRunResult RunFabric(const FabricRunSpec& run) {
                    sw.partition(p).shared_buffer().peak_occupancy_bytes());
     }
   }
-  for (const auto& rec : s.manager->completions().records()) {
-    result.delivered_bytes += rec.bytes;
+}
+
+// QCT / FCT / volume metrics shared by both engines, so the two runners
+// can never drift in metric definitions. `qct` holds one record per
+// completed query; `flows` is the flow-completion collector; `bg_filter`
+// selects background flow records.
+inline void FillFabricCompletionMetrics(
+    FabricRunResult& result, const stats::CompletionCollector& qct,
+    const stats::CompletionCollector& flows,
+    const stats::CompletionCollector::Filter& bg_filter) {
+  const auto qct_ms = qct.DurationsMs();
+  const auto qct_slow = qct.Slowdowns();
+  result.qct_avg_ms = qct_ms.Mean();
+  result.qct_p99_ms = qct_ms.P99();
+  result.qct_avg_slow = qct_slow.Mean();
+  result.qct_p99_slow = qct_slow.P99();
+  result.queries_completed = static_cast<int64_t>(qct.Count());
+
+  const auto bg_slow = flows.Slowdowns(bg_filter);
+  result.fct_avg_slow = bg_slow.Mean();
+  result.fct_p99_slow = bg_slow.P99();
+  const auto small_filter = [&](const stats::CompletionRecord& r) {
+    return bg_filter(r) && r.bytes < 100 * 1000;
+  };
+  result.fct_small_p99_slow = flows.Slowdowns(small_filter).P99();
+  result.bg_flows_completed = flows.DurationsMs(bg_filter).Count();
+
+  for (const auto& rec : flows.records()) result.delivered_bytes += rec.bytes;
+}
+
+// ---------------- partition-parallel engine ----------------
+
+inline FabricRunResult RunFabricSharded(const FabricRunSpec& run) {
+  OCCAMY_CHECK(run.shards >= 1);
+  const BenchScale scale = run.scale.value_or(GetBenchScale());
+  FabricSpec spec;
+  spec.scheme = run.scheme;
+  spec.alphas = run.alphas;
+  spec.buffer_per_port_per_gbps = run.buffer_per_port_per_gbps;
+  spec.seed = run.seed;
+  ShardedFabricScenario s(spec, scale, run.shards, run.shard_threads);
+
+  const Time duration = run.duration > 0 ? run.duration : DefaultFabricDuration(scale);
+  const Bandwidth host_rate = s.topo.config.host_rate;
+  const int n_hosts = s.topo.num_hosts();
+
+  // Pre-generate both arrival processes (they are open loop: a pure
+  // function of their Rng, identical for any shard count), then bind every
+  // flow start to its source host's shard. Background flows get the low
+  // contiguous id range, queries the next — the post-run filters below key
+  // on that.
+  const auto bg_flows = workload::PregeneratePoissonFlows(
+      MakeFabricBgConfig(run, s.topo.hosts, host_rate, duration, s.IdealFn()));
+  const workload::IncastConfig q_cfg =
+      MakeFabricQueryConfig(run, s.topo.hosts, n_hosts, host_rate,
+                            s.buffer_per_partition, duration, s.IdealFn(),
+                            s.QueryIdealFn());
+  const workload::PregeneratedIncast incast = workload::PregenerateIncast(q_cfg);
+
+  uint64_t bg_last_id = 0;
+  for (const auto& params : bg_flows) bg_last_id = s.manager->StartFlow(params);
+  std::vector<uint64_t> incast_flow_ids;
+  incast_flow_ids.reserve(incast.flows.size());
+  for (const auto& params : incast.flows) {
+    incast_flow_ids.push_back(s.manager->StartFlow(params));
   }
+
+  s.ssim.RunUntil(duration + run.drain);
+  s.manager->MergeShardCompletions();
+
+  // Post-run QCT: a query completes when its last member flow does. The
+  // live engine counts down a completion listener; here the same statistic
+  // falls out of the merged records.
+  std::unordered_map<uint64_t, Time> flow_end;
+  flow_end.reserve(s.manager->completions().records().size());
+  for (const auto& rec : s.manager->completions().records()) flow_end[rec.id] = rec.end;
+
+  struct QueryDone {
+    Time end = 0;
+    uint64_t id = 0;
+    net::NodeId client = 0;
+    Time issue_time = 0;
+  };
+  std::vector<QueryDone> done;
+  for (const auto& query : incast.queries) {
+    Time end = 0;
+    bool complete = true;
+    for (const size_t fi : query.flow_indices) {
+      const auto it = flow_end.find(incast_flow_ids[fi]);
+      if (it == flow_end.end()) {
+        complete = false;
+        break;
+      }
+      end = std::max(end, it->second);
+    }
+    if (complete) done.push_back({end, query.id, query.client, query.issue_time});
+  }
+  // Canonical order (matches the collector merge): completion time, then id.
+  std::sort(done.begin(), done.end(), [](const QueryDone& a, const QueryDone& b) {
+    if (a.end != b.end) return a.end < b.end;
+    return a.id < b.id;
+  });
+  stats::CompletionCollector qct;
+  for (const auto& query : done) {
+    stats::CompletionRecord rec;
+    rec.id = query.id;
+    rec.bytes = incast.query_size_bytes;
+    rec.start = query.issue_time;
+    rec.end = query.end;
+    if (q_cfg.query_ideal_fn) {
+      rec.ideal = q_cfg.query_ideal_fn(query.client, incast.query_size_bytes);
+    }
+    qct.Add(rec);
+  }
+
+  FabricRunResult result;
+  FillFabricCompletionMetrics(result, qct, s.manager->completions(),
+                              [bg_last_id](const stats::CompletionRecord& r) {
+                                return r.id >= 1 && r.id <= bg_last_id;
+                              });
+  CollectFabricSwitchStats(s, result);
+  result.buffer_bytes = s.buffer_per_partition;
+  result.duration_ms = ToMilliseconds(duration);
+  result.drain_ms = ToMilliseconds(run.drain);
+  result.sim_events = static_cast<int64_t>(s.ssim.processed_events());
+  result.shards = run.shards;
+  result.parallel_efficiency = s.ssim.parallel_efficiency();
+  return result;
+}
+
+// ---------------- single-threaded (legacy) engine ----------------
+
+inline FabricRunResult RunFabric(const FabricRunSpec& run) {
+  if (run.shards >= 1) return RunFabricSharded(run);
+
+  const BenchScale scale = run.scale.value_or(GetBenchScale());
+  FabricSpec spec;
+  spec.scheme = run.scheme;
+  spec.alphas = run.alphas;
+  spec.buffer_per_port_per_gbps = run.buffer_per_port_per_gbps;
+  spec.seed = run.seed;
+  FabricScenario s(spec, scale);
+
+  const Time duration = run.duration > 0 ? run.duration : DefaultFabricDuration(scale);
+  const Bandwidth host_rate = s.topo.config.host_rate;
+  const int n_hosts = s.topo.num_hosts();
+
+  // Background traffic.
+  workload::PoissonFlowConfig bg =
+      MakeFabricBgConfig(run, s.topo.hosts, host_rate, duration, s.IdealFn());
+  workload::PoissonFlowGenerator bg_gen(s.manager.get(), bg);
+  bg_gen.Start();
+
+  // Query (incast) traffic.
+  workload::IncastConfig q =
+      MakeFabricQueryConfig(run, s.topo.hosts, n_hosts, host_rate,
+                            s.buffer_per_partition, duration, s.IdealFn(),
+                            s.QueryIdealFn());
+  workload::IncastWorkload incast(s.manager.get(), q);
+  incast.Start();
+
+  s.sim.RunUntil(duration + run.drain);
+
+  FabricRunResult result;
+  FillFabricCompletionMetrics(
+      result, incast.qct(), s.manager->completions(),
+      [&bg_gen](const stats::CompletionRecord& r) { return bg_gen.Owns(r.id); });
+  CollectFabricSwitchStats(s, result);
   result.buffer_bytes = s.buffer_per_partition;
   result.duration_ms = ToMilliseconds(duration);
   result.drain_ms = ToMilliseconds(run.drain);

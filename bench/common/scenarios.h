@@ -111,73 +111,96 @@ struct FabricSpec {
   uint64_t seed = 1;
 };
 
+// Builds the leaf-spine config (scale geometry, buffer density, ECN, BM
+// scheme) shared by the single-threaded and sharded fabric scenarios.
+// `buffer_per_partition` receives the derived per-partition buffer size.
+inline net::LeafSpineConfig MakeFabricLeafSpineConfig(const FabricSpec& spec,
+                                                      BenchScale scale,
+                                                      int64_t& buffer_per_partition) {
+  net::LeafSpineConfig cfg;
+  switch (scale) {
+    case BenchScale::kSmoke:
+      cfg.num_spines = 2;
+      cfg.num_leaves = 2;
+      cfg.hosts_per_leaf = 4;
+      cfg.host_rate = cfg.uplink_rate = Bandwidth::Gbps(10);
+      break;
+    case BenchScale::kDefault:
+      cfg.num_spines = 4;
+      cfg.num_leaves = 4;
+      cfg.hosts_per_leaf = 8;
+      cfg.host_rate = cfg.uplink_rate = Bandwidth::Gbps(10);
+      break;
+    case BenchScale::kFull:
+      cfg.num_spines = 8;
+      cfg.num_leaves = 8;
+      cfg.hosts_per_leaf = 16;
+      cfg.host_rate = cfg.uplink_rate = Bandwidth::Gbps(100);
+      break;
+  }
+  cfg.link_propagation = Microseconds(10);  // 80us base RTT across spine
+  cfg.ports_per_partition = 8;
+  // Buffer: density * 8 ports * Gbps per port (per partition).
+  const double gbps = cfg.host_rate.gbps();
+  buffer_per_partition =
+      static_cast<int64_t>(spec.buffer_per_port_per_gbps * 8.0 * gbps);
+  cfg.tm.buffer_bytes = buffer_per_partition;
+  cfg.tm.queues_per_port = spec.queues_per_port;
+  cfg.tm.scheduler = spec.scheduler;
+  const int64_t bdp = cfg.host_rate.BytesIn(Microseconds(80));
+  cfg.tm.ecn_threshold_bytes =
+      static_cast<int64_t>(spec.ecn_bdp_fraction * static_cast<double>(bdp));
+  ApplyScheme(cfg.tm, spec.scheme, spec.alphas);
+  cfg.scheme_factory = MakeFactory(spec.scheme);
+  return cfg;
+}
+
+// Ideal (unloaded-network) transfer models for the leaf-spine fabric,
+// shared by the single-threaded and sharded scenarios so the slowdown
+// denominators can never diverge between engines.
+inline int FabricHostIndexOf(const net::LeafSpineTopology& topo, net::NodeId id) {
+  for (size_t i = 0; i < topo.hosts.size(); ++i) {
+    if (topo.hosts[i] == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+inline Time FabricIdealFct(const net::LeafSpineTopology& topo, net::NodeId src,
+                           net::NodeId dst, int64_t bytes) {
+  const int64_t segments = (bytes + kDefaultMss - 1) / kDefaultMss;
+  return topo.BaseRtt(FabricHostIndexOf(topo, src), FabricHostIndexOf(topo, dst)) +
+         topo.config.host_rate.TxTime(bytes + segments * kHeaderBytes);
+}
+
+// Ideal QCT for an incast of `bytes` into one client port.
+inline Time FabricQueryIdealFct(const net::LeafSpineTopology& topo, int64_t bytes) {
+  const int64_t segments = (bytes + kDefaultMss - 1) / kDefaultMss;
+  return Microseconds(80) + topo.config.host_rate.TxTime(bytes + segments * kHeaderBytes);
+}
+
 struct FabricScenario {
   explicit FabricScenario(const FabricSpec& spec, BenchScale scale = GetBenchScale())
       : sim(spec.seed), net(&sim) {
-    net::LeafSpineConfig cfg;
-    switch (scale) {
-      case BenchScale::kSmoke:
-        cfg.num_spines = 2;
-        cfg.num_leaves = 2;
-        cfg.hosts_per_leaf = 4;
-        cfg.host_rate = cfg.uplink_rate = Bandwidth::Gbps(10);
-        break;
-      case BenchScale::kDefault:
-        cfg.num_spines = 4;
-        cfg.num_leaves = 4;
-        cfg.hosts_per_leaf = 8;
-        cfg.host_rate = cfg.uplink_rate = Bandwidth::Gbps(10);
-        break;
-      case BenchScale::kFull:
-        cfg.num_spines = 8;
-        cfg.num_leaves = 8;
-        cfg.hosts_per_leaf = 16;
-        cfg.host_rate = cfg.uplink_rate = Bandwidth::Gbps(100);
-        break;
-    }
-    cfg.link_propagation = Microseconds(10);  // 80us base RTT across spine
-    cfg.ports_per_partition = 8;
-    // Buffer: density * 8 ports * Gbps per port (per partition).
-    const double gbps = cfg.host_rate.gbps();
-    buffer_per_partition =
-        static_cast<int64_t>(spec.buffer_per_port_per_gbps * 8.0 * gbps);
-    cfg.tm.buffer_bytes = buffer_per_partition;
-    cfg.tm.queues_per_port = spec.queues_per_port;
-    cfg.tm.scheduler = spec.scheduler;
-    const int64_t bdp = cfg.host_rate.BytesIn(Microseconds(80));
-    cfg.tm.ecn_threshold_bytes = static_cast<int64_t>(spec.ecn_bdp_fraction *
-                                                      static_cast<double>(bdp));
-    ApplyScheme(cfg.tm, spec.scheme, spec.alphas);
-    cfg.scheme_factory = MakeFactory(spec.scheme);
+    net::LeafSpineConfig cfg = MakeFabricLeafSpineConfig(spec, scale, buffer_per_partition);
     topo = net::BuildLeafSpine(net, cfg);
     manager = std::make_unique<transport::FlowManager>(&net);
     for (auto h : topo.hosts) manager->AttachHost(h);
   }
 
-  int HostIndexOf(net::NodeId id) const {
-    for (size_t i = 0; i < topo.hosts.size(); ++i) {
-      if (topo.hosts[i] == id) return static_cast<int>(i);
-    }
-    return -1;
-  }
+  int HostIndexOf(net::NodeId id) const { return FabricHostIndexOf(topo, id); }
 
   Time IdealFct(net::NodeId src, net::NodeId dst, int64_t bytes) const {
-    const int64_t segments = (bytes + kDefaultMss - 1) / kDefaultMss;
-    return topo.BaseRtt(HostIndexOf(src), HostIndexOf(dst)) +
-           topo.config.host_rate.TxTime(bytes + segments * kHeaderBytes);
+    return FabricIdealFct(topo, src, dst, bytes);
   }
 
   workload::IdealFn IdealFn() {
-    return [this](net::NodeId s, net::NodeId d, int64_t b) { return IdealFct(s, d, b); };
+    return [this](net::NodeId s, net::NodeId d, int64_t b) {
+      return FabricIdealFct(topo, s, d, b);
+    };
   }
 
-  // Ideal QCT for an incast of `bytes` into one client port.
   std::function<Time(net::NodeId, int64_t)> QueryIdealFn() {
-    return [this](net::NodeId client, int64_t bytes) {
-      (void)client;
-      const int64_t segments = (bytes + kDefaultMss - 1) / kDefaultMss;
-      return Microseconds(80) + topo.config.host_rate.TxTime(bytes + segments * kHeaderBytes);
-    };
+    return [this](net::NodeId, int64_t bytes) { return FabricQueryIdealFct(topo, bytes); };
   }
 
   sim::Simulator sim;
@@ -185,6 +208,54 @@ struct FabricScenario {
   net::LeafSpineTopology topo;
   std::unique_ptr<transport::FlowManager> manager;
   int64_t buffer_per_partition = 0;
+};
+
+// The same leaf-spine fabric on the partition-parallel engine: each leaf and
+// its hosts are pinned to one shard (net::LeafSpineShardOf), the lookahead
+// is the fabric's uniform link propagation, and all workload arrivals are
+// pre-generated (src/workload/pregen.h) so no live generator mutates shared
+// state while shards run. See bench/common/fabric_run.h for the runner.
+struct ShardedFabricScenario {
+  ShardedFabricScenario(const FabricSpec& spec, BenchScale scale, int shards,
+                        bool use_threads = true)
+      : cfg(MakeFabricLeafSpineConfig(spec, scale, buffer_per_partition)),
+        ssim(MakeOptions(cfg, spec, shards, use_threads)),
+        net(&ssim, [this, shards](net::NodeId id) {
+          return net::LeafSpineShardOf(cfg, shards, id);
+        }) {
+    topo = net::BuildLeafSpine(net, cfg);
+    manager = std::make_unique<transport::FlowManager>(&net);
+    for (auto h : topo.hosts) manager->AttachHost(h);
+  }
+
+  workload::IdealFn IdealFn() {
+    return [this](net::NodeId s, net::NodeId d, int64_t b) {
+      return FabricIdealFct(topo, s, d, b);
+    };
+  }
+
+  std::function<Time(net::NodeId, int64_t)> QueryIdealFn() {
+    return [this](net::NodeId, int64_t bytes) { return FabricQueryIdealFct(topo, bytes); };
+  }
+
+  int64_t buffer_per_partition = 0;
+  net::LeafSpineConfig cfg;
+  sim::ShardedSimulator ssim;
+  net::Network net;
+  net::LeafSpineTopology topo;
+  std::unique_ptr<transport::FlowManager> manager;
+
+ private:
+  static sim::ShardedSimulator::Options MakeOptions(const net::LeafSpineConfig& cfg,
+                                                    const FabricSpec& spec, int shards,
+                                                    bool use_threads) {
+    sim::ShardedSimulator::Options opts;
+    opts.shards = shards;
+    opts.lookahead = cfg.link_propagation;
+    opts.seed = spec.seed;
+    opts.use_threads = use_threads;
+    return opts;
+  }
 };
 
 }  // namespace occamy::bench

@@ -65,7 +65,7 @@ std::string KnobError(const char* knob, const ScenarioInfo& entry) {
 
 void AddCommonFields(Metrics& m, const ScenarioInfo& entry, const PointSpec& spec,
                      BenchScale scale) {
-  m.Set("schema_version", int64_t{3});
+  m.Set("schema_version", int64_t{4});
   m.Set("scenario", entry.name);
   m.Set("platform", entry.platform);
   m.Set("bm", spec.bm);
@@ -111,6 +111,10 @@ PointResult RunBurst(const ScenarioInfo& entry, Scheme scheme, const PointSpec& 
     result.error = KnobError("bg_flow_bytes", entry);
     return result;
   }
+  if (spec.shards != 0) {
+    result.error = KnobError("shards", entry);
+    return result;
+  }
 
   bench::BurstLabSpec run;
   run.scheme = scheme;
@@ -148,6 +152,10 @@ PointResult RunStar(const ScenarioInfo& entry, Scheme scheme, const PointSpec& s
   }
   if (spec.burst_bytes != 0) {
     result.error = KnobError("burst_bytes", entry);
+    return result;
+  }
+  if (spec.shards != 0) {
+    result.error = KnobError("shards", entry);
     return result;
   }
 
@@ -234,11 +242,17 @@ PointResult RunFabricScenario(const ScenarioInfo& entry, Scheme scheme,
     return result;
   }
 
+  if (spec.shards < 0 || spec.shards > 64) {
+    result.error = "shards out of range (want 0..64): " + std::to_string(spec.shards);
+    return result;
+  }
+
   bench::FabricRunSpec run;
   run.scheme = scheme;
   run.alphas = spec.alphas;
   run.seed = spec.seed;
   run.scale = scale;
+  run.shards = spec.shards;
 
   const std::string name = entry.name;
   if (name == "alltoall") {
@@ -287,6 +301,11 @@ PointResult RunFabricScenario(const ScenarioInfo& entry, Scheme scheme,
   m.Set("expelled", r.expelled);
   AddOccupancy(m, r.buffer_bytes, r.peak_occupancy_bytes);
   AddPerfFields(m, r.sim_events, start);
+  // Schema v4: which engine ran the point (0 = single-threaded) and, for
+  // sharded runs, the wall-clock-derived worker utilization (volatile like
+  // wall_ms; the CSV summary excludes it).
+  m.Set("shards", int64_t{r.shards});
+  if (r.shards >= 1) m.Set("parallel_efficiency", r.parallel_efficiency);
   result.ok = true;
   return result;
 }

@@ -54,6 +54,12 @@ struct PointSpec {
   int64_t buffer_bytes = 0;  // p4 + star: shared-buffer size
   int64_t bg_flow_bytes = 0; // fabric alltoall/allreduce: fixed flow size
   int64_t burst_bytes = 0;   // p4 burst lab: measured burst size
+
+  // Fabric only: 0 = single-threaded engine, >= 1 = partition-parallel
+  // engine with that many shards. Results are byte-identical for any value
+  // >= 1 (the determinism contract of sim::ShardedSimulator), so this is an
+  // execution knob, not a sweep dimension.
+  int shards = 0;
 };
 
 struct PointResult {

@@ -35,6 +35,12 @@ struct SweepSpec {
   std::vector<int64_t> buffer_bytes;
   std::vector<int64_t> bg_flow_bytes;
   std::vector<int64_t> burst_bytes;
+
+  // Execution knob, not a grid axis (sharded runs are byte-identical to
+  // single-shard runs, so it cannot change any result): fabric-platform
+  // points run on the partition-parallel engine with this many shards.
+  // Non-fabric points are unaffected. 0 = single-threaded engine.
+  int shards = 0;
 };
 
 // One expanded grid element: the executable spec plus its identity.

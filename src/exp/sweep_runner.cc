@@ -7,12 +7,38 @@
 
 namespace occamy::exp {
 
+int EffectiveSweepJobs(int jobs, int shards_per_run, unsigned hardware_concurrency) {
+  jobs = std::clamp(jobs, 1, 64);
+  const int shards = std::max(shards_per_run, 1);
+  if (shards > 1 && hardware_concurrency > 0) {
+    const int max_jobs =
+        std::max(1, static_cast<int>(hardware_concurrency) / shards);
+    jobs = std::min(jobs, max_jobs);
+  }
+  return jobs;
+}
+
 std::vector<RunRecord> RunSweep(const std::vector<SweepPoint>& points,
                                 const SweepRunOptions& options) {
   std::vector<RunRecord> records(points.size());
   if (points.empty()) return records;
 
-  const int jobs = std::clamp(options.jobs, 1, 64);
+  // A run that is itself sharded brings its own worker threads; cap the
+  // sweep pool so jobs x shards fits the machine. The cap is computed from
+  // the most-sharded point and applies to the whole pool, which is
+  // conservative for mixed grids (single-threaded points also run under the
+  // reduced job count); a per-point dynamic cap is not worth the scheduler
+  // complexity while mixed sharded/unsharded sweeps stay rare.
+  int shards_per_run = 0;
+  for (const auto& p : points) shards_per_run = std::max(shards_per_run, p.spec.shards);
+  const int jobs =
+      EffectiveSweepJobs(options.jobs, shards_per_run, std::thread::hardware_concurrency());
+  if (jobs < std::clamp(options.jobs, 1, 64) && options.warn) {
+    options.warn("capping --jobs to " + std::to_string(jobs) + " so jobs x shards (" +
+                 std::to_string(shards_per_run) + ") fits " +
+                 std::to_string(std::thread::hardware_concurrency()) +
+                 " hardware threads");
+  }
   std::atomic<size_t> next{0};
   std::atomic<size_t> done{0};
   std::mutex progress_mu;

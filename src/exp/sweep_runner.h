@@ -32,7 +32,17 @@ struct SweepRunOptions {
   // Called after each run completes, serialized under an internal mutex.
   // `done` counts completed runs (1-based), `total` is the grid size.
   std::function<void(size_t done, size_t total, const RunRecord& record)> progress;
+  // Receives human-readable warnings (e.g. the jobs cap). Optional.
+  std::function<void(const std::string&)> warn;
 };
+
+// The worker count RunSweep will actually use: `jobs` clamped to [1, 64],
+// then — when some run itself uses shards_per_run > 1 worker threads —
+// capped so jobs x shards_per_run does not exceed `hardware_concurrency`
+// (pass 0 to skip the cap, e.g. when unknown): oversubscribing every
+// simulation would not finish the sweep any sooner. RunSweep derives
+// shards_per_run from the points (max spec.shards). Exposed for tests.
+int EffectiveSweepJobs(int jobs, int shards_per_run, unsigned hardware_concurrency);
 
 // Runs every point and returns one record per point, sorted by run_key.
 std::vector<RunRecord> RunSweep(const std::vector<SweepPoint>& points,

@@ -70,8 +70,8 @@ class Host final : public Node {
     tx_queue_.pop_front();
     tx_queue_bytes_ -= pkt.size_bytes;
     const Time tx_time = rate_.TxTime(pkt.size_bytes);
-    network()->sim().After(tx_time, [this, p = std::move(pkt)]() mutable {
-      network()->DeliverAfter(propagation_, peer_, std::move(p));
+    sim().After(tx_time, [this, p = std::move(pkt)]() mutable {
+      network()->DeliverAfter(id(), propagation_, peer_, std::move(p));
       tx_busy_ = false;
       StartTxIfIdle();
     });

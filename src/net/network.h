@@ -4,14 +4,33 @@
 // egress port) owns serialization at the link rate; the network adds the
 // propagation delay and hands the packet to the peer node. This keeps every
 // queueing decision inside the explicit buffer models.
+//
+// Two execution modes share this class:
+//  * Single-threaded (the legacy testbed scenarios): one sim::Simulator,
+//    DeliverAfter schedules the arrival directly.
+//  * Sharded (sim::ShardedSimulator): every node is owned by one shard and
+//    all of its events run on that shard's Simulator. DeliverAfter then
+//    *stages* the arrival in a per-(src-shard, dst-shard) SPSC mailbox; the
+//    engine's window barrier drains each shard's inbound mailboxes and
+//    inserts the arrivals in canonical (deliver_time, src_node, per-source
+//    seq) order. That order is independent of the node->shard partition and
+//    of thread timing, which is what keeps sharded runs byte-identical for
+//    any shard count. Conservative correctness requires every link's
+//    propagation delay to be >= the engine's lookahead (checked per
+//    delivery).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "src/buffer/packet.h"
 #include "src/net/node.h"
+#include "src/sim/mailbox.h"
+#include "src/sim/sharded_simulator.h"
 #include "src/sim/simulator.h"
 #include "src/util/check.h"
 
@@ -25,19 +44,59 @@ struct LinkEnd {
 
 class Network {
  public:
-  explicit Network(sim::Simulator* sim) : sim_(sim) { OCCAMY_CHECK(sim != nullptr); }
+  // Single-threaded mode: every node runs on `sim`.
+  explicit Network(sim::Simulator* sim) : sim_(sim) {
+    OCCAMY_CHECK(sim != nullptr);
+    shard_state_.resize(1);
+  }
+
+  // Sharded mode: `shard_of(node_id)` assigns each node (at AddNode time) to
+  // a shard of `ssim`; the result is clamped into range. The assignment must
+  // be a pure function of the node id so that it is reproducible.
+  Network(sim::ShardedSimulator* ssim, std::function<int(NodeId)> shard_of)
+      : ssim_(ssim), shard_assign_(std::move(shard_of)) {
+    OCCAMY_CHECK(ssim != nullptr);
+    OCCAMY_CHECK(shard_assign_ != nullptr);
+    sim_ = &ssim_->shard(0);
+    const size_t n = static_cast<size_t>(ssim_->num_shards());
+    shard_state_.resize(n);
+    outboxes_.resize(n * n);
+    ssim_->set_barrier_drain([this](int shard) { DrainInbound(shard); });
+  }
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
+  // The control simulator: the sole Simulator in single-threaded mode,
+  // shard 0 in sharded mode. Workloads and setup code use it; node code
+  // should prefer Node::sim() (its owning shard).
   sim::Simulator& sim() { return *sim_; }
   Time now() const { return sim_->now(); }
+
+  bool sharded() const { return ssim_ != nullptr; }
+  // True while a sharded RunUntil is executing on worker threads.
+  bool sharded_run_active() const { return ssim_ != nullptr && ssim_->running(); }
+  int num_shards() const { return ssim_ != nullptr ? ssim_->num_shards() : 1; }
+  int shard_of(NodeId id) const {
+    OCCAMY_CHECK(id < shard_of_.size());
+    return shard_of_[id];
+  }
+  // The simulator that runs node `id`'s events.
+  sim::Simulator& sim_of(NodeId id) {
+    return ssim_ != nullptr ? ssim_->shard(shard_of(id)) : *sim_;
+  }
 
   // Takes ownership; assigns and returns the node id.
   NodeId AddNode(std::unique_ptr<Node> node) {
     const NodeId id = static_cast<NodeId>(nodes_.size());
     node->id_ = id;
     node->network_ = this;
+    int shard = 0;
+    if (ssim_ != nullptr) {
+      shard = std::clamp(shard_assign_(id), 0, ssim_->num_shards() - 1);
+    }
+    shard_of_.push_back(shard);
+    node->sim_ = &sim_of(id);
     nodes_.push_back(std::move(node));
     return id;
   }
@@ -50,24 +109,103 @@ class Network {
   size_t num_nodes() const { return nodes_.size(); }
 
   // Schedules arrival of `pkt` at `to` after `delay` (the propagation time;
-  // serialization already elapsed at the sender).
-  void DeliverAfter(Time delay, LinkEnd to, Packet pkt) {
-    Node* dst = &node(to.node);
-    const int port = to.port;
-    sim_->After(delay, [dst, port, p = pkt]() mutable { dst->ReceivePacket(port, std::move(p)); });
-    ++delivered_events_;
+  // serialization already elapsed at the sender). `from` is the sending
+  // node; in sharded mode it keys the canonical cross-shard merge order and
+  // must be the node whose event is executing.
+  void DeliverAfter(NodeId from, Time delay, LinkEnd to, Packet pkt) {
+    if (ssim_ == nullptr) {
+      // Single-threaded: slot 0 directly — no thread-local lookup on the
+      // per-packet hot path.
+      ++shard_state_[0].delivered_events;
+      Node* dst = &node(to.node);
+      const int port = to.port;
+      sim_->After(delay, [dst, port, p = std::move(pkt)]() mutable {
+        dst->ReceivePacket(port, std::move(p));
+      });
+      return;
+    }
+    OCCAMY_CHECK_GE(delay, ssim_->lookahead())
+        << "cross-node delay below the conservative lookahead";
+    Node& src = node(from);
+    const int src_shard = shard_of(from);
+    const int dst_shard = shard_of(to.node);
+    // SPSC invariant: only shard_of(from)'s worker may produce into this
+    // outbox row (and only its clock is the right send time).
+    OCCAMY_DCHECK_EQ(sim::CurrentShard(), src_shard);
+    ++shard_state_[static_cast<size_t>(src_shard)].delivered_events;
+    Mail mail;
+    mail.time = sim_of(from).now() + delay;
+    mail.src_node = from;
+    mail.seq = src.delivery_seq_++;
+    mail.to = to;
+    mail.pkt = std::move(pkt);
+    outboxes_[static_cast<size_t>(src_shard) * static_cast<size_t>(num_shards()) +
+              static_cast<size_t>(dst_shard)]
+        .Push(std::move(mail));
   }
 
-  uint64_t delivered_events() const { return delivered_events_; }
+  uint64_t delivered_events() const {
+    uint64_t total = 0;
+    for (const auto& s : shard_state_) total += s.delivered_events;
+    return total;
+  }
 
   // Fresh unique ids for flows/queries created on this network.
   uint64_t NextFlowId() { return next_flow_id_++; }
 
  private:
-  sim::Simulator* sim_;
+  // One staged packet arrival. (time, src_node, seq) is a total order that
+  // depends only on simulated execution, never on sharding or thread timing.
+  struct Mail {
+    Time time = 0;
+    NodeId src_node = 0;
+    uint64_t seq = 0;
+    LinkEnd to;
+    Packet pkt;
+  };
+
+  // Barrier hook: moves everything staged for `shard` into its event queue,
+  // in canonical order. Runs on `shard`'s worker with all shards quiescent.
+  void DrainInbound(int shard) {
+    auto& scratch = shard_state_[static_cast<size_t>(shard)].drain_scratch;
+    scratch.clear();
+    const size_t n = static_cast<size_t>(num_shards());
+    for (size_t src = 0; src < n; ++src) {
+      outboxes_[src * n + static_cast<size_t>(shard)].DrainInto(scratch);
+    }
+    if (scratch.empty()) return;
+    std::sort(scratch.begin(), scratch.end(), [](const Mail& a, const Mail& b) {
+      if (a.time != b.time) return a.time < b.time;
+      if (a.src_node != b.src_node) return a.src_node < b.src_node;
+      return a.seq < b.seq;
+    });
+    sim::Simulator& sim = ssim_->shard(shard);
+    for (Mail& mail : scratch) {
+      Node* dst = &node(mail.to.node);
+      const int port = mail.to.port;
+      sim.At(mail.time, [dst, port, p = std::move(mail.pkt)]() mutable {
+        dst->ReceivePacket(port, std::move(p));
+      });
+    }
+    scratch.clear();
+  }
+
+  // Per-shard mutable state, padded so shards never share a cache line.
+  struct alignas(64) ShardState {
+    uint64_t delivered_events = 0;
+    std::vector<Mail> drain_scratch;
+  };
+
+  sim::Simulator* sim_ = nullptr;
+  sim::ShardedSimulator* ssim_ = nullptr;
+  std::function<int(NodeId)> shard_assign_;
   std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<int> shard_of_;
+  // Mailboxes indexed [src_shard * num_shards + dst_shard]; sized once at
+  // construction, so the vector itself is never mutated concurrently.
+  std::vector<sim::SpscMailbox<Mail>> outboxes_;
+  std::vector<ShardState> shard_state_;
   uint64_t next_flow_id_ = 1;
-  uint64_t delivered_events_ = 0;
 };
 
 }  // namespace occamy::net

@@ -5,7 +5,12 @@
 
 #include "src/buffer/packet.h"
 
-namespace occamy::net {
+namespace occamy {
+namespace sim {
+class Simulator;
+}  // namespace sim
+
+namespace net {
 
 class Network;
 
@@ -21,10 +26,20 @@ class Node {
   NodeId id() const { return id_; }
   Network* network() const { return network_; }
 
+  // The simulator that runs this node's events: the network's sole
+  // Simulator in single-threaded mode, the owning shard's in sharded mode.
+  // Set by Network::AddNode; all of a node's scheduling must go through it.
+  sim::Simulator& sim() const { return *sim_; }
+
  private:
   friend class Network;
   NodeId id_ = 0;
   Network* network_ = nullptr;
+  sim::Simulator* sim_ = nullptr;
+  // Per-source sequence of DeliverAfter calls; part of the canonical
+  // cross-shard merge key (see Network::DeliverAfter).
+  uint64_t delivery_seq_ = 0;
 };
 
-}  // namespace occamy::net
+}  // namespace net
+}  // namespace occamy

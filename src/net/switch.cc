@@ -43,8 +43,8 @@ void SwitchNode::Initialize() {
       port_partition_[static_cast<size_t>(base + i)] = static_cast<int>(partitions_.size());
       port_local_[static_cast<size_t>(base + i)] = i;
     }
-    partitions_.push_back(std::make_unique<tm::TmPartition>(&network()->sim(), cfg,
-                                                            config_.scheme_factory()));
+    partitions_.push_back(
+        std::make_unique<tm::TmPartition>(&sim(), cfg, config_.scheme_factory()));
   }
   initialized_ = true;
 }
@@ -101,9 +101,9 @@ void SwitchNode::KickTx(int port) {
   if (!pkt.has_value()) return;
   state.busy = true;
   const Time tx_time = state.rate.TxTime(pkt->size_bytes);
-  network()->sim().After(tx_time, [this, port, p = std::move(*pkt)]() mutable {
+  sim().After(tx_time, [this, port, p = std::move(*pkt)]() mutable {
     PortState& s = ports_[static_cast<size_t>(port)];
-    network()->DeliverAfter(s.propagation, s.peer, std::move(p));
+    network()->DeliverAfter(id(), s.propagation, s.peer, std::move(p));
     s.busy = false;
     KickTx(port);
   });

@@ -72,4 +72,21 @@ struct LeafSpineTopology {
 
 LeafSpineTopology BuildLeafSpine(Network& net, LeafSpineConfig config);
 
+// Deterministic node->shard assignment for the leaf-spine fabric, matching
+// BuildLeafSpine's id layout (leaves, then spines, then hosts rack-major).
+// Each leaf switch and its attached hosts form one affinity group — the
+// traffic between them never crosses a shard — and spines are spread
+// round-robin. A pure function of (config, shards, id), so the sharded
+// engine can bind nodes to shards before the topology is built.
+inline int LeafSpineShardOf(const LeafSpineConfig& config, int shards, NodeId id) {
+  if (shards <= 1) return 0;
+  const int leaves = config.num_leaves;
+  const int spines = config.num_spines;
+  const int iid = static_cast<int>(id);
+  if (iid < leaves) return iid % shards;
+  if (iid < leaves + spines) return (iid - leaves) % shards;
+  const int host_index = iid - leaves - spines;
+  return (host_index / config.hosts_per_leaf) % shards;
+}
+
 }  // namespace occamy::net

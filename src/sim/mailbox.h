@@ -1,0 +1,41 @@
+// Single-producer / single-consumer mailbox for cross-shard handoff.
+//
+// One mailbox carries records from exactly one producer shard to exactly one
+// consumer shard of a ShardedSimulator. Synchronization is phase-based, not
+// lock-based: producers Push() only while their shard executes a time
+// window, and the consumer Drain()s only at the window barrier, when every
+// worker is quiescent. The barrier's synchronization (see
+// sharded_simulator.cc) establishes the happens-before edge between the two
+// phases, so the storage itself needs no atomics — which keeps Push() on the
+// packet-delivery hot path a plain vector append.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+namespace occamy::sim {
+
+template <typename T>
+class SpscMailbox {
+ public:
+  // Producer side: stage one record. Only the owning producer shard may
+  // call this, and only during window execution.
+  void Push(T record) { records_.push_back(std::move(record)); }
+
+  // Consumer side: move every staged record into `out` (appending) and
+  // reset. Only the owning consumer shard may call this, and only at a
+  // window barrier.
+  void DrainInto(std::vector<T>& out) {
+    if (records_.empty()) return;
+    for (auto& r : records_) out.push_back(std::move(r));
+    records_.clear();
+  }
+
+  bool Empty() const { return records_.empty(); }
+  size_t Size() const { return records_.size(); }
+
+ private:
+  std::vector<T> records_;
+};
+
+}  // namespace occamy::sim

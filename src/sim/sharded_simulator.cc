@@ -1,0 +1,193 @@
+#include "src/sim/sharded_simulator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace occamy::sim {
+
+namespace {
+
+thread_local int tls_shard = -1;
+
+using WallClock = std::chrono::steady_clock;
+
+// Reusable two-phase barrier: all parties block until the last one arrives;
+// the last arrival runs `leader_fn` before everyone is released. `leader_fn`
+// executes under the barrier mutex, which is exactly what the plan step
+// wants: every other worker is provably quiescent while it reads the shard
+// queues.
+class CyclicBarrier {
+ public:
+  explicit CyclicBarrier(int parties) : parties_(parties) {}
+
+  template <typename F>
+  void ArriveAndWait(F&& leader_fn) {
+    std::unique_lock<std::mutex> lock(mu_);
+    const uint64_t gen = generation_;
+    if (++arrived_ == parties_) {
+      leader_fn();
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+    } else {
+      cv_.wait(lock, [&] { return generation_ != gen; });
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  const int parties_;
+  int arrived_ = 0;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace
+
+int CurrentShard() { return tls_shard < 0 ? 0 : tls_shard; }
+
+namespace internal {
+ShardScope::ShardScope(int shard) : saved_(tls_shard) { tls_shard = shard; }
+ShardScope::~ShardScope() { tls_shard = saved_; }
+}  // namespace internal
+
+ShardedSimulator::ShardedSimulator(const Options& options)
+    : lookahead_(options.lookahead), use_threads_(options.use_threads) {
+  OCCAMY_CHECK(options.lookahead > 0) << "lookahead must be positive";
+  const int n = std::max(1, options.shards);
+  shards_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    // Independent per-shard streams regardless of shard count: shard i's
+    // seed depends only on (seed, i), never on n.
+    shards_.push_back(std::make_unique<Simulator>(
+        SplitMix64(options.seed ^ (0x9e3779b97f4a7c15ULL * static_cast<uint64_t>(i + 1)))));
+  }
+}
+
+ShardedSimulator::~ShardedSimulator() = default;
+
+Simulator& ShardedSimulator::shard(int i) {
+  OCCAMY_CHECK(i >= 0 && i < num_shards()) << "bad shard index " << i;
+  return *shards_[static_cast<size_t>(i)];
+}
+
+void ShardedSimulator::Stop() {
+  stop_requested_.store(true, std::memory_order_relaxed);
+  // When called from inside an event, also halt the calling shard's window
+  // immediately; other shards notice the flag at the next barrier.
+  if (tls_shard >= 0 && tls_shard < num_shards()) {
+    shards_[static_cast<size_t>(tls_shard)]->Stop();
+  }
+}
+
+uint64_t ShardedSimulator::processed_events() const {
+  uint64_t total = 0;
+  for (const auto& s : shards_) total += s->processed_events();
+  return total;
+}
+
+ShardedSimulator::Plan ShardedSimulator::PlanNextWindow(Time until) {
+  Plan plan;
+  if (stop_requested_.load(std::memory_order_relaxed)) {
+    plan.done = true;
+    return plan;
+  }
+  Time gm = Simulator::kNoEvent;
+  for (auto& s : shards_) gm = std::min(gm, s->NextEventTime());
+  if (gm == Simulator::kNoEvent || gm > until) {
+    // Nothing left inside the horizon: advance every clock to `until` (the
+    // RunUntil contract) and finish. Queues are quiescent here — the other
+    // workers are parked in the barrier.
+    for (auto& s : shards_) s->RunUntil(until);
+    plan.done = true;
+    return plan;
+  }
+  // Hop to the aligned window containing the globally earliest event. The
+  // grid is fixed (multiples of lookahead), so which barrier a staged record
+  // crosses depends only on simulated time — a determinism requirement.
+  const Time window_start = gm - gm % lookahead_;
+  plan.bound = std::min(window_start + lookahead_ - 1, until);
+  return plan;
+}
+
+uint64_t ShardedSimulator::RunUntil(Time until) {
+  const int n = num_shards();
+  const uint64_t events_before = processed_events();
+  stop_requested_.store(false, std::memory_order_relaxed);
+  running_.store(true, std::memory_order_relaxed);
+  windows_run_ = 0;
+
+  Plan plan;  // written only by the barrier leader, read by all after release
+  std::vector<uint64_t> busy_ns(static_cast<size_t>(n), 0);
+  const WallClock::time_point wall_start = WallClock::now();
+
+  if (!use_threads_ || n == 1) {
+    // Identical windowed algorithm, round-robin on the calling thread.
+    for (;;) {
+      if (barrier_drain_) {
+        for (int s = 0; s < n; ++s) {
+          internal::ShardScope scope(s);
+          barrier_drain_(s);
+        }
+      }
+      plan = PlanNextWindow(until);
+      if (plan.done) break;
+      ++windows_run_;
+      for (int s = 0; s < n; ++s) {
+        internal::ShardScope scope(s);
+        const WallClock::time_point t0 = WallClock::now();
+        shards_[static_cast<size_t>(s)]->RunUntil(plan.bound);
+        busy_ns[static_cast<size_t>(s)] += static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(WallClock::now() - t0)
+                .count());
+      }
+    }
+  } else {
+    CyclicBarrier plan_barrier(n);
+    CyclicBarrier window_barrier(n);
+    const auto worker = [&](int s) {
+      internal::ShardScope scope(s);
+      Simulator& sim = *shards_[static_cast<size_t>(s)];
+      for (;;) {
+        // Phase 1: hand over everything this shard's peers staged for it.
+        if (barrier_drain_) barrier_drain_(s);
+        // Phase 2: plan (leader only, all queues quiescent).
+        plan_barrier.ArriveAndWait([&] {
+          plan = PlanNextWindow(until);
+          if (!plan.done) ++windows_run_;
+        });
+        if (plan.done) return;
+        // Phase 3: run the window.
+        const WallClock::time_point t0 = WallClock::now();
+        sim.RunUntil(plan.bound);
+        busy_ns[static_cast<size_t>(s)] += static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(WallClock::now() - t0)
+                .count());
+        window_barrier.ArriveAndWait([] {});
+      }
+    };
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<size_t>(n - 1));
+    for (int s = 1; s < n; ++s) threads.emplace_back(worker, s);
+    worker(0);
+    for (auto& t : threads) t.join();
+  }
+
+  running_.store(false, std::memory_order_relaxed);
+  const double wall_ns = static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(WallClock::now() - wall_start)
+          .count());
+  uint64_t total_busy = 0;
+  for (const uint64_t b : busy_ns) total_busy += b;
+  parallel_efficiency_ =
+      wall_ns > 0 ? static_cast<double>(total_busy) / (wall_ns * n) : 1.0;
+  return processed_events() - events_before;
+}
+
+}  // namespace occamy::sim

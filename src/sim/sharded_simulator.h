@@ -1,0 +1,149 @@
+// Conservative-time partition-parallel discrete-event engine.
+//
+// A ShardedSimulator runs N shards — each an ordinary single-threaded
+// sim::Simulator with its own EventQueue and Rng — in lockstep over fixed
+// time windows of length `lookahead`. Within a window every shard executes
+// its own events in parallel; at the window barrier, work staged for other
+// shards (packet deliveries, see net::Network) is handed over and the next
+// window is planned. The scheme is conservative (Chandy–Misra style): it is
+// only correct if every cross-shard interaction carries a delay of at least
+// `lookahead`, so that anything produced inside window [W, W+L) cannot take
+// effect before W+L and is guaranteed to be in the destination shard's queue
+// before that shard starts the next window.
+//
+// Determinism contract. Results are byte-identical for any shard count
+// (including 1) because
+//  * every shard's own events run in the usual deterministic (time, seq)
+//    order,
+//  * all cross-shard influence flows through the barrier drain hook, whose
+//    implementation (net::Network) inserts staged records in the canonical
+//    (deliver_time, src_node, per-source sequence) order — an order that
+//    does not depend on how nodes are partitioned or on thread timing, and
+//  * the window grid is fixed (aligned multiples of `lookahead`), so the
+//    barrier at which a record is handed over depends only on simulated
+//    time, never on wall-clock interleaving.
+// The single-shard configuration runs the identical windowed algorithm on
+// one thread, which is what makes `--shards=1` a byte-exact oracle for
+// `--shards=N`.
+//
+// Stop() semantics: the shard that calls Stop() halts immediately; every
+// other shard finishes the current window, then the run returns. A stopped
+// run therefore leaves different shards at slightly different local times —
+// deterministic metrics are only promised for runs that end by reaching
+// `until` or draining every queue.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/util/time.h"
+
+namespace occamy::sim {
+
+// Index of the shard executing on the current thread, or 0 outside any
+// sharded run (so single-threaded code indexes per-shard state at slot 0).
+int CurrentShard();
+
+namespace internal {
+// RAII: marks the current thread as executing `shard`. -1 restores "none".
+class ShardScope {
+ public:
+  explicit ShardScope(int shard);
+  ~ShardScope();
+  ShardScope(const ShardScope&) = delete;
+  ShardScope& operator=(const ShardScope&) = delete;
+
+ private:
+  int saved_;
+};
+}  // namespace internal
+
+class ShardedSimulator {
+ public:
+  struct Options {
+    int shards = 1;                       // clamped to >= 1
+    Time lookahead = Microseconds(2);     // conservative window length, > 0
+    uint64_t seed = 1;                    // per-shard Rngs fork from this
+    // Run shards on worker threads. Off = execute the identical windowed
+    // algorithm round-robin on the calling thread (useful under sanitizers
+    // and for debugging; results are byte-identical either way).
+    bool use_threads = true;
+  };
+
+  explicit ShardedSimulator(const Options& options);
+  ~ShardedSimulator();
+
+  ShardedSimulator(const ShardedSimulator&) = delete;
+  ShardedSimulator& operator=(const ShardedSimulator&) = delete;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  Time lookahead() const { return lookahead_; }
+
+  // The shard-local engine. Components owned by shard `i` schedule their
+  // events here; outside RunUntil the caller (single-threaded setup /
+  // teardown) may schedule into any shard.
+  Simulator& shard(int i);
+
+  // Hook run once per shard at every window barrier, on that shard's worker
+  // thread, with all shards quiescent. net::Network registers its mailbox
+  // drain here. Must be set before RunUntil if cross-shard traffic exists.
+  void set_barrier_drain(std::function<void(int shard)> hook) {
+    barrier_drain_ = std::move(hook);
+  }
+
+  // Runs every shard up to and including `until` (conservative windows with
+  // barrier drains between them), or until all queues drain, or Stop().
+  // Returns the total number of events processed by this call.
+  uint64_t RunUntil(Time until);
+
+  // Requests a stop: the calling shard halts immediately (when called from
+  // an event), all shards stop at the current window barrier.
+  void Stop();
+
+  bool stop_requested() const { return stop_requested_; }
+
+  // True while RunUntil is executing (shards may be running on worker
+  // threads). Guards against mid-run scheduling from outside the shards —
+  // e.g. FlowManager::StartFlow refuses it (flows must be pre-generated).
+  bool running() const { return running_.load(std::memory_order_relaxed); }
+
+  // Sum of events processed by all shards, ever.
+  uint64_t processed_events() const;
+
+  // Of the last RunUntil: aggregate shard busy time divided by (wall time x
+  // shards). 1.0 = perfectly balanced parallel execution; a single-shard
+  // run reports ~1.0 by construction.
+  double parallel_efficiency() const { return parallel_efficiency_; }
+
+  // Number of windows executed by the last RunUntil (test hook).
+  uint64_t windows_run() const { return windows_run_; }
+
+ private:
+  struct Plan {
+    bool done = false;
+    Time bound = 0;  // shards run events with time <= bound this window
+  };
+
+  // Single-threaded plan step: drains are complete, queues are quiescent.
+  Plan PlanNextWindow(Time until);
+
+  std::vector<std::unique_ptr<Simulator>> shards_;
+  Time lookahead_;
+  bool use_threads_;
+  std::function<void(int)> barrier_drain_;
+
+  // Set by Stop(); read at barriers. Plain bool-behind-barrier would do for
+  // the workers, but Stop() may also be called from outside the run loop.
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> running_{false};
+
+  double parallel_efficiency_ = 1.0;
+  uint64_t windows_run_ = 0;
+};
+
+}  // namespace occamy::sim

@@ -2,7 +2,11 @@
 //
 // This replaces the paper's ns-3 / hardware testbeds: components schedule
 // callbacks at absolute or relative simulated times and the simulator runs
-// them in deterministic order. Single-threaded by design.
+// them in deterministic order. Single-threaded by design: one Simulator is
+// either the whole simulation (the legacy mode every testbed scenario uses)
+// or one shard of a ShardedSimulator (src/sim/sharded_simulator.h), which
+// drives it window-by-window through the same RunUntil interface and never
+// touches it from two threads at once.
 #pragma once
 
 #include <cstdint>
@@ -55,6 +59,14 @@ class Simulator {
 
   uint64_t processed_events() const { return processed_; }
   bool HasPendingEvents() const { return queue_.live_size() > 0; }
+
+  // True if the last Run/RunUntil exited via Stop().
+  bool stopped() const { return stopped_; }
+
+  // Time of the earliest pending event, or kNoEvent when none are pending.
+  // Used by the sharded engine to plan the next conservative window.
+  static constexpr Time kNoEvent = std::numeric_limits<Time>::max();
+  Time NextEventTime() { return queue_.Empty() ? kNoEvent : queue_.NextTime(); }
 
  private:
   uint64_t RunCore(Time until) {

@@ -13,7 +13,9 @@ constexpr int64_t kMinCwndSegments = 1;
 }  // namespace
 
 Connection::Connection(FlowManager* manager, FlowParams params)
-    : manager_(manager), params_(params) {
+    : manager_(manager),
+      params_(params),
+      sim_(&manager->network().sim_of(params_.src)) {
   OCCAMY_CHECK(params_.size_bytes > 0);
   const auto& cfg = manager_->config();
   cwnd_ = cfg.init_cwnd_segments * cfg.mss;
@@ -54,9 +56,9 @@ void Connection::SendSegment(int64_t seq) {
   pkt.seq = static_cast<uint64_t>(seq);
   pkt.payload = static_cast<uint32_t>(payload);
   pkt.size_bytes = static_cast<uint32_t>(payload + cfg.header_bytes);
-  pkt.ts_sent = manager_->sim().now();
-  manager_->counters_.data_packets_sent++;
-  if (seq < max_sent_) manager_->counters_.retransmitted_packets++;
+  pkt.ts_sent = sim_->now();
+  manager_->mutable_counters().data_packets_sent++;
+  if (seq < max_sent_) manager_->mutable_counters().retransmitted_packets++;
   max_sent_ = std::max(max_sent_, seq + payload);
   manager_->host(params_.src).Send(std::move(pkt));
 }
@@ -66,13 +68,13 @@ void Connection::ArmRtoTimer() {
   const auto& cfg = manager_->config();
   Time timeout = rto_ << rto_backoff_;
   timeout = std::min(timeout, cfg.max_rto);
-  rto_timer_ = manager_->sim().After(timeout, [this] { OnRtoTimeout(); });
+  rto_timer_ = sim_->After(timeout, [this] { OnRtoTimeout(); });
 }
 
 void Connection::OnRtoTimeout() {
   if (completed_) return;
   const auto& cfg = manager_->config();
-  manager_->counters_.rtos++;
+  manager_->mutable_counters().rtos++;
   ++rto_count_;
   rto_backoff_ = std::min(rto_backoff_ + 1, 8);
   ssthresh_ = std::max<int64_t>(cwnd_ / 2, 2 * cfg.mss);
@@ -127,7 +129,7 @@ void Connection::HandleAck(const Packet& ack) {
 
 void Connection::EnterFastRecovery() {
   const auto& cfg = manager_->config();
-  manager_->counters_.fast_retransmits++;
+  manager_->mutable_counters().fast_retransmits++;
   ++fast_retx_count_;
   switch (params_.cc) {
     case CcAlgorithm::kDctcp:
@@ -151,7 +153,7 @@ void Connection::EnterFastRecovery() {
 
 void Connection::OnNewAck(int64_t newly_acked, const Packet& ack) {
   // RTT sample from the echoed send timestamp.
-  if (ack.ts_sent > 0) UpdateRtt(manager_->sim().now() - ack.ts_sent);
+  if (ack.ts_sent > 0) UpdateRtt(sim_->now() - ack.ts_sent);
 
   if (params_.cc == CcAlgorithm::kDctcp) {
     dctcp_acked_bytes_ += newly_acked;
@@ -212,7 +214,7 @@ void Connection::CubicOnLoss() {
 void Connection::CubicGrow(int64_t newly_acked) {
   (void)newly_acked;
   const auto& cfg = manager_->config();
-  const Time now = manager_->sim().now();
+  const Time now = sim_->now();
   if (cubic_epoch_start_ == 0) {
     cubic_epoch_start_ = now;
     if (cubic_wmax_segments_ <= 0.0) cubic_wmax_segments_ = static_cast<double>(cwnd_) / cfg.mss;
@@ -246,8 +248,10 @@ void Connection::UpdateRtt(Time sample) {
 void Connection::Complete() {
   completed_ = true;
   rto_timer_.Cancel();
-  rcv_ooo_segments_.clear();
-  manager_->OnConnectionComplete(this, manager_->sim().now());
+  // Receiver state (rcv_*) is deliberately left alone: it belongs to the
+  // destination host's shard, which may still be processing in-flight
+  // retransmissions concurrently.
+  manager_->OnConnectionComplete(this, sim_->now());
 }
 
 // ---------------- receiver ----------------
@@ -279,7 +283,7 @@ void Connection::HandleData(const Packet& pkt) {
   ack.ack_seq = static_cast<uint64_t>(rcv_next_);
   ack.ece = pkt.ce;
   ack.ts_sent = pkt.ts_sent;
-  manager_->counters_.acks_sent++;
+  manager_->mutable_counters().acks_sent++;
   manager_->host(params_.dst).Send(std::move(ack));
 }
 

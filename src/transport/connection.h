@@ -1,6 +1,14 @@
 // One reliable byte-stream flow: sender congestion control + receiver
 // reassembly/ACK generation.
 //
+// Shard discipline (sharded fabric runs): the sender half (everything under
+// "Sender state" plus the RTO timer) is touched only by events at the
+// source host, the receiver half (rcv_*) only by events at the destination
+// host. The two halves are distinct memory locations, so the source and
+// destination shards may run concurrently without ever racing on one
+// Connection — which is why Complete() must not touch receiver state and
+// all scheduling goes through the source host's shard simulator (sim_).
+//
 // Packet-level model: MSS-sized segments, per-packet cumulative ACKs that
 // echo the CE bit of the acked segment (DCTCP-style exact feedback), slow
 // start, AI congestion avoidance (Reno/DCTCP) or cubic growth (CUBIC),
@@ -62,6 +70,7 @@ class Connection {
 
   FlowManager* manager_;
   FlowParams params_;
+  sim::Simulator* sim_;  // the source host's shard (sender-side clock/timers)
 
   // Sender state.
   int64_t snd_una_ = 0;

@@ -4,12 +4,20 @@
 // and records flow completions (FCT + slowdown) into a CompletionCollector.
 // Workloads subscribe to per-flow completion hooks (e.g. incast queries
 // count down their member flows).
+//
+// Sharded fabric runs: connections are created up front (single-threaded)
+// and the map is read-only while shards execute, counters and completion
+// records go to per-shard slots (selected by sim::CurrentShard()), and the
+// runner merges completions into the canonical (end, id) order afterwards.
+// Completion listeners are a single-threaded-mode feature — sharded runs
+// compute workload statistics from the merged records instead.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "src/net/host.h"
 #include "src/net/network.h"
@@ -36,12 +44,19 @@ class FlowManager {
 
   // Invoked on every flow completion, after the record is collected.
   // Multiple workloads may listen concurrently; each filters by its own ids.
+  // Single-threaded mode only (listeners would race across shards).
   using CompletionHook = std::function<void(const FlowParams&, Time end_time)>;
-  void AddCompletionListener(CompletionHook hook) {
-    completion_listeners_.push_back(std::move(hook));
-  }
+  void AddCompletionListener(CompletionHook hook);
 
+  // Completion records. In single-threaded mode this is live during the
+  // run; in sharded mode call MergeShardCompletions() after the run first.
   stats::CompletionCollector& completions() { return completions_; }
+
+  // Sharded mode: moves every per-shard completion record into
+  // completions(), sorted by (end, id) — an order independent of the shard
+  // count, which keeps downstream metrics byte-identical.
+  void MergeShardCompletions();
+
   const TransportConfig& config() const { return config_; }
   net::Network& network() { return *net_; }
   sim::Simulator& sim() { return net_->sim(); }
@@ -57,22 +72,33 @@ class FlowManager {
     int64_t rtos = 0;
     int64_t fast_retransmits = 0;
   };
-  const Counters& counters() const { return counters_; }
+  // Summed across shards (integer sums: order-independent, deterministic).
+  Counters counters() const;
 
   Connection* FindConnection(uint64_t flow_id);
 
  private:
   friend class Connection;
 
+  // The counter slot of the shard executing on this thread.
+  Counters& mutable_counters();
+
   void Dispatch(net::NodeId at_host, const Packet& pkt);
   void OnConnectionComplete(Connection* conn, Time end_time);
+
+  // Per-shard mutable slots, padded against false sharing. Slot 0 doubles
+  // as the single-threaded slot.
+  struct alignas(64) ShardState {
+    Counters counters;
+    stats::CompletionCollector completions;
+  };
 
   net::Network* net_;
   TransportConfig config_;
   std::unordered_map<uint64_t, std::unique_ptr<Connection>> connections_;
   stats::CompletionCollector completions_;
+  std::vector<ShardState> shard_state_;
   std::vector<CompletionHook> completion_listeners_;
-  Counters counters_;
 };
 
 }  // namespace occamy::transport

@@ -58,3 +58,4 @@ class CheckFailStream {
 #endif
 
 #define OCCAMY_DCHECK_GE(a, b) OCCAMY_DCHECK((a) >= (b)) << " [" << (a) << " vs " << (b) << "] "
+#define OCCAMY_DCHECK_EQ(a, b) OCCAMY_DCHECK((a) == (b)) << " [" << (a) << " vs " << (b) << "] "

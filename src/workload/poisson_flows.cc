@@ -4,30 +4,34 @@
 
 namespace occamy::workload {
 
+PairSampler DefaultPairSampler(std::vector<net::NodeId> hosts) {
+  return [hosts = std::move(hosts)](Rng& rng) {
+    const size_t n = hosts.size();
+    const size_t src = rng.UniformInt(n);
+    size_t dst = rng.UniformInt(n - 1);
+    if (dst >= src) ++dst;
+    return std::make_pair(hosts[src], hosts[dst]);
+  };
+}
+
+Time MeanInterarrivalOf(const PoissonFlowConfig& config) {
+  const double mean_size = config.size_dist.Mean();
+  const double aggregate_bytes_per_sec =
+      config.load * config.host_rate.bytes_per_sec() *
+      static_cast<double>(config.hosts.size());
+  const double flows_per_sec = aggregate_bytes_per_sec / mean_size;
+  return FromSeconds(1.0 / flows_per_sec);
+}
+
 PoissonFlowGenerator::PoissonFlowGenerator(transport::FlowManager* manager,
                                            PoissonFlowConfig config)
     : manager_(manager), config_(std::move(config)), rng_(config_.seed) {
   OCCAMY_CHECK(!config_.hosts.empty());
   OCCAMY_CHECK(config_.load > 0.0);
-  if (!config_.pair_sampler) {
-    config_.pair_sampler = [hosts = config_.hosts](Rng& rng) {
-      const size_t n = hosts.size();
-      const size_t src = rng.UniformInt(n);
-      size_t dst = rng.UniformInt(n - 1);
-      if (dst >= src) ++dst;
-      return std::make_pair(hosts[src], hosts[dst]);
-    };
-  }
+  if (!config_.pair_sampler) config_.pair_sampler = DefaultPairSampler(config_.hosts);
 }
 
-Time PoissonFlowGenerator::MeanInterarrival() const {
-  const double mean_size = config_.size_dist.Mean();
-  const double aggregate_bytes_per_sec =
-      config_.load * config_.host_rate.bytes_per_sec() *
-      static_cast<double>(config_.hosts.size());
-  const double flows_per_sec = aggregate_bytes_per_sec / mean_size;
-  return FromSeconds(1.0 / flows_per_sec);
-}
+Time PoissonFlowGenerator::MeanInterarrival() const { return MeanInterarrivalOf(config_); }
 
 void PoissonFlowGenerator::Start() {
   manager_->sim().At(std::max(config_.start, manager_->sim().now()), [this] {

@@ -53,6 +53,19 @@ TEST(CliParse, AllOptions) {
   EXPECT_EQ(opts.alphas, (std::vector<double>{8.0, 1.0, 1.0}));
 }
 
+TEST(CliParse, ShardsFlag) {
+  const char* argv[] = {"occamy_sim", "--shards=4"};
+  SimOptions opts;
+  EXPECT_FALSE(ParseArgs(2, argv, opts).has_value());
+  EXPECT_EQ(opts.shards, 4);
+
+  for (const char* bad : {"--shards=0", "--shards=65", "--shards=abc", "--shards=-1"}) {
+    const char* bad_argv[] = {"occamy_sim", bad};
+    SimOptions bad_opts;
+    EXPECT_TRUE(ParseArgs(2, bad_argv, bad_opts).has_value()) << bad;
+  }
+}
+
 TEST(CliParse, RejectsMalformedInput) {
   SimOptions opts;
   const char* bad_flag[] = {"occamy_sim", "--frobnicate=1"};
@@ -207,6 +220,35 @@ TEST(CliRun, FabricScenarioProducesJson) {
   ASSERT_TRUE(result.ok) << result.error;
   EXPECT_TRUE(JsonHasString(result.json, "platform", "fabric")) << result.json;
   EXPECT_GT(JsonNumber(result.json, "delivered_bytes"), 0) << result.json;
+}
+
+TEST(CliRun, ShardedFabricRunMatchesSingleShard) {
+  SimOptions opts;
+  opts.scenario = "websearch";
+  opts.bm = "occamy";
+  opts.scale = "smoke";
+  opts.duration_ms = 2;
+  opts.shards = 1;
+  const SimResult one = RunScenario(opts);
+  ASSERT_TRUE(one.ok) << one.error;
+  opts.shards = 4;
+  const SimResult four = RunScenario(opts);
+  ASSERT_TRUE(four.ok) << four.error;
+  for (const char* key :
+       {"delivered_bytes", "qct_p99_ms", "fct_p99_slowdown", "sim_events", "drops"}) {
+    EXPECT_EQ(JsonNumber(one.json, key), JsonNumber(four.json, key)) << key;
+  }
+  EXPECT_EQ(JsonNumber(one.json, "shards"), 1);
+  EXPECT_EQ(JsonNumber(four.json, "shards"), 4);
+}
+
+TEST(CliRun, ShardsRejectedOffFabric) {
+  SimOptions opts;
+  opts.scenario = "incast";
+  opts.shards = 2;
+  const SimResult result = RunScenario(opts);
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("shards"), std::string::npos) << result.error;
 }
 
 TEST(CliRun, ListsAreNonEmpty) {

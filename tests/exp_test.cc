@@ -6,6 +6,7 @@
 
 #include <set>
 #include <sstream>
+#include <thread>
 #include <string>
 #include <vector>
 
@@ -261,6 +262,62 @@ TEST(SweepDeterminism, AggregationMatchesAcrossJobCounts) {
   WriteSummaryCsv(Aggregate(RunSweep(points, four)), csv4);
   EXPECT_EQ(csv1.str(), csv4.str());
   EXPECT_FALSE(csv1.str().empty());
+}
+
+TEST(SweepJobsCap, JobsTimesShardsFitsHardware) {
+  // No shards: only the [1, 64] clamp applies.
+  EXPECT_EQ(EffectiveSweepJobs(8, 0, 4), 8);
+  EXPECT_EQ(EffectiveSweepJobs(200, 0, 4), 64);
+  // Sharded runs: jobs x shards <= hardware_concurrency.
+  EXPECT_EQ(EffectiveSweepJobs(8, 4, 16), 4);
+  EXPECT_EQ(EffectiveSweepJobs(8, 4, 8), 2);
+  EXPECT_EQ(EffectiveSweepJobs(8, 4, 4), 1);
+  EXPECT_EQ(EffectiveSweepJobs(8, 4, 2), 1);   // never below 1
+  EXPECT_EQ(EffectiveSweepJobs(8, 4, 0), 8);   // unknown hardware: no cap
+  EXPECT_EQ(EffectiveSweepJobs(8, 1, 2), 8);   // single-shard runs uncapped
+}
+
+TEST(SweepJobsCap, RunSweepWarnsWhenCapping) {
+  SweepSpec spec;
+  spec.scenarios = {"websearch"};
+  spec.bms = {"dt"};
+  spec.scale = bench::BenchScale::kSmoke;
+  spec.duration_ms = 1;
+  spec.shards = 4;
+  std::vector<SweepPoint> points;
+  ASSERT_FALSE(ExpandSweep(spec, points).has_value());
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].spec.shards, 4);  // fabric point inherits the knob
+
+  SweepRunOptions options;
+  options.jobs = 64;  // always above hw / 4, so the cap must fire
+  std::vector<std::string> warnings;
+  options.warn = [&](const std::string& w) { warnings.push_back(w); };
+  const auto records = RunSweep(points, options);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].ok) << records[0].error;
+  const auto* shards = records[0].metrics.Find("shards");
+  ASSERT_NE(shards, nullptr);
+  EXPECT_EQ(shards->i, 4);
+  if (std::thread::hardware_concurrency() > 0 &&
+      std::thread::hardware_concurrency() < 64 * 4) {
+    ASSERT_EQ(warnings.size(), 1u);
+    EXPECT_NE(warnings[0].find("capping --jobs"), std::string::npos) << warnings[0];
+  }
+}
+
+TEST(SweepExpand, ShardsKnobOnlyAppliesToFabricPoints) {
+  SweepSpec spec;
+  spec.scenarios = {"incast", "websearch"};
+  spec.bms = {"dt"};
+  spec.shards = 2;
+  std::vector<SweepPoint> points;
+  ASSERT_FALSE(ExpandSweep(spec, points).has_value());
+  ASSERT_EQ(points.size(), 2u);
+  for (const auto& p : points) {
+    const bool fabric = p.spec.scenario == "websearch";
+    EXPECT_EQ(p.spec.shards, fabric ? 2 : 0) << p.run_key;
+  }
 }
 
 }  // namespace

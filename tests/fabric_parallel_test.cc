@@ -1,0 +1,93 @@
+// Determinism contract of the partition-parallel fabric engine: for any
+// shard count >= 1 (and with worker threads on or off) a fabric run must
+// produce bit-identical metrics. Exact double equality is intentional —
+// "close" would mean the conservative synchronization leaked.
+#include <gtest/gtest.h>
+
+#include "bench/common/fabric_run.h"
+
+namespace occamy::bench {
+namespace {
+
+FabricRunSpec SmokeSpec(BgPattern pattern, uint64_t seed = 1) {
+  FabricRunSpec run;
+  run.scheme = Scheme::kOccamy;
+  run.pattern = pattern;
+  run.bg_load = 0.6;
+  if (pattern != BgPattern::kWebSearch) run.bg_fixed_size = 256 * 1024;
+  if (pattern == BgPattern::kWebSearch) run.bg_load = 0.9;
+  run.duration = Milliseconds(2);
+  run.drain = Milliseconds(10);
+  run.seed = seed;
+  run.scale = BenchScale::kSmoke;
+  return run;
+}
+
+// Every deterministic field of a FabricRunResult (excludes the wall-clock
+// parallel_efficiency and the engine id itself).
+void ExpectIdentical(const FabricRunResult& a, const FabricRunResult& b,
+                     const std::string& label) {
+  EXPECT_EQ(a.qct_avg_ms, b.qct_avg_ms) << label;
+  EXPECT_EQ(a.qct_p99_ms, b.qct_p99_ms) << label;
+  EXPECT_EQ(a.qct_avg_slow, b.qct_avg_slow) << label;
+  EXPECT_EQ(a.qct_p99_slow, b.qct_p99_slow) << label;
+  EXPECT_EQ(a.fct_avg_slow, b.fct_avg_slow) << label;
+  EXPECT_EQ(a.fct_p99_slow, b.fct_p99_slow) << label;
+  EXPECT_EQ(a.fct_small_p99_slow, b.fct_small_p99_slow) << label;
+  EXPECT_EQ(a.queries_completed, b.queries_completed) << label;
+  EXPECT_EQ(a.bg_flows_completed, b.bg_flows_completed) << label;
+  EXPECT_EQ(a.drops, b.drops) << label;
+  EXPECT_EQ(a.expelled, b.expelled) << label;
+  EXPECT_EQ(a.delivered_bytes, b.delivered_bytes) << label;
+  EXPECT_EQ(a.peak_occupancy_bytes, b.peak_occupancy_bytes) << label;
+  EXPECT_EQ(a.sim_events, b.sim_events) << label;
+}
+
+TEST(FabricParallelTest, WebSearchShardCountInvariant) {
+  FabricRunSpec run = SmokeSpec(BgPattern::kWebSearch);
+  run.shards = 1;
+  const FabricRunResult oracle = RunFabric(run);
+  ASSERT_GT(oracle.bg_flows_completed, 0);
+  ASSERT_GT(oracle.queries_completed, 0);
+  ASSERT_GT(oracle.sim_events, 0);
+  for (const int shards : {2, 4}) {
+    run.shards = shards;
+    ExpectIdentical(oracle, RunFabric(run), "websearch shards=" + std::to_string(shards));
+  }
+}
+
+TEST(FabricParallelTest, AllToAllShardCountInvariant) {
+  FabricRunSpec run = SmokeSpec(BgPattern::kAllToAll);
+  run.shards = 1;
+  const FabricRunResult oracle = RunFabric(run);
+  ASSERT_GT(oracle.bg_flows_completed, 0);
+  for (const int shards : {2, 4}) {
+    run.shards = shards;
+    ExpectIdentical(oracle, RunFabric(run), "alltoall shards=" + std::to_string(shards));
+  }
+}
+
+TEST(FabricParallelTest, ThreadedAndInlineExecutionMatch) {
+  FabricRunSpec run = SmokeSpec(BgPattern::kAllToAll, /*seed=*/3);
+  run.shards = 4;
+  run.shard_threads = true;
+  const FabricRunResult threaded = RunFabric(run);
+  run.shard_threads = false;
+  const FabricRunResult inline_run = RunFabric(run);
+  ExpectIdentical(threaded, inline_run, "threads vs inline");
+}
+
+TEST(FabricParallelTest, ShardedResultCarriesEngineFields) {
+  FabricRunSpec run = SmokeSpec(BgPattern::kWebSearch);
+  run.shards = 2;
+  const FabricRunResult r = RunFabric(run);
+  EXPECT_EQ(r.shards, 2);
+  EXPECT_GT(r.parallel_efficiency, 0.0);
+  run.shards = 0;  // legacy engine reports itself as such
+  const FabricRunResult legacy = RunFabric(run);
+  EXPECT_EQ(legacy.shards, 0);
+  EXPECT_GT(legacy.queries_completed, 0);
+}
+
+}  // namespace
+}  // namespace occamy::bench

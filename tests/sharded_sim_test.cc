@@ -1,0 +1,259 @@
+// ShardedSimulator + shard-aware Network: conservative windows, mailbox
+// merge order, lookahead edge cases, Stop() mid-window, shard assignment.
+#include "src/sim/sharded_simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "src/net/network.h"
+#include "src/net/topology.h"
+#include "src/sim/mailbox.h"
+
+namespace occamy {
+namespace {
+
+// Node that records (arrival time, flow_id) of every packet it receives.
+class RecordingNode final : public net::Node {
+ public:
+  void ReceivePacket(int in_port, Packet pkt) override {
+    (void)in_port;
+    received.emplace_back(sim().now(), pkt.flow_id);
+  }
+  std::vector<std::pair<Time, uint64_t>> received;
+};
+
+Packet MakePacket(uint64_t flow_id) {
+  Packet pkt;
+  pkt.flow_id = flow_id;
+  pkt.size_bytes = 100;
+  return pkt;
+}
+
+constexpr Time kLookahead = Microseconds(2);
+
+sim::ShardedSimulator::Options EngineOptions(int shards, bool use_threads = true) {
+  sim::ShardedSimulator::Options opts;
+  opts.shards = shards;
+  opts.lookahead = kLookahead;
+  opts.use_threads = use_threads;
+  return opts;
+}
+
+// Builds `nodes` RecordingNodes assigned round-robin across shards and
+// returns their observation logs after running `scenario` and RunUntil.
+template <typename Scenario>
+std::vector<std::vector<std::pair<Time, uint64_t>>> RunScenario(
+    int shards, int nodes, Time until, bool use_threads, Scenario&& scenario) {
+  sim::ShardedSimulator ssim(EngineOptions(shards, use_threads));
+  net::Network net(&ssim, [shards](net::NodeId id) {
+    return static_cast<int>(id) % shards;
+  });
+  std::vector<RecordingNode*> ptrs;
+  for (int i = 0; i < nodes; ++i) {
+    auto node = std::make_unique<RecordingNode>();
+    ptrs.push_back(node.get());
+    net.AddNode(std::move(node));
+  }
+  scenario(ssim, net);
+  ssim.RunUntil(until);
+  std::vector<std::vector<std::pair<Time, uint64_t>>> logs;
+  for (auto* p : ptrs) logs.push_back(p->received);
+  return logs;
+}
+
+// Deliveries staged within the same window but sent from different sources
+// (in *reverse* node order, at different instants) toward the same arrival
+// time must merge in canonical (time, src_node, seq) order — independent of
+// send order inside the window, shard count, and threading.
+TEST(ShardedSimTest, MailboxMergeOrderIsCanonical) {
+  const auto scenario = [](sim::ShardedSimulator& ssim, net::Network& net) {
+    // All three sends fall in window [4us, 6us); all arrive at t=14us at
+    // node 3 and are drained at the same barrier. Canonical order must be
+    // node 0's packets (FIFO by per-source seq), then node 1's, then 2's.
+    ssim.shard(net.shard_of(2)).At(Microseconds(4), [&net] {
+      net.DeliverAfter(2, Microseconds(10), {3, 0}, MakePacket(22));
+    });
+    ssim.shard(net.shard_of(1)).At(Microseconds(4) + Nanoseconds(500), [&net] {
+      net.DeliverAfter(1, Microseconds(10) - Nanoseconds(500), {3, 0}, MakePacket(11));
+    });
+    ssim.shard(net.shard_of(0)).At(Microseconds(5), [&net] {
+      // Two same-time sends from one source: FIFO by per-source seq.
+      net.DeliverAfter(0, Microseconds(9), {3, 0}, MakePacket(1));
+      net.DeliverAfter(0, Microseconds(9), {3, 0}, MakePacket(2));
+    });
+  };
+
+  const std::vector<std::pair<Time, uint64_t>> expected = {
+      {Microseconds(14), 1},
+      {Microseconds(14), 2},
+      {Microseconds(14), 11},
+      {Microseconds(14), 22},
+  };
+  for (const int shards : {1, 2, 4}) {
+    for (const bool threads : {true, false}) {
+      const auto logs = RunScenario(shards, 4, Milliseconds(1), threads, scenario);
+      EXPECT_EQ(logs[3], expected) << "shards=" << shards << " threads=" << threads;
+    }
+  }
+}
+
+// Deliveries staged at *different* barriers insert in staging order (the
+// window containing the send — a pure function of simulated time), even
+// when their arrival instants tie. Deterministic and shard-invariant, just
+// not sorted by src_node across barriers.
+TEST(ShardedSimTest, CrossWindowStagingOrderIsShardInvariant) {
+  const auto scenario = [](sim::ShardedSimulator& ssim, net::Network& net) {
+    ssim.shard(net.shard_of(2)).At(Microseconds(0), [&net] {
+      net.DeliverAfter(2, Microseconds(10), {3, 0}, MakePacket(22));  // window 0
+    });
+    ssim.shard(net.shard_of(1)).At(Microseconds(2), [&net] {
+      net.DeliverAfter(1, Microseconds(8), {3, 0}, MakePacket(11));  // window 1
+    });
+    ssim.shard(net.shard_of(0)).At(Microseconds(4), [&net] {
+      net.DeliverAfter(0, Microseconds(6), {3, 0}, MakePacket(1));  // window 2
+    });
+  };
+  const std::vector<std::pair<Time, uint64_t>> expected = {
+      {Microseconds(10), 22},
+      {Microseconds(10), 11},
+      {Microseconds(10), 1},
+  };
+  for (const int shards : {1, 2, 4}) {
+    const auto logs = RunScenario(shards, 4, Milliseconds(1), true, scenario);
+    EXPECT_EQ(logs[3], expected) << "shards=" << shards;
+  }
+}
+
+// An event scheduled exactly on a window boundary belongs to the next
+// window, and a delivery whose delay equals the lookahead lands exactly one
+// window later — the tightest legal conservative handoff.
+TEST(ShardedSimTest, WindowBoundaryEdgeCases) {
+  for (const int shards : {1, 2}) {
+    const auto logs = RunScenario(
+        shards, 2, Milliseconds(1), true, [](sim::ShardedSimulator& ssim, net::Network& net) {
+          // Send at the last picosecond of window [0, L): arrival at
+          // 2L - 1ps, inside window [L, 2L).
+          ssim.shard(net.shard_of(0)).At(kLookahead - 1, [&net] {
+            net.DeliverAfter(0, kLookahead, {1, 0}, MakePacket(7));
+          });
+          // Send exactly on the boundary (first event of window [L, 2L)):
+          // arrival exactly at 2L, first instant of window [2L, 3L).
+          ssim.shard(net.shard_of(0)).At(kLookahead, [&net] {
+            net.DeliverAfter(0, kLookahead, {1, 0}, MakePacket(8));
+          });
+        });
+    const std::vector<std::pair<Time, uint64_t>> expected = {
+        {2 * kLookahead - 1, 7},
+        {2 * kLookahead, 8},
+    };
+    EXPECT_EQ(logs[1], expected) << "shards=" << shards;
+  }
+}
+
+// Shards with no nodes (and no events) must not wedge the barrier protocol.
+TEST(ShardedSimTest, EmptyShardRunsToCompletion) {
+  sim::ShardedSimulator ssim(EngineOptions(4));
+  net::Network net(&ssim, [](net::NodeId) { return 0; });  // all nodes on shard 0
+  auto node = std::make_unique<RecordingNode>();
+  RecordingNode* ptr = node.get();
+  net.AddNode(std::move(node));
+  net.AddNode(std::make_unique<RecordingNode>());
+  ssim.shard(0).At(Microseconds(1), [&net] {
+    net.DeliverAfter(1, kLookahead, {0, 0}, MakePacket(5));
+  });
+  ssim.RunUntil(Milliseconds(1));
+  ASSERT_EQ(ptr->received.size(), 1u);
+  EXPECT_EQ(ptr->received[0].second, 5u);
+  EXPECT_EQ(ssim.shard(3).now(), Milliseconds(1));  // empty shard still advanced
+}
+
+// Stop() from inside an event halts the calling shard immediately and every
+// shard by the current window's end; later events never run.
+TEST(ShardedSimTest, StopMidWindow) {
+  for (const bool threads : {true, false}) {
+    sim::ShardedSimulator ssim(EngineOptions(2, threads));
+    net::Network net(&ssim, [](net::NodeId id) { return static_cast<int>(id) % 2; });
+    net.AddNode(std::make_unique<RecordingNode>());
+    auto node1 = std::make_unique<RecordingNode>();
+    RecordingNode* far = node1.get();
+    net.AddNode(std::move(node1));
+
+    int same_window_events = 0;
+    ssim.shard(0).At(Microseconds(1), [&ssim] { ssim.Stop(); });
+    // Same shard, same window, after the stop: must not run.
+    ssim.shard(0).At(Microseconds(1) + 1, [&same_window_events] { ++same_window_events; });
+    // Far future on the other shard: must not run either.
+    ssim.shard(1).At(Milliseconds(5), [far] { far->received.emplace_back(0, 99); });
+
+    ssim.RunUntil(Milliseconds(10));
+    EXPECT_TRUE(ssim.stop_requested()) << "threads=" << threads;
+    EXPECT_EQ(same_window_events, 0) << "threads=" << threads;
+    EXPECT_TRUE(far->received.empty()) << "threads=" << threads;
+    EXPECT_LT(ssim.shard(0).now(), Milliseconds(10));
+  }
+}
+
+// Without Stop(), RunUntil drains everything and leaves every clock at
+// `until`, hopping over empty windows rather than iterating them.
+TEST(ShardedSimTest, RunUntilAdvancesAllClocksAndHopsEmptyWindows) {
+  sim::ShardedSimulator ssim(EngineOptions(2));
+  net::Network net(&ssim, [](net::NodeId id) { return static_cast<int>(id) % 2; });
+  net.AddNode(std::make_unique<RecordingNode>());
+  net.AddNode(std::make_unique<RecordingNode>());
+  int ran = 0;
+  ssim.shard(0).At(Microseconds(1), [&ran] { ++ran; });
+  ssim.shard(1).At(Milliseconds(40), [&ran] { ++ran; });  // ~20k windows away
+  ssim.RunUntil(Milliseconds(50));
+  EXPECT_EQ(ran, 2);
+  EXPECT_EQ(ssim.shard(0).now(), Milliseconds(50));
+  EXPECT_EQ(ssim.shard(1).now(), Milliseconds(50));
+  // Far fewer windows than the naive 25k: the planner hops empty spans.
+  EXPECT_LT(ssim.windows_run(), 10u);
+}
+
+// SpscMailbox drains FIFO and empties.
+TEST(ShardedSimTest, SpscMailboxDrainsFifo) {
+  sim::SpscMailbox<int> box;
+  EXPECT_TRUE(box.Empty());
+  box.Push(1);
+  box.Push(2);
+  box.Push(3);
+  EXPECT_EQ(box.Size(), 3u);
+  std::vector<int> out{0};
+  box.DrainInto(out);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_TRUE(box.Empty());
+}
+
+// Leaf-spine shard assignment: a leaf and all of its hosts share a shard,
+// spines spread round-robin, and shards=1 puts everything on shard 0.
+TEST(ShardedSimTest, LeafSpineShardAssignment) {
+  net::LeafSpineConfig cfg;
+  cfg.num_leaves = 4;
+  cfg.num_spines = 4;
+  cfg.hosts_per_leaf = 8;
+  const int kShards = 4;
+  // Ids: leaves [0,4), spines [4,8), hosts [8, 40) rack-major.
+  for (int l = 0; l < cfg.num_leaves; ++l) {
+    const int leaf_shard = net::LeafSpineShardOf(cfg, kShards, static_cast<net::NodeId>(l));
+    EXPECT_EQ(leaf_shard, l % kShards);
+    for (int h = 0; h < cfg.hosts_per_leaf; ++h) {
+      const net::NodeId host_id = static_cast<net::NodeId>(
+          cfg.num_leaves + cfg.num_spines + l * cfg.hosts_per_leaf + h);
+      EXPECT_EQ(net::LeafSpineShardOf(cfg, kShards, host_id), leaf_shard);
+    }
+  }
+  for (int s = 0; s < cfg.num_spines; ++s) {
+    EXPECT_EQ(net::LeafSpineShardOf(cfg, kShards,
+                                    static_cast<net::NodeId>(cfg.num_leaves + s)),
+              s % kShards);
+  }
+  for (net::NodeId id = 0; id < 40; ++id) {
+    EXPECT_EQ(net::LeafSpineShardOf(cfg, 1, id), 0);
+  }
+}
+
+}  // namespace
+}  // namespace occamy

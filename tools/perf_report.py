@@ -7,15 +7,28 @@ every *events_per_sec / *ops_per_sec metric against a checked-in baseline,
 failing when any regresses by more than --max-regression (default 30%).
 
 Usage:
-  tools/perf_report.py --bench=build/bench_core_hotpath --out=BENCH_core.json
+  tools/perf_report.py --bench=build/bench_core_hotpath \
+      --extra-bench=build/bench_fabric_parallel --out=BENCH_core.json
   tools/perf_report.py --bench=build/bench_core_hotpath --out=new.json \
-      --check=BENCH_core.json [--max-regression=0.30] [--bench-arg=--quick]
+      --check=BENCH_core.json [--max-regression=0.30] [--bench-arg=--quick] \
+      --extra-bench="build/bench_fabric_parallel --quick"
+
+--extra-bench (repeatable) runs an additional bench binary (its value is
+whitespace-split into command + args) and merges its flat JSON metrics into
+the same output dictionary; duplicate keys across benches are an error.
+
+The checked-in BENCH_core.json baseline is the union of bench_core_hotpath
+and bench_fabric_parallel metrics, so a --check run must pass the matching
+--extra-bench (as CI does) or every fabric_parallel_* gated metric reports
+"missing from current run" and the check fails by design — a bench that
+silently stops emitting a tracked metric must not pass the gate.
 
 Exit codes: 0 ok, 1 regression or bench failure, 2 usage error.
 """
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 
@@ -37,6 +50,18 @@ def run_bench(bench, out_path, extra_args):
         sys.exit(1)
     with open(out_path) as f:
         return json.load(f)
+
+
+def merge_metrics(base, extra, source):
+    for key, value in extra.items():
+        if key == "schema_version":
+            continue
+        if key in base:
+            print(f"perf_report: duplicate metric '{key}' from {source}",
+                  file=sys.stderr)
+            sys.exit(2)
+        base[key] = value
+    return base
 
 
 def check(current, baseline_path, max_regression, gated_suffixes):
@@ -80,9 +105,22 @@ def main():
                              "only, since absolute rates are machine-dependent)")
     parser.add_argument("--bench-arg", action="append", default=[],
                         help="extra argument forwarded to the bench (repeatable)")
+    parser.add_argument("--extra-bench", action="append", default=[],
+                        help="additional bench to run and merge (whitespace-split "
+                             "into command + args; repeatable)")
     args = parser.parse_args()
 
     current = run_bench(args.bench, args.out, args.bench_arg)
+    for i, spec in enumerate(args.extra_bench):
+        parts = spec.split()
+        scratch = f"{args.out}.extra{i}"
+        extra = run_bench(parts[0], scratch, parts[1:])
+        os.remove(scratch)  # merged below; don't litter partial-metrics files
+        current = merge_metrics(current, extra, parts[0])
+    if args.extra_bench:
+        with open(args.out, "w") as f:
+            json.dump(current, f)
+            f.write("\n")
     print(f"perf_report: wrote {args.out}")
 
     if args.check:

@@ -129,6 +129,15 @@ std::optional<std::string> ParseArgs(int argc, const char* const* argv, SimOptio
     } else if (key == "alphas") {
       out.alphas.clear();
       if (auto err = ParseDoubleList("alphas", value, out.alphas)) return err;
+    } else if (key == "shards") {
+      if (value.find_first_not_of("0123456789") != std::string::npos ||
+          value.size() > 2) {
+        return "invalid --shards: " + value;
+      }
+      out.shards = std::atoi(value.c_str());
+      if (out.shards < 1 || out.shards > 64) {
+        return "invalid --shards (want 1..64): " + value;
+      }
     } else {
       return "unknown option: --" + key;
     }
@@ -160,6 +169,9 @@ std::string UsageString() {
          "  --seed=<n>          RNG seed (default: 1)\n"
          "  --duration-ms=<ms>  traffic duration override (default: scenario-specific)\n"
          "  --alphas=<a,b,...>  per-class alpha override (default: scheme-specific)\n"
+         "  --shards=<n>        fabric scenarios: run on the partition-parallel\n"
+         "                      engine with n shards (byte-identical metrics for\n"
+         "                      any n; default: single-threaded engine)\n"
          "  --list              list scenarios and schemes, then exit\n"
          "  --help              this message\n";
   return out.str();
@@ -173,6 +185,7 @@ SimResult RunScenario(const SimOptions& opts) {
   spec.seed = opts.seed;
   spec.duration_ms = opts.duration_ms;
   spec.alphas = opts.alphas;
+  spec.shards = opts.shards;
   if (!opts.scale.empty()) spec.scale = exp::ScaleByName(opts.scale);
 
   exp::PointResult point = exp::RunPoint(spec);

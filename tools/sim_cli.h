@@ -27,6 +27,7 @@ struct SimOptions {
   uint64_t seed = 1;
   double duration_ms = 0;       // 0 = scenario default
   std::vector<double> alphas;   // per-class override; empty = scheme default
+  int shards = 0;               // fabric: 0 = single-threaded, N = sharded engine
   bool list = false;
   bool help = false;
 };

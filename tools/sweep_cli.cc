@@ -87,6 +87,9 @@ int RunAndEmit(const std::vector<exp::SweepPoint>& points, int jobs,
 
   exp::SweepRunOptions run_options;
   run_options.jobs = jobs;
+  run_options.warn = [&](const std::string& message) {
+    std::fprintf(stderr, "occamy_sim %s: warning: %s\n", label, message.c_str());
+  };
   run_options.progress = [&](size_t done, size_t total, const exp::RunRecord& rec) {
     std::fprintf(stderr, "occamy_sim %s: [%zu/%zu] %s%s%s\n", label, done, total,
                  rec.point.run_key.c_str(), rec.ok ? "" : " FAILED: ",
@@ -143,6 +146,9 @@ std::string SweepUsageString() {
          "  --out=<dir>               output directory (default: sweep_out)\n"
          "  --scale=<s>               smoke | default | full\n"
          "  --duration-ms=<ms>        traffic duration override\n"
+         "  --shards=<n>              run fabric points on the partition-parallel\n"
+         "                            engine with n shards each (results unchanged;\n"
+         "                            jobs is capped so jobs x shards fits the CPU)\n"
          "Sweep dimensions (each value adds a grid axis):\n"
          "  --alphas=<a,...>          alpha applied to every traffic class\n"
          "  --bg-loads=<l,...>        background load fraction\n"
@@ -195,6 +201,8 @@ std::optional<std::string> ParseSweepArgs(int argc, const char* const* argv,
       out.spec.base_seed = std::strtoull(value.c_str(), nullptr, 10);
     } else if (key == "jobs") {
       if (auto e = ParsePositiveInt(key, value, 64, out.jobs)) return e;
+    } else if (key == "shards") {
+      if (auto e = ParsePositiveInt(key, value, 64, out.spec.shards)) return e;
     } else if (key == "out") {
       out.out_dir = value;
     } else if (key == "scale") {
