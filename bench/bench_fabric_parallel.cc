@@ -1,53 +1,38 @@
 // Tracked perf + determinism gate for the partition-parallel fabric engine.
 //
 // Runs the alltoall fabric scenario twice — single shard, then N shards —
-// verifies the deterministic metrics are bit-identical (the engine's
-// contract; a mismatch is a hard failure, not a slow run), and reports the
-// wall-clock speedup as a flat JSON dictionary merged into BENCH_core.json
-// by tools/perf_report.py. The speedup only exceeds 1 on multi-core
-// machines (CI's 4-core runners target >= 2x); `fabric_parallel_cores`
-// records the hardware so the tracked ratio is interpretable.
-#include <chrono>
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <fstream>
+// through the shared gate harness (bench/common/parallel_gate.h):
+// bit-identical metrics are a hard requirement (the engine's contract; a
+// mismatch is a hard failure, not a slow run), and the wall-clock speedup
+// lands in BENCH_core.json as fabric_parallel_speedup. The speedup only
+// exceeds 1 on multi-core machines (CI's 4-core runners target >= 2x);
+// `fabric_parallel_cores` records the hardware so the tracked ratio is
+// interpretable.
 #include <string>
-#include <thread>
+#include <vector>
 
 #include "bench/common/fabric_run.h"
-#include "bench/common/table.h"
-#include "src/util/json.h"
+#include "bench/common/parallel_gate.h"
 
 namespace occamy::bench {
 namespace {
 
-using PerfClock = std::chrono::steady_clock;
-
-struct Options {
-  std::string json_path;
+struct BenchConfig {
   std::string scale = "default";
   double duration_ms = 5;
-  int shards = 4;
-  int rounds = 2;  // best-of-N wall times to ride out machine noise
-  // Hard wall-clock gate: fail unless speedup >= this, enforced only when
-  // the machine has at least `shards` hardware threads (a 1-core box can
-  // only validate determinism, so the relative BENCH_core.json gate would
-  // otherwise be vacuous there). 0 = report only.
-  double min_speedup = 0;
 };
 
-FabricRunSpec MakeSpec(const Options& opts, int shards) {
+FabricRunSpec MakeSpec(const BenchConfig& cfg, int shards) {
   FabricRunSpec run;
   run.scheme = Scheme::kOccamy;
   run.pattern = BgPattern::kAllToAll;
   run.bg_load = 0.6;
   run.bg_fixed_size = 256 * 1024;
-  run.duration = FromSeconds(opts.duration_ms / 1000.0);
+  run.duration = FromSeconds(cfg.duration_ms / 1000.0);
   run.seed = 1;
-  run.scale = opts.scale == "smoke"   ? BenchScale::kSmoke
-              : opts.scale == "full"  ? BenchScale::kFull
-                                      : BenchScale::kDefault;
+  run.scale = cfg.scale == "smoke"   ? BenchScale::kSmoke
+              : cfg.scale == "full"  ? BenchScale::kFull
+                                     : BenchScale::kDefault;
   run.shards = shards;
   return run;
 }
@@ -81,107 +66,41 @@ bool Identical(const FabricRunResult& a, const FabricRunResult& b, std::string& 
 }  // namespace occamy::bench
 
 int main(int argc, char** argv) {
-  using namespace occamy;
   using namespace occamy::bench;
 
-  Options opts;
+  BenchConfig cfg;
+  // --scale is this bench's extra flag; strip it before the shared parser.
+  int pruned_argc = 1;
+  std::vector<char*> pruned_argv = {argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--json=", 0) == 0) {
-      opts.json_path = arg.substr(7);
-    } else if (arg.rfind("--scale=", 0) == 0) {
-      opts.scale = arg.substr(8);
-    } else if (arg.rfind("--shards=", 0) == 0) {
-      opts.shards = std::atoi(arg.c_str() + 9);
-      if (opts.shards < 2 || opts.shards > 64) {
-        std::fprintf(stderr, "bad --shards (want 2..64)\n");
-        return 2;
-      }
-    } else if (arg.rfind("--min-speedup=", 0) == 0) {
-      opts.min_speedup = std::atof(arg.c_str() + 14);
-    } else if (arg == "--quick") {
-      opts.duration_ms = 2;
-      opts.rounds = 1;
+    if (arg.rfind("--scale=", 0) == 0) {
+      cfg.scale = arg.substr(8);
     } else {
-      std::fprintf(stderr,
-                   "usage: bench_fabric_parallel [--json=PATH] [--scale=S] "
-                   "[--shards=N] [--min-speedup=X] [--quick]\n");
-      return 2;
+      pruned_argv.push_back(argv[i]);
+      ++pruned_argc;
     }
+  }
+  ParallelGateOptions opts;
+  if (!ParseParallelGateArgs(pruned_argc, pruned_argv.data(), opts,
+                             "bench_fabric_parallel [--scale=S]",
+                             [&] { cfg.duration_ms = 2; })) {
+    return 2;
   }
 
   std::printf("== Fabric parallel engine: alltoall, %s scale, %.0f ms, %d shards ==\n",
-              opts.scale.c_str(), opts.duration_ms, opts.shards);
+              cfg.scale.c_str(), cfg.duration_ms, opts.shards);
 
-  double serial_ms = 1e300, parallel_ms = 1e300;
-  FabricRunResult serial, parallel;
-  double efficiency = 0;
-  for (int r = 0; r < opts.rounds; ++r) {
-    const PerfClock::time_point t0 = PerfClock::now();
-    serial = RunFabric(MakeSpec(opts, 1));
-    const PerfClock::time_point t1 = PerfClock::now();
-    parallel = RunFabric(MakeSpec(opts, opts.shards));
-    const PerfClock::time_point t2 = PerfClock::now();
-    serial_ms = std::min(
-        serial_ms, std::chrono::duration<double, std::milli>(t1 - t0).count());
-    const double pm = std::chrono::duration<double, std::milli>(t2 - t1).count();
-    if (pm < parallel_ms) {
-      parallel_ms = pm;
-      efficiency = parallel.parallel_efficiency;
-    }
-  }
-
-  std::string diff;
-  if (!Identical(serial, parallel, diff)) {
-    std::fprintf(stderr,
-                 "DETERMINISM VIOLATION: shards=1 vs shards=%d metrics differ (%s)\n",
-                 opts.shards, diff.c_str());
-    return 1;
-  }
-
-  const double speedup = serial_ms / parallel_ms;
-  const double serial_eps = static_cast<double>(serial.sim_events) / serial_ms * 1e3;
-  const double parallel_eps =
-      static_cast<double>(parallel.sim_events) / parallel_ms * 1e3;
-  const unsigned cores = std::thread::hardware_concurrency();
-
-  Table table({"Engine", "wall ms", "events/s", "speedup"});
-  table.AddRow({"single shard", Table::Fmt("%.1f", serial_ms),
-                Table::Fmt("%.3g", serial_eps), "1.00x"});
-  table.AddRow({Table::Fmt("%d shards", opts.shards), Table::Fmt("%.1f", parallel_ms),
-                Table::Fmt("%.3g", parallel_eps), Table::Fmt("%.2fx", speedup)});
-  table.Print();
-  std::printf("metrics bit-identical across engines; %llu events; %u cores; "
-              "parallel efficiency %.2f\n",
-              static_cast<unsigned long long>(serial.sim_events), cores, efficiency);
-
-  if (opts.min_speedup > 0 && cores >= static_cast<unsigned>(opts.shards) &&
-      speedup < opts.min_speedup) {
-    std::fprintf(stderr,
-                 "PARALLEL SPEEDUP REGRESSION: %.2fx < required %.2fx "
-                 "(%d shards on %u cores)\n",
-                 speedup, opts.min_speedup, opts.shards, cores);
-    return 1;
-  }
-
-  if (!opts.json_path.empty()) {
-    JsonBuilder json;
-    json.Add("fabric_parallel_shards", int64_t{opts.shards});
-    json.Add("fabric_parallel_cores", static_cast<int64_t>(cores));
-    json.Add("fabric_parallel_sim_events", serial.sim_events);
-    json.Add("fabric_parallel_serial_wall_ms", serial_ms);
-    json.Add("fabric_parallel_wall_ms", parallel_ms);
-    json.Add("fabric_parallel_serial_events_per_sec", serial_eps);
-    json.Add("fabric_parallel_events_per_sec", parallel_eps);
-    json.Add("fabric_parallel_speedup", speedup);
-    json.Add("fabric_parallel_efficiency", efficiency);
-    std::ofstream out(opts.json_path);
-    if (!out) {
-      std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
-      return 1;
-    }
-    out << json.Build() << "\n";
-    std::printf("JSON -> %s\n", opts.json_path.c_str());
-  }
-  return 0;
+  return RunParallelGate<FabricRunResult>(
+      opts, "fabric_parallel",
+      [&](int shards) { return RunFabric(MakeSpec(cfg, shards)); }, Identical,
+      [](const FabricRunResult& r, std::string& err) {
+        if (r.bg_flows_completed == 0 || r.delivered_bytes == 0) {
+          err = "no flows completed or bytes delivered";
+          return false;
+        }
+        return true;
+      },
+      [](const FabricRunResult& r) { return r.sim_events; },
+      [](const FabricRunResult& r) { return r.parallel_efficiency; });
 }

@@ -1,6 +1,17 @@
 // The P4-testbed scenario (§6.1, Figs. 11-12): fast senders, slow receivers,
 // one shared buffer; a long-lived overload to receiver A and a measured
 // burst to receiver B, both open-loop (Pktgen substitute).
+//
+// Two engines run the same scenario:
+//  * shards == 0 — the legacy single-threaded sim::Simulator path.
+//  * shards >= 1 — the intra-switch partition-parallel path
+//    (ShardedStarScenario). The open-loop senders are shard-confined (each
+//    lives on its source host's shard), so they inject live; drop counters
+//    come from the partition's drop hook, which in this 4-host single-
+//    partition lab runs on exactly one shard. Results are byte-identical
+//    for any shards >= 1 (shards=1 is the oracle). Queue-length traces
+//    (sample_every) read cross-shard switch state mid-run and are therefore
+//    a single-threaded-engine feature.
 #pragma once
 
 #include <memory>
@@ -20,11 +31,18 @@ struct BurstLabSpec {
   int64_t burst_bytes = 600 * 1000;
   Time burst_start = Microseconds(400);
   Time horizon = Milliseconds(4);
-  // Sampling interval for queue-length traces (0 = no traces).
+  // Sampling interval for queue-length traces (0 = no traces). Only the
+  // single-threaded engine supports traces.
   Time sample_every = 0;
   // The open-loop senders are deterministic, but the seed still reaches the
   // simulator so scheme-internal randomization (if any) is reproducible.
   uint64_t seed = 1;
+
+  // 0 = legacy single-threaded engine; >= 1 = intra-switch partition-
+  // parallel engine with that many shards (1 = the single-shard oracle).
+  int shards = 0;
+  // Sharded engine only: worker threads on/off (byte-identical either way).
+  bool shard_threads = true;
 };
 
 struct BurstLabResult {
@@ -36,6 +54,8 @@ struct BurstLabResult {
   stats::TimeSeries q_burst{"q2"};
   stats::TimeSeries threshold{"T"};
   int64_t sim_events = 0;  // simulator events processed (deterministic)
+  int shards = 0;          // engine: 0 = single-threaded, >= 1 = sharded
+  double parallel_efficiency = 0;  // sharded engine only; wall-clock derived
 
   double BurstLossRate() const {
     return burst_packets == 0
@@ -44,7 +64,7 @@ struct BurstLabResult {
   }
 };
 
-inline BurstLabResult RunBurstLab(const BurstLabSpec& spec) {
+inline StarSpec MakeBurstLabStarSpec(const BurstLabSpec& spec) {
   StarSpec star;
   star.num_hosts = 4;
   star.host_rates = {spec.sender_rate, spec.sender_rate, spec.receiver_rate,
@@ -55,36 +75,91 @@ inline BurstLabResult RunBurstLab(const BurstLabSpec& spec) {
   star.scheme = spec.scheme;
   star.alphas = {spec.alpha};
   star.seed = spec.seed;
-  StarScenario s(star);
+  return star;
+}
 
-  constexpr uint64_t kLongFlow = 1, kBurstFlow = 2;
-  BurstLabResult result;
-  s.sw().set_drop_hook([&](const Packet& pkt, tm::DropReason reason) {
+inline constexpr uint64_t kBurstLabLongFlow = 1;
+inline constexpr uint64_t kBurstLabBurstFlow = 2;
+
+// Counts losses of the measured burst and the long-lived flow into
+// `result`. In a sharded run the hook fires on the dropping partition's
+// shard — one shard here (single partition), read after the join.
+template <typename Scenario>
+void InstallBurstLabDropHook(Scenario& s, BurstLabResult& result) {
+  s.sw().set_drop_hook([&result](const Packet& pkt, tm::DropReason reason) {
     // Expulsions of the long-lived queue are deliberate reclamation; count
     // them separately from congestion losses.
-    if (pkt.flow_id == kBurstFlow && reason != tm::DropReason::kExpelled) {
+    if (pkt.flow_id == kBurstLabBurstFlow && reason != tm::DropReason::kExpelled) {
       ++result.burst_drops;
     }
-    if (pkt.flow_id == kLongFlow) ++result.long_lived_drops;
+    if (pkt.flow_id == kBurstLabLongFlow) ++result.long_lived_drops;
   });
+}
 
+template <typename Scenario>
+workload::OpenLoopConfig BurstLabLongLivedConfig(const BurstLabSpec& spec, Scenario& s) {
   workload::OpenLoopConfig lived;
   lived.src = s.topo.hosts[0];
   lived.dst = s.topo.hosts[2];
   lived.rate = spec.sender_rate;
-  lived.flow_id = kLongFlow;
+  lived.flow_id = kBurstLabLongFlow;
   lived.stop = spec.horizon;
-  workload::OpenLoopSender long_lived(&s.net, lived);
-  long_lived.Start();
+  return lived;
+}
 
+template <typename Scenario>
+workload::OpenLoopConfig BurstLabBurstConfig(const BurstLabSpec& spec, Scenario& s) {
   workload::OpenLoopConfig burst;
   burst.src = s.topo.hosts[1];
   burst.dst = s.topo.hosts[3];
   burst.rate = spec.sender_rate;
-  burst.flow_id = kBurstFlow;
+  burst.flow_id = kBurstLabBurstFlow;
   burst.start = spec.burst_start;
   burst.total_bytes = spec.burst_bytes;
-  workload::OpenLoopSender burst_sender(&s.net, burst);
+  return burst;
+}
+
+// ---------------- intra-switch partition-parallel engine ----------------
+
+inline BurstLabResult RunBurstLabSharded(const BurstLabSpec& spec) {
+  OCCAMY_CHECK(spec.shards >= 1);
+  OCCAMY_CHECK(spec.sample_every == 0)
+      << "queue-length traces need the single-threaded engine (shards=0)";
+  const StarSpec star = MakeBurstLabStarSpec(spec);
+  ShardedStarScenario s(star, spec.shards, spec.shard_threads);
+
+  BurstLabResult result;
+  InstallBurstLabDropHook(s, result);
+
+  workload::OpenLoopSender long_lived(&s.net, BurstLabLongLivedConfig(spec, s));
+  long_lived.Start();
+  workload::OpenLoopSender burst_sender(&s.net, BurstLabBurstConfig(spec, s));
+  burst_sender.Start();
+
+  s.ssim.RunUntil(spec.horizon);
+  result.burst_packets = burst_sender.packets_sent();
+  for (int p = 0; p < s.sw().num_partitions(); ++p) {
+    result.expelled += s.sw().partition(p).stats().expelled_packets;
+  }
+  result.sim_events = static_cast<int64_t>(s.ssim.processed_events());
+  result.shards = spec.shards;
+  result.parallel_efficiency = s.ssim.parallel_efficiency();
+  return result;
+}
+
+// ---------------- single-threaded (legacy) engine ----------------
+
+inline BurstLabResult RunBurstLab(const BurstLabSpec& spec) {
+  if (spec.shards >= 1) return RunBurstLabSharded(spec);
+
+  StarScenario s(MakeBurstLabStarSpec(spec));
+
+  BurstLabResult result;
+  InstallBurstLabDropHook(s, result);
+
+  workload::OpenLoopSender long_lived(&s.net, BurstLabLongLivedConfig(spec, s));
+  long_lived.Start();
+  workload::OpenLoopSender burst_sender(&s.net, BurstLabBurstConfig(spec, s));
   burst_sender.Start();
 
   if (spec.sample_every > 0) {

@@ -17,9 +17,9 @@
 #include <algorithm>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 
 #include "bench/common/scenarios.h"
+#include "bench/common/sharded_run.h"
 #include "src/workload/collective.h"
 #include "src/workload/pregen.h"
 
@@ -231,50 +231,8 @@ inline FabricRunResult RunFabricSharded(const FabricRunSpec& run) {
   s.ssim.RunUntil(duration + run.drain);
   s.manager->MergeShardCompletions();
 
-  // Post-run QCT: a query completes when its last member flow does. The
-  // live engine counts down a completion listener; here the same statistic
-  // falls out of the merged records.
-  std::unordered_map<uint64_t, Time> flow_end;
-  flow_end.reserve(s.manager->completions().records().size());
-  for (const auto& rec : s.manager->completions().records()) flow_end[rec.id] = rec.end;
-
-  struct QueryDone {
-    Time end = 0;
-    uint64_t id = 0;
-    net::NodeId client = 0;
-    Time issue_time = 0;
-  };
-  std::vector<QueryDone> done;
-  for (const auto& query : incast.queries) {
-    Time end = 0;
-    bool complete = true;
-    for (const size_t fi : query.flow_indices) {
-      const auto it = flow_end.find(incast_flow_ids[fi]);
-      if (it == flow_end.end()) {
-        complete = false;
-        break;
-      }
-      end = std::max(end, it->second);
-    }
-    if (complete) done.push_back({end, query.id, query.client, query.issue_time});
-  }
-  // Canonical order (matches the collector merge): completion time, then id.
-  std::sort(done.begin(), done.end(), [](const QueryDone& a, const QueryDone& b) {
-    if (a.end != b.end) return a.end < b.end;
-    return a.id < b.id;
-  });
-  stats::CompletionCollector qct;
-  for (const auto& query : done) {
-    stats::CompletionRecord rec;
-    rec.id = query.id;
-    rec.bytes = incast.query_size_bytes;
-    rec.start = query.issue_time;
-    rec.end = query.end;
-    if (q_cfg.query_ideal_fn) {
-      rec.ideal = q_cfg.query_ideal_fn(query.client, incast.query_size_bytes);
-    }
-    qct.Add(rec);
-  }
+  const stats::CompletionCollector qct = DeriveIncastQct(
+      incast, incast_flow_ids, s.manager->completions(), q_cfg.query_ideal_fn);
 
   FabricRunResult result;
   FillFabricCompletionMetrics(result, qct, s.manager->completions(),

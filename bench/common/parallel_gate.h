@@ -1,0 +1,158 @@
+// Shared harness for the parallel-engine determinism + speedup gate
+// benches (bench_fabric_parallel, bench_star_parallel).
+//
+// Each bench runs its scenario twice — single shard, then N shards —
+// hard-fails on any deterministic-metric mismatch (the engines' contract),
+// reports the wall-clock speedup, optionally gates it against an absolute
+// floor (enforced only when the machine has >= shards hardware threads),
+// and emits a flat `<prefix>_*` JSON dictionary for tools/perf_report.py
+// to merge into BENCH_core.json. The bench supplies the scenario-specific
+// parts: how to run one configuration, how to compare two results, and the
+// metric prefix.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "bench/common/table.h"
+#include "src/util/json.h"
+
+namespace occamy::bench {
+
+struct ParallelGateOptions {
+  std::string json_path;
+  int shards = 4;
+  int rounds = 2;  // best-of-N wall times to ride out machine noise
+  // Hard wall-clock gate: fail unless speedup >= this, enforced only when
+  // the machine has at least `shards` hardware threads (a 1-core box can
+  // only validate determinism). 0 = report only.
+  double min_speedup = 0;
+};
+
+// Parses the flags shared by every gate bench (--json, --shards,
+// --min-speedup, --quick). Returns false on a bad/unknown argument;
+// `on_quick` applies the bench's own shortened configuration.
+template <typename QuickFn>
+bool ParseParallelGateArgs(int argc, char** argv, ParallelGateOptions& opts,
+                           const char* bench_name, QuickFn&& on_quick) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      opts.json_path = arg.substr(7);
+    } else if (arg.rfind("--shards=", 0) == 0) {
+      opts.shards = std::atoi(arg.c_str() + 9);
+      if (opts.shards < 2 || opts.shards > 64) {
+        std::fprintf(stderr, "bad --shards (want 2..64)\n");
+        return false;
+      }
+    } else if (arg.rfind("--min-speedup=", 0) == 0) {
+      opts.min_speedup = std::atof(arg.c_str() + 14);
+    } else if (arg == "--quick") {
+      opts.rounds = 1;
+      on_quick();
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--json=PATH] [--shards=N] [--min-speedup=X] "
+                   "[--quick]\n",
+                   bench_name);
+      return false;
+    }
+  }
+  return true;
+}
+
+// The gate proper. `run(shards)` executes one configuration and returns its
+// result; `identical(a, b, diff)` compares every deterministic field,
+// filling `diff` on mismatch; `sanity(result, err)` rejects vacuous runs
+// (e.g. zero traffic); `sim_events` / `efficiency` read those fields off a
+// result. Returns the process exit code.
+template <typename Result, typename RunFn, typename IdenticalFn, typename SanityFn,
+          typename SimEventsFn, typename EfficiencyFn>
+int RunParallelGate(const ParallelGateOptions& opts, const std::string& prefix,
+                    RunFn&& run, IdenticalFn&& identical, SanityFn&& sanity,
+                    SimEventsFn&& sim_events, EfficiencyFn&& efficiency) {
+  using PerfClock = std::chrono::steady_clock;
+
+  double serial_ms = 1e300, parallel_ms = 1e300;
+  Result serial{}, parallel{};
+  double best_efficiency = 0;
+  for (int r = 0; r < opts.rounds; ++r) {
+    const PerfClock::time_point t0 = PerfClock::now();
+    serial = run(1);
+    const PerfClock::time_point t1 = PerfClock::now();
+    parallel = run(opts.shards);
+    const PerfClock::time_point t2 = PerfClock::now();
+    serial_ms = std::min(
+        serial_ms, std::chrono::duration<double, std::milli>(t1 - t0).count());
+    const double pm = std::chrono::duration<double, std::milli>(t2 - t1).count();
+    if (pm < parallel_ms) {
+      parallel_ms = pm;
+      best_efficiency = efficiency(parallel);
+    }
+  }
+
+  std::string diff;
+  if (!identical(serial, parallel, diff)) {
+    std::fprintf(stderr,
+                 "DETERMINISM VIOLATION: shards=1 vs shards=%d metrics differ (%s)\n",
+                 opts.shards, diff.c_str());
+    return 1;
+  }
+  std::string sanity_err;
+  if (!sanity(serial, sanity_err)) {
+    std::fprintf(stderr, "EMPTY RUN: %s\n", sanity_err.c_str());
+    return 1;
+  }
+
+  const double speedup = serial_ms / parallel_ms;
+  const int64_t events = sim_events(serial);
+  const double serial_eps = static_cast<double>(events) / serial_ms * 1e3;
+  const double parallel_eps = static_cast<double>(events) / parallel_ms * 1e3;
+  const unsigned cores = std::thread::hardware_concurrency();
+
+  Table table({"Engine", "wall ms", "events/s", "speedup"});
+  table.AddRow({"single shard", Table::Fmt("%.1f", serial_ms),
+                Table::Fmt("%.3g", serial_eps), "1.00x"});
+  table.AddRow({Table::Fmt("%d shards", opts.shards), Table::Fmt("%.1f", parallel_ms),
+                Table::Fmt("%.3g", parallel_eps), Table::Fmt("%.2fx", speedup)});
+  table.Print();
+  std::printf("metrics bit-identical across engines; %llu events; %u cores; "
+              "parallel efficiency %.2f\n",
+              static_cast<unsigned long long>(events), cores, best_efficiency);
+
+  if (opts.min_speedup > 0 && cores >= static_cast<unsigned>(opts.shards) &&
+      speedup < opts.min_speedup) {
+    std::fprintf(stderr,
+                 "PARALLEL SPEEDUP REGRESSION: %.2fx < required %.2fx "
+                 "(%d shards on %u cores)\n",
+                 speedup, opts.min_speedup, opts.shards, cores);
+    return 1;
+  }
+
+  if (!opts.json_path.empty()) {
+    JsonBuilder json;
+    json.Add(prefix + "_shards", int64_t{opts.shards});
+    json.Add(prefix + "_cores", static_cast<int64_t>(cores));
+    json.Add(prefix + "_sim_events", events);
+    json.Add(prefix + "_serial_wall_ms", serial_ms);
+    json.Add(prefix + "_wall_ms", parallel_ms);
+    json.Add(prefix + "_serial_events_per_sec", serial_eps);
+    json.Add(prefix + "_events_per_sec", parallel_eps);
+    json.Add(prefix + "_speedup", speedup);
+    json.Add(prefix + "_efficiency", best_efficiency);
+    std::ofstream out(opts.json_path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", opts.json_path.c_str());
+      return 1;
+    }
+    out << json.Build() << "\n";
+    std::printf("JSON -> %s\n", opts.json_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace occamy::bench

@@ -54,24 +54,44 @@ struct StarSpec {
   Scheme scheme = Scheme::kDt;
   std::vector<double> alphas;  // per class; empty = scheme default
   uint64_t seed = 1;
+  // Ports per buffer partition; 0 = every port shares one buffer (the
+  // testbeds' single shared-memory domain, `buffer_bytes` total). A smaller
+  // value splits the switch Tomahawk-style into num_hosts/ports_per_partition
+  // partitions of `buffer_bytes` each — which is also the shard boundary of
+  // the intra-switch-parallel engine (ShardedStarScenario).
+  int ports_per_partition = 0;
 };
+
+inline net::StarConfig MakeStarConfig(const StarSpec& spec) {
+  net::StarConfig cfg;
+  cfg.num_hosts = spec.num_hosts;
+  cfg.host_rate = spec.host_rate;
+  cfg.host_rates = spec.host_rates;
+  cfg.link_propagation = spec.link_propagation;
+  cfg.switch_config.ports_per_partition =
+      spec.ports_per_partition > 0 ? spec.ports_per_partition : spec.num_hosts;
+  cfg.switch_config.tm.buffer_bytes = spec.buffer_bytes;
+  cfg.switch_config.tm.ecn_threshold_bytes = spec.ecn_threshold_bytes;
+  cfg.switch_config.tm.queues_per_port = spec.queues_per_port;
+  cfg.switch_config.tm.scheduler = spec.scheduler;
+  ApplyScheme(cfg.switch_config.tm, spec.scheme, spec.alphas);
+  cfg.switch_config.scheme_factory = MakeFactory(spec.scheme);
+  return cfg;
+}
+
+// Ideal duration of a `bytes` transfer on the unloaded star (base RTT is
+// two host<->switch round trips). Shared by the single-threaded and sharded
+// star scenarios so slowdown denominators can never diverge between engines.
+inline Time StarIdealFct(const StarSpec& spec, int64_t bytes) {
+  const int64_t segments = (bytes + kDefaultMss - 1) / kDefaultMss;
+  return 4 * spec.link_propagation +
+         spec.host_rate.TxTime(bytes + segments * kHeaderBytes);
+}
 
 struct StarScenario {
   explicit StarScenario(const StarSpec& spec)
-      : sim(spec.seed), net(&sim) {
-    net::StarConfig cfg;
-    cfg.num_hosts = spec.num_hosts;
-    cfg.host_rate = spec.host_rate;
-    cfg.host_rates = spec.host_rates;
-    cfg.link_propagation = spec.link_propagation;
-    cfg.switch_config.ports_per_partition = spec.num_hosts;  // one shared buffer
-    cfg.switch_config.tm.buffer_bytes = spec.buffer_bytes;
-    cfg.switch_config.tm.ecn_threshold_bytes = spec.ecn_threshold_bytes;
-    cfg.switch_config.tm.queues_per_port = spec.queues_per_port;
-    cfg.switch_config.tm.scheduler = spec.scheduler;
-    ApplyScheme(cfg.switch_config.tm, spec.scheme, spec.alphas);
-    cfg.switch_config.scheme_factory = MakeFactory(spec.scheme);
-    topo = net::BuildStar(net, cfg);
+      : spec_(spec), sim(spec.seed), net(&sim) {
+    topo = net::BuildStar(net, MakeStarConfig(spec));
     manager = std::make_unique<transport::FlowManager>(&net);
     for (auto h : topo.hosts) manager->AttachHost(h);
     host_rate = spec.host_rate;
@@ -79,10 +99,7 @@ struct StarScenario {
   }
 
   // Ideal duration of a `bytes` transfer on the unloaded star.
-  Time IdealFct(int64_t bytes) const {
-    const int64_t segments = (bytes + kDefaultMss - 1) / kDefaultMss;
-    return base_rtt + host_rate.TxTime(bytes + segments * kHeaderBytes);
-  }
+  Time IdealFct(int64_t bytes) const { return StarIdealFct(spec_, bytes); }
 
   workload::IdealFn IdealFn() const {
     return [this](net::NodeId, net::NodeId, int64_t bytes) { return IdealFct(bytes); };
@@ -90,12 +107,66 @@ struct StarScenario {
 
   net::SwitchNode& sw() { return topo.sw(net); }
 
+  StarSpec spec_;
   sim::Simulator sim;
   net::Network net;
   net::StarTopology topo;
   std::unique_ptr<transport::FlowManager> manager;
   Bandwidth host_rate;
   Time base_rtt = 0;
+};
+
+// The same star testbed on the partition-parallel engine: the switch is
+// sharded *internally* along its TmPartitions (each partition and the hosts
+// whose egress ports it owns form one lane, net::StarShardOf /
+// net::StarLaneShardOf), the conservative lookahead is the star's uniform
+// link propagation, and — as for the sharded fabric — all workload arrivals
+// must be pre-generated (src/workload/pregen.h) before RunUntil. With the
+// testbeds' single shared buffer every lane lands on shard 0 and extra
+// shards idle at the barriers; splitting the switch (ports_per_partition)
+// is what buys parallel speedup. Metrics are byte-identical for any shard
+// count either way (shards=1 is the single-threaded oracle).
+struct ShardedStarScenario {
+  ShardedStarScenario(const StarSpec& spec, int shards, bool use_threads = true)
+      : spec_(spec),
+        cfg(MakeStarConfig(spec)),
+        ssim(MakeOptions(spec, shards, use_threads)),
+        net(&ssim,
+            [this, shards](net::NodeId id) { return net::StarShardOf(cfg, shards, id); },
+            [shards](net::NodeId, int lane) { return net::StarLaneShardOf(shards, lane); }) {
+    topo = net::BuildStar(net, cfg);
+    manager = std::make_unique<transport::FlowManager>(&net);
+    for (auto h : topo.hosts) manager->AttachHost(h);
+  }
+
+  Time IdealFct(int64_t bytes) const { return StarIdealFct(spec_, bytes); }
+
+  workload::IdealFn IdealFn() const {
+    return [this](net::NodeId, net::NodeId, int64_t bytes) { return IdealFct(bytes); };
+  }
+
+  net::SwitchNode& sw() { return topo.sw(net); }
+
+  StarSpec spec_;
+  net::StarConfig cfg;
+  sim::ShardedSimulator ssim;
+  net::Network net;
+  net::StarTopology topo;
+  std::unique_ptr<transport::FlowManager> manager;
+
+ private:
+  static sim::ShardedSimulator::Options MakeOptions(const StarSpec& spec, int shards,
+                                                    bool use_threads) {
+    sim::ShardedSimulator::Options opts;
+    opts.shards = shards;
+    // Conservative window: the star's (uniform) link propagation — every
+    // host<->switch delivery carries exactly this delay, so it is the
+    // tightest legal lookahead (not the leaf-spine 10us constant).
+    opts.lookahead = spec.link_propagation;
+    opts.seed = spec.seed;
+    opts.use_threads = use_threads;
+    return opts;
+  }
 };
 
 // ---------------- Leaf-spine fabric (§6.4) ----------------

@@ -65,12 +65,23 @@ std::string KnobError(const char* knob, const ScenarioInfo& entry) {
 
 void AddCommonFields(Metrics& m, const ScenarioInfo& entry, const PointSpec& spec,
                      BenchScale scale) {
-  m.Set("schema_version", int64_t{4});
+  // Schema v5: every platform carries the `shards` engine field (star/p4
+  // gained the intra-switch partition-parallel engine; previously fabric
+  // only), plus parallel_efficiency on sharded runs.
+  m.Set("schema_version", int64_t{5});
   m.Set("scenario", entry.name);
   m.Set("platform", entry.platform);
   m.Set("bm", spec.bm);
   m.Set("scale", ScaleName(scale));
   m.Set("seed", spec.seed);
+}
+
+// Schema v4/v5: which engine ran the point (0 = single-threaded) and, for
+// sharded runs, the wall-clock-derived worker utilization (volatile like
+// wall_ms; the CSV summary excludes it).
+void AddEngineFields(Metrics& m, int shards, double parallel_efficiency) {
+  m.Set("shards", int64_t{shards});
+  if (shards >= 1) m.Set("parallel_efficiency", parallel_efficiency);
 }
 
 // Perf telemetry appended to every point (schema v3): the deterministic
@@ -111,10 +122,6 @@ PointResult RunBurst(const ScenarioInfo& entry, Scheme scheme, const PointSpec& 
     result.error = KnobError("bg_flow_bytes", entry);
     return result;
   }
-  if (spec.shards != 0) {
-    result.error = KnobError("shards", entry);
-    return result;
-  }
 
   bench::BurstLabSpec run;
   run.scheme = scheme;
@@ -123,6 +130,7 @@ PointResult RunBurst(const ScenarioInfo& entry, Scheme scheme, const PointSpec& 
   if (spec.buffer_bytes > 0) run.buffer_bytes = spec.buffer_bytes;
   if (spec.duration_ms > 0) run.horizon = FromSeconds(spec.duration_ms / 1000.0);
   run.seed = spec.seed;
+  run.shards = spec.shards;
 
   const PerfClock::time_point start = PerfClock::now();
   const bench::BurstLabResult r = bench::RunBurstLab(run);
@@ -139,6 +147,7 @@ PointResult RunBurst(const ScenarioInfo& entry, Scheme scheme, const PointSpec& 
   m.Set("expelled", r.expelled);
   m.Set("buffer_bytes", run.buffer_bytes);
   AddPerfFields(m, r.sim_events, start);
+  AddEngineFields(m, r.shards, r.parallel_efficiency);
   result.ok = true;
   return result;
 }
@@ -154,16 +163,13 @@ PointResult RunStar(const ScenarioInfo& entry, Scheme scheme, const PointSpec& s
     result.error = KnobError("burst_bytes", entry);
     return result;
   }
-  if (spec.shards != 0) {
-    result.error = KnobError("shards", entry);
-    return result;
-  }
 
   bench::DpdkRunSpec run;
   run.scheme = scheme;
   run.alphas = spec.alphas;
   run.seed = spec.seed;
   run.scale = scale;
+  run.shards = spec.shards;
   if (spec.buffer_bytes > 0) run.buffer_bytes = spec.buffer_bytes;
 
   const std::string name = entry.name;
@@ -222,6 +228,7 @@ PointResult RunStar(const ScenarioInfo& entry, Scheme scheme, const PointSpec& s
   m.Set("expelled", r.expelled);
   AddOccupancy(m, r.buffer_bytes, r.peak_occupancy_bytes);
   AddPerfFields(m, r.sim_events, start);
+  AddEngineFields(m, r.shards, r.parallel_efficiency);
   result.ok = true;
   return result;
 }
@@ -239,11 +246,6 @@ PointResult RunFabricScenario(const ScenarioInfo& entry, Scheme scheme,
   }
   if (spec.burst_bytes != 0) {
     result.error = KnobError("burst_bytes", entry);
-    return result;
-  }
-
-  if (spec.shards < 0 || spec.shards > 64) {
-    result.error = "shards out of range (want 0..64): " + std::to_string(spec.shards);
     return result;
   }
 
@@ -301,11 +303,7 @@ PointResult RunFabricScenario(const ScenarioInfo& entry, Scheme scheme,
   m.Set("expelled", r.expelled);
   AddOccupancy(m, r.buffer_bytes, r.peak_occupancy_bytes);
   AddPerfFields(m, r.sim_events, start);
-  // Schema v4: which engine ran the point (0 = single-threaded) and, for
-  // sharded runs, the wall-clock-derived worker utilization (volatile like
-  // wall_ms; the CSV summary excludes it).
-  m.Set("shards", int64_t{r.shards});
-  if (r.shards >= 1) m.Set("parallel_efficiency", r.parallel_efficiency);
+  AddEngineFields(m, r.shards, r.parallel_efficiency);
   result.ok = true;
   return result;
 }
@@ -370,6 +368,10 @@ PointResult RunPoint(const PointSpec& spec) {
   const ScenarioInfo* entry = ScenarioByName(spec.scenario);
   if (entry == nullptr) {
     result.error = "unknown scenario: " + spec.scenario + " (see --list)";
+    return result;
+  }
+  if (spec.shards < 0 || spec.shards > 64) {
+    result.error = "shards out of range (want 0..64): " + std::to_string(spec.shards);
     return result;
   }
   const BenchScale scale = spec.scale.value_or(bench::GetBenchScale());

@@ -55,10 +55,11 @@ struct PointSpec {
   int64_t bg_flow_bytes = 0; // fabric alltoall/allreduce: fixed flow size
   int64_t burst_bytes = 0;   // p4 burst lab: measured burst size
 
-  // Fabric only: 0 = single-threaded engine, >= 1 = partition-parallel
-  // engine with that many shards. Results are byte-identical for any value
-  // >= 1 (the determinism contract of sim::ShardedSimulator), so this is an
-  // execution knob, not a sweep dimension.
+  // 0 = single-threaded engine, >= 1 = partition-parallel engine with that
+  // many shards: node-affinity sharding on the fabric, intra-switch
+  // partition sharding on the star/p4 testbeds. Results are byte-identical
+  // for any value >= 1 (the determinism contract of sim::ShardedSimulator),
+  // so this is an execution knob, not a sweep dimension.
   int shards = 0;
 };
 

@@ -63,14 +63,11 @@ std::optional<std::string> ExpandSweep(const SweepSpec& spec,
                     p.spec.scale = spec.scale;
                     p.spec.duration_ms = spec.duration_ms;
                     p.spec.seed = spec.base_seed + static_cast<uint64_t>(si);
-                    // Execution knob: only fabric scenarios have a sharded
-                    // engine; star/p4 points ignore it rather than erroring
-                    // out of a mixed grid.
-                    const ScenarioInfo* info = ScenarioByName(scenario);
-                    if (spec.shards > 0 && info != nullptr &&
-                        std::string(info->platform) == "fabric") {
-                      p.spec.shards = spec.shards;
-                    }
+                    // Execution knob, not a sweep dimension: every platform
+                    // has a sharded engine (node-affinity on the fabric,
+                    // intra-switch partition sharding on star/p4), and
+                    // results are byte-identical for any shard count.
+                    if (spec.shards > 0) p.spec.shards = spec.shards;
                     p.key_fields.emplace_back("scenario", scenario);
                     p.key_fields.emplace_back("bm", bm);
                     if (!spec.alphas.empty()) {

@@ -37,9 +37,10 @@ struct SweepSpec {
   std::vector<int64_t> burst_bytes;
 
   // Execution knob, not a grid axis (sharded runs are byte-identical to
-  // single-shard runs, so it cannot change any result): fabric-platform
-  // points run on the partition-parallel engine with this many shards.
-  // Non-fabric points are unaffected. 0 = single-threaded engine.
+  // single-shard runs, so it cannot change any result): every point runs on
+  // the partition-parallel engine with this many shards — node-affinity
+  // sharding on the fabric, intra-switch partition sharding on star/p4.
+  // 0 = single-threaded engine.
   int shards = 0;
 };
 

@@ -12,12 +12,24 @@
 //    all of its events run on that shard's Simulator. DeliverAfter then
 //    *stages* the arrival in a per-(src-shard, dst-shard) SPSC mailbox; the
 //    engine's window barrier drains each shard's inbound mailboxes and
-//    inserts the arrivals in canonical (deliver_time, src_node, per-source
-//    seq) order. That order is independent of the node->shard partition and
-//    of thread timing, which is what keeps sharded runs byte-identical for
-//    any shard count. Conservative correctness requires every link's
-//    propagation delay to be >= the engine's lookahead (checked per
-//    delivery).
+//    inserts the arrivals in canonical (deliver_time, src_node, src_lane,
+//    per-(source,lane) seq) order. That order is independent of the
+//    node->shard partition and of thread timing, which is what keeps
+//    sharded runs byte-identical for any shard count. Conservative
+//    correctness requires every link's propagation delay to be >= the
+//    engine's lookahead (checked per delivery).
+//
+// Intra-node sharding (single-switch topologies). A node whose internal
+// structure decomposes into independent *lanes* — a shared-memory switch
+// whose buffer splits into TmPartitions, each owning a group of egress
+// ports — may register those lanes with BindNodeLanes. Each lane is bound
+// to one shard, all of the lane's events run on that shard's Simulator,
+// and arrivals are routed to the shard of Node::RxLane(in_port, pkt) (for
+// a switch: the partition owning the packet's egress port — a pure
+// function of the packet, so the handoff stays deterministic). The merge
+// key carries the source lane, and per-(source, lane) sequence counters
+// are produced from exactly one shard each, so the canonical drain order
+// remains a pure function of simulated execution.
 #pragma once
 
 #include <algorithm>
@@ -44,6 +56,10 @@ struct LinkEnd {
 
 class Network {
  public:
+  // Shard of a node's lane: pure function of (node id, lane index) so lane
+  // bindings are reproducible for any shard count.
+  using LaneShardFn = std::function<int(NodeId, int)>;
+
   // Single-threaded mode: every node runs on `sim`.
   explicit Network(sim::Simulator* sim) : sim_(sim) {
     OCCAMY_CHECK(sim != nullptr);
@@ -53,8 +69,13 @@ class Network {
   // Sharded mode: `shard_of(node_id)` assigns each node (at AddNode time) to
   // a shard of `ssim`; the result is clamped into range. The assignment must
   // be a pure function of the node id so that it is reproducible.
-  Network(sim::ShardedSimulator* ssim, std::function<int(NodeId)> shard_of)
-      : ssim_(ssim), shard_assign_(std::move(shard_of)) {
+  // `lane_shard_of`, when given, assigns the lanes of lane-sharded nodes
+  // (see BindNodeLanes); nullptr keeps every lane on the node's own shard.
+  Network(sim::ShardedSimulator* ssim, std::function<int(NodeId)> shard_of,
+          LaneShardFn lane_shard_of = nullptr)
+      : ssim_(ssim),
+        shard_assign_(std::move(shard_of)),
+        lane_shard_assign_(std::move(lane_shard_of)) {
     OCCAMY_CHECK(ssim != nullptr);
     OCCAMY_CHECK(shard_assign_ != nullptr);
     sim_ = &ssim_->shard(0);
@@ -81,9 +102,60 @@ class Network {
     OCCAMY_CHECK(id < shard_of_.size());
     return shard_of_[id];
   }
-  // The simulator that runs node `id`'s events.
+  // The simulator that runs node `id`'s (lane 0) events.
   sim::Simulator& sim_of(NodeId id) {
     return ssim_ != nullptr ? ssim_->shard(shard_of(id)) : *sim_;
+  }
+
+  // Declares node `id` as lane-sharded with `lanes` independent lanes and
+  // binds each lane to a shard (via the constructor's lane_shard_of, or the
+  // node's own shard when none was given). Must be called before any
+  // traffic reaches the node — a switch does it from Initialize(), before
+  // creating its partitions on the lanes' simulators. Idempotent per node
+  // only in the sense that re-binding is a bug; callers bind once.
+  void BindNodeLanes(NodeId id, int lanes) {
+    OCCAMY_CHECK(id < nodes_.size());
+    OCCAMY_CHECK(lanes > 0);
+    if (lane_shards_.size() <= id) {
+      lane_shards_.resize(id + 1);
+      uniform_lane_shard_.resize(id + 1, -1);
+    }
+    OCCAMY_CHECK(lane_shards_[id].empty()) << "node " << id << " lanes already bound";
+    auto& shards = lane_shards_[id];
+    shards.reserve(static_cast<size_t>(lanes));
+    for (int lane = 0; lane < lanes; ++lane) {
+      int shard = shard_of(id);
+      if (ssim_ != nullptr && lane_shard_assign_ != nullptr) {
+        shard = std::clamp(lane_shard_assign_(id, lane), 0, ssim_->num_shards() - 1);
+      }
+      shards.push_back(shard);
+    }
+    // When every lane lands on one shard (node-sharded fabrics, or a star
+    // with one shared buffer / shards=1), remember it: DeliverAfter can
+    // then skip the per-packet RxLane route lookup entirely.
+    bool uniform = true;
+    for (const int s : shards) uniform = uniform && s == shards[0];
+    uniform_lane_shard_[id] = uniform ? shards[0] : -1;
+    nodes_[id]->lane_delivery_seq_.assign(static_cast<size_t>(lanes), 0);
+  }
+
+  bool lane_sharded(NodeId id) const {
+    return id < lane_shards_.size() && !lane_shards_[id].empty();
+  }
+
+  // Shard of `id`'s lane `lane` (the node's shard when lanes are unbound).
+  int lane_shard(NodeId id, int lane) const {
+    if (!lane_sharded(id)) return shard_of(id);
+    const auto& shards = lane_shards_[id];
+    OCCAMY_CHECK(lane >= 0 && static_cast<size_t>(lane) < shards.size())
+        << "bad lane " << lane << " for node " << id;
+    return shards[static_cast<size_t>(lane)];
+  }
+
+  // The simulator that runs lane `lane` of node `id` — what a lane-sharded
+  // switch builds each TmPartition on and drives its egress machinery with.
+  sim::Simulator& LaneSim(NodeId id, int lane) {
+    return ssim_ != nullptr ? ssim_->shard(lane_shard(id, lane)) : *sim_;
   }
 
   // Takes ownership; assigns and returns the node id.
@@ -111,8 +183,10 @@ class Network {
   // Schedules arrival of `pkt` at `to` after `delay` (the propagation time;
   // serialization already elapsed at the sender). `from` is the sending
   // node; in sharded mode it keys the canonical cross-shard merge order and
-  // must be the node whose event is executing.
-  void DeliverAfter(NodeId from, Time delay, LinkEnd to, Packet pkt) {
+  // must be the node whose event is executing. `src_lane` is the sending
+  // lane of a lane-sharded source (a switch passes the egress partition
+  // index); plain nodes send from lane 0.
+  void DeliverAfter(NodeId from, Time delay, LinkEnd to, Packet pkt, int src_lane = 0) {
     if (ssim_ == nullptr) {
       // Single-threaded: slot 0 directly — no thread-local lookup on the
       // per-packet hot path.
@@ -127,16 +201,24 @@ class Network {
     OCCAMY_CHECK_GE(delay, ssim_->lookahead())
         << "cross-node delay below the conservative lookahead";
     Node& src = node(from);
-    const int src_shard = shard_of(from);
-    const int dst_shard = shard_of(to.node);
-    // SPSC invariant: only shard_of(from)'s worker may produce into this
+    const int src_shard = lane_shard(from, src_lane);
+    // The destination shard is the one that owns the arrival's lane: for a
+    // lane-sharded switch, the partition owning the packet's egress port.
+    // RxLane repeats the route lookup ReceivePacket will do on arrival, so
+    // only nodes whose lanes genuinely straddle shards pay for it.
+    const int dst_shard = RxShardOf(to, pkt);
+    // SPSC invariant: only the producing lane's worker may write this
     // outbox row (and only its clock is the right send time).
     OCCAMY_DCHECK_EQ(sim::CurrentShard(), src_shard);
+    // A lane > 0 requires the source to have bound its lanes (BindNodeLanes
+    // sizes the per-lane sequence counters).
+    OCCAMY_DCHECK(static_cast<size_t>(src_lane) < src.lane_delivery_seq_.size());
     ++shard_state_[static_cast<size_t>(src_shard)].delivered_events;
     Mail mail;
-    mail.time = sim_of(from).now() + delay;
+    mail.time = ssim_->shard(src_shard).now() + delay;
     mail.src_node = from;
-    mail.seq = src.delivery_seq_++;
+    mail.src_lane = src_lane;
+    mail.seq = src.lane_delivery_seq_[static_cast<size_t>(src_lane)]++;
     mail.to = to;
     mail.pkt = std::move(pkt);
     outboxes_[static_cast<size_t>(src_shard) * static_cast<size_t>(num_shards()) +
@@ -150,15 +232,38 @@ class Network {
     return total;
   }
 
+  // Test hook: observes every drained mailbox record as (deliver_time,
+  // destination shard's clock at the drain). Used by the conservative-window
+  // property tests; never set in production runs. Drains for different
+  // shards run concurrently on their workers, so a probe must either be
+  // internally synchronized or be used with use_threads = false.
+  using DrainProbe = std::function<void(Time deliver_time, Time dst_shard_now)>;
+  void set_drain_probe(DrainProbe probe) { drain_probe_ = std::move(probe); }
+
   // Fresh unique ids for flows/queries created on this network.
   uint64_t NextFlowId() { return next_flow_id_++; }
 
  private:
-  // One staged packet arrival. (time, src_node, seq) is a total order that
-  // depends only on simulated execution, never on sharding or thread timing.
+  // Shard that must execute the arrival of `pkt` at `to`.
+  int RxShardOf(LinkEnd to, const Packet& pkt) {
+    if (to.node < uniform_lane_shard_.size()) {
+      const int uniform = uniform_lane_shard_[to.node];
+      if (uniform >= 0) return uniform;
+      if (!lane_shards_[to.node].empty()) {
+        return lane_shard(to.node, node(to.node).RxLane(to.port, pkt));
+      }
+    }
+    return shard_of(to.node);
+  }
+
+  // One staged packet arrival. (time, src_node, src_lane, seq) is a total
+  // order that depends only on simulated execution, never on sharding or
+  // thread timing: each (src_node, src_lane) pair is produced by exactly
+  // one shard, in that lane's deterministic event order.
   struct Mail {
     Time time = 0;
     NodeId src_node = 0;
+    int src_lane = 0;
     uint64_t seq = 0;
     LinkEnd to;
     Packet pkt;
@@ -177,10 +282,12 @@ class Network {
     std::sort(scratch.begin(), scratch.end(), [](const Mail& a, const Mail& b) {
       if (a.time != b.time) return a.time < b.time;
       if (a.src_node != b.src_node) return a.src_node < b.src_node;
+      if (a.src_lane != b.src_lane) return a.src_lane < b.src_lane;
       return a.seq < b.seq;
     });
     sim::Simulator& sim = ssim_->shard(shard);
     for (Mail& mail : scratch) {
+      if (drain_probe_) drain_probe_(mail.time, sim.now());
       Node* dst = &node(mail.to.node);
       const int port = mail.to.port;
       sim.At(mail.time, [dst, port, p = std::move(mail.pkt)]() mutable {
@@ -199,12 +306,19 @@ class Network {
   sim::Simulator* sim_ = nullptr;
   sim::ShardedSimulator* ssim_ = nullptr;
   std::function<int(NodeId)> shard_assign_;
+  LaneShardFn lane_shard_assign_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<int> shard_of_;
+  // Per-node lane->shard bindings; empty vector = node not lane-sharded.
+  std::vector<std::vector<int>> lane_shards_;
+  // Per-node fast path: the single shard all lanes share, or -1 when lanes
+  // straddle shards (only then does delivery need an RxLane route lookup).
+  std::vector<int> uniform_lane_shard_;
   // Mailboxes indexed [src_shard * num_shards + dst_shard]; sized once at
   // construction, so the vector itself is never mutated concurrently.
   std::vector<sim::SpscMailbox<Mail>> outboxes_;
   std::vector<ShardState> shard_state_;
+  DrainProbe drain_probe_;
   uint64_t next_flow_id_ = 1;
 };
 

@@ -32,19 +32,31 @@ SwitchNode::SwitchNode(SwitchConfig config) : config_(std::move(config)) {
 void SwitchNode::Initialize() {
   OCCAMY_CHECK(!initialized_);
   OCCAMY_CHECK(network() != nullptr) << "AddNode before Initialize";
+  const int num_partitions =
+      (config_.num_ports + config_.ports_per_partition - 1) / config_.ports_per_partition;
+  // Partitions are this node's lanes: in a sharded run each binds to one
+  // shard (intra-switch sharding for single-switch topologies; all on the
+  // node's own shard in node-sharded fabrics) and everything the partition
+  // owns is built on that shard's simulator.
+  if (network()->sharded()) network()->BindNodeLanes(id(), num_partitions);
   port_partition_.resize(static_cast<size_t>(config_.num_ports));
   port_local_.resize(static_cast<size_t>(config_.num_ports));
+  lane_state_ = std::vector<LaneState>(static_cast<size_t>(num_partitions));
   for (int base = 0; base < config_.num_ports; base += config_.ports_per_partition) {
     const int count = std::min(config_.ports_per_partition, config_.num_ports - base);
+    const int lane = static_cast<int>(partitions_.size());
+    sim::Simulator* lane_sim = &network()->LaneSim(id(), lane);
     tm::TmConfig cfg = config_.tm;
     cfg.port_rates.clear();
     for (int i = 0; i < count; ++i) {
       cfg.port_rates.push_back(config_.port_rates[static_cast<size_t>(base + i)]);
-      port_partition_[static_cast<size_t>(base + i)] = static_cast<int>(partitions_.size());
+      port_partition_[static_cast<size_t>(base + i)] = lane;
       port_local_[static_cast<size_t>(base + i)] = i;
+      ports_[static_cast<size_t>(base + i)].sim = lane_sim;
+      ports_[static_cast<size_t>(base + i)].lane = lane;
     }
     partitions_.push_back(
-        std::make_unique<tm::TmPartition>(&sim(), cfg, config_.scheme_factory()));
+        std::make_unique<tm::TmPartition>(lane_sim, cfg, config_.scheme_factory()));
   }
   initialized_ = true;
 }
@@ -60,32 +72,45 @@ void SwitchNode::SetRoute(NodeId dst, std::vector<int> ports) {
   routes_[dst] = std::move(ports);
 }
 
-void SwitchNode::ReceivePacket(int in_port, Packet pkt) {
-  (void)in_port;
-  OCCAMY_CHECK(initialized_);
+int SwitchNode::RoutePort(const Packet& pkt) const {
   const auto it = routes_.find(pkt.dst);
-  if (it == routes_.end()) {
-    ++routeless_drops_;
-    // A missing route drops every packet of the flow; log the first few
-    // occurrences per switch and leave the rest to the counter.
-    constexpr int64_t kMaxRouteMissLogs = 3;
-    if (routeless_drops_ <= kMaxRouteMissLogs) {
-      OCCAMY_LOG(Warn) << "switch " << id() << ": no route to " << pkt.dst << ", dropping"
-                       << (routeless_drops_ == kMaxRouteMissLogs
-                               ? " (further route misses counted in routeless_drops)"
-                               : "");
-    } else {
-      OCCAMY_LOG(Debug) << "switch " << id() << ": no route to " << pkt.dst << ", dropping";
-    }
-    return;
-  }
+  if (it == routes_.end()) return -1;
   const std::vector<int>& candidates = it->second;
-  int egress = candidates[0];
-  if (candidates.size() > 1) {
-    // Per-flow ECMP; mix in the switch id so hashing does not polarize
-    // across tiers.
-    const uint64_t h = SplitMix64(pkt.flow_id ^ SplitMix64(id() + 0x9e37));
-    egress = candidates[h % candidates.size()];
+  if (candidates.size() == 1) return candidates[0];
+  // Per-flow ECMP; mix in the switch id so hashing does not polarize
+  // across tiers.
+  const uint64_t h = SplitMix64(pkt.flow_id ^ SplitMix64(id() + 0x9e37));
+  return candidates[h % candidates.size()];
+}
+
+int SwitchNode::RxLane(int in_port, const Packet& pkt) const {
+  OCCAMY_CHECK(initialized_);
+  const int egress = RoutePort(pkt);
+  return port_partition_[static_cast<size_t>(egress >= 0 ? egress : in_port)];
+}
+
+void SwitchNode::DropRouteless(int lane, const Packet& pkt) {
+  int64_t& drops = lane_state_[static_cast<size_t>(lane)].routeless_drops;
+  ++drops;
+  // A missing route drops every packet of the flow; log the first few
+  // occurrences per lane and leave the rest to the counter.
+  constexpr int64_t kMaxRouteMissLogs = 3;
+  if (drops <= kMaxRouteMissLogs) {
+    OCCAMY_LOG(Warn) << "switch " << id() << ": no route to " << pkt.dst << ", dropping"
+                     << (drops == kMaxRouteMissLogs
+                             ? " (further route misses counted in routeless_drops)"
+                             : "");
+  } else {
+    OCCAMY_LOG(Debug) << "switch " << id() << ": no route to " << pkt.dst << ", dropping";
+  }
+}
+
+void SwitchNode::ReceivePacket(int in_port, Packet pkt) {
+  OCCAMY_CHECK(initialized_);
+  const int egress = RoutePort(pkt);
+  if (egress < 0) {
+    DropRouteless(port_partition_[static_cast<size_t>(in_port)], pkt);
+    return;
   }
   auto& part = partition_for_port(egress);
   const auto result = part.Enqueue(local_port(egress), std::move(pkt));
@@ -101,9 +126,12 @@ void SwitchNode::KickTx(int port) {
   if (!pkt.has_value()) return;
   state.busy = true;
   const Time tx_time = state.rate.TxTime(pkt->size_bytes);
-  sim().After(tx_time, [this, port, p = std::move(*pkt)]() mutable {
+  // All of this port's egress machinery lives on its partition's shard:
+  // the TX-complete event runs there and the delivery is stamped with the
+  // partition index as its source lane.
+  state.sim->After(tx_time, [this, port, p = std::move(*pkt)]() mutable {
     PortState& s = ports_[static_cast<size_t>(port)];
-    network()->DeliverAfter(id(), s.propagation, s.peer, std::move(p));
+    network()->DeliverAfter(id(), s.propagation, s.peer, std::move(p), s.lane);
     s.busy = false;
     KickTx(port);
   });

@@ -5,6 +5,18 @@
 // uses a per-destination route table with per-flow ECMP hashing across the
 // candidate egress ports. Egress ports run a simple serialize-and-forward
 // machine fed by the partition's scheduler.
+//
+// Shard discipline (sharded runs): partitions are the switch's *lanes* (see
+// Network::BindNodeLanes). Every partition — its buffer, BM scheme,
+// expulsion engine, schedulers, and the egress machinery of the ports it
+// owns — runs entirely on the lane's shard: arrivals are routed to the
+// egress partition's shard (RxLane), TX completions are scheduled on the
+// partition's simulator, and outbound deliveries carry the partition index
+// as the source lane. Routing tables are immutable during a run; nothing
+// couples two partitions, so lanes on different shards never share mutable
+// state. In node-sharded topologies (the leaf-spine fabric) every lane of a
+// switch binds to the node's own shard and the discipline degenerates to
+// the plain per-node one.
 #pragma once
 
 #include <cstdint>
@@ -43,7 +55,7 @@ class SwitchNode final : public Node {
  public:
   explicit SwitchNode(SwitchConfig config);
 
-  // Must be called once after AddNode (partitions need the simulator).
+  // Must be called once after AddNode (partitions need their simulators).
   void Initialize();
 
   // Wires egress port `port` to `peer` (done by topology builders).
@@ -55,6 +67,11 @@ class SwitchNode final : public Node {
 
   void ReceivePacket(int in_port, Packet pkt) override;
 
+  // The partition that must process `pkt`: the one owning its egress port
+  // (deterministic ECMP included), or the ingress port's partition when no
+  // route matches (the drop is then accounted on that lane).
+  int RxLane(int in_port, const Packet& pkt) const override;
+
   int num_ports() const { return config_.num_ports; }
   int num_partitions() const { return static_cast<int>(partitions_.size()); }
   tm::TmPartition& partition(int i) { return *partitions_[static_cast<size_t>(i)]; }
@@ -62,6 +79,9 @@ class SwitchNode final : public Node {
     return *partitions_[static_cast<size_t>(port_partition_[static_cast<size_t>(port)])];
   }
   int local_port(int port) const { return port_local_[static_cast<size_t>(port)]; }
+  int partition_of_port(int port) const {
+    return port_partition_[static_cast<size_t>(port)];
+  }
 
   // Queue (partition-global index) that packets of class `cls` for egress
   // `port` occupy; convenience for benches reading queue lengths.
@@ -79,14 +99,27 @@ class SwitchNode final : public Node {
   int64_t TotalEnqueued();
 
   // Packets dropped because no route matched their destination (these never
-  // reach a partition, so they are not part of TotalDrops()).
-  int64_t routeless_drops() const { return routeless_drops_; }
+  // reach a partition, so they are not part of TotalDrops()). Counted per
+  // lane so concurrent lanes never race; summed on read.
+  int64_t routeless_drops() const {
+    int64_t total = 0;
+    for (const auto& lane : lane_state_) total += lane.routeless_drops;
+    return total;
+  }
 
-  // Per-drop callback over all partitions.
+  // Per-drop callback over all partitions. In a lane-sharded run the hook
+  // fires on the dropping partition's shard; hooks that aggregate across
+  // partitions must be shard-safe (single-partition switches are trivially
+  // so).
   void set_drop_hook(std::function<void(const Packet&, tm::DropReason)> hook);
 
  private:
+  // Deterministic route lookup: egress port for `pkt` (flow-hash ECMP over
+  // the candidates), or -1 when no route matches.
+  int RoutePort(const Packet& pkt) const;
+
   void KickTx(int port);
+  void DropRouteless(int lane, const Packet& pkt);
 
   SwitchConfig config_;
   struct PortState {
@@ -95,13 +128,23 @@ class SwitchNode final : public Node {
     bool busy = false;
     Bandwidth rate;
     Time propagation = 0;
+    // The simulator of the owning partition's shard and the partition index
+    // (= source lane of deliveries), cached off Initialize so the per-packet
+    // TX path never does a lane lookup.
+    sim::Simulator* sim = nullptr;
+    int lane = 0;
+  };
+  // Per-lane mutable counters, padded so lanes on different shards never
+  // share a cache line.
+  struct alignas(64) LaneState {
+    int64_t routeless_drops = 0;
   };
   std::vector<PortState> ports_;
   std::vector<std::unique_ptr<tm::TmPartition>> partitions_;
+  std::vector<LaneState> lane_state_;  // one per partition
   std::vector<int> port_partition_;  // global port -> partition index
   std::vector<int> port_local_;      // global port -> local port in partition
   std::unordered_map<NodeId, std::vector<int>> routes_;
-  int64_t routeless_drops_ = 0;
   bool initialized_ = false;
 };
 

@@ -26,11 +26,15 @@ struct OpenLoopConfig {
 
 class OpenLoopSender {
  public:
+  // Everything the sender touches — its own counters, the source host's NIC
+  // queue, the injection timer chain — lives on the source host's shard, so
+  // open-loop injection is safe in sharded runs without pre-generation (it
+  // is open loop: nothing outside the source shard feeds back into it).
   OpenLoopSender(net::Network* net, OpenLoopConfig config)
-      : net_(net), config_(config) {}
+      : net_(net), sim_(&net->sim_of(config.src)), config_(config) {}
 
   void Start() {
-    net_->sim().At(std::max(config_.start, net_->now()), [this] { InjectNext(); });
+    sim_->At(std::max(config_.start, sim_->now()), [this] { InjectNext(); });
   }
 
   int64_t packets_sent() const { return packets_sent_; }
@@ -39,7 +43,7 @@ class OpenLoopSender {
  private:
   void InjectNext() {
     if (config_.total_bytes > 0 && bytes_sent_ >= config_.total_bytes) return;
-    if (config_.stop > 0 && net_->now() > config_.stop) return;
+    if (config_.stop > 0 && sim_->now() > config_.stop) return;
     Packet pkt;
     pkt.kind = PacketKind::kData;
     pkt.flow_id = config_.flow_id;
@@ -50,11 +54,11 @@ class OpenLoopSender {
     static_cast<net::Host&>(net_->node(config_.src)).Send(std::move(pkt));
     ++packets_sent_;
     bytes_sent_ += config_.packet_bytes;
-    net_->sim().After(config_.rate.TxTime(config_.packet_bytes),
-                      [this] { InjectNext(); });
+    sim_->After(config_.rate.TxTime(config_.packet_bytes), [this] { InjectNext(); });
   }
 
   net::Network* net_;
+  sim::Simulator* sim_;
   OpenLoopConfig config_;
   int64_t packets_sent_ = 0;
   int64_t bytes_sent_ = 0;

@@ -242,13 +242,46 @@ TEST(CliRun, ShardedFabricRunMatchesSingleShard) {
   EXPECT_EQ(JsonNumber(four.json, "shards"), 4);
 }
 
-TEST(CliRun, ShardsRejectedOffFabric) {
+// Star (§6.2) and P4 (§6.1) scenarios accept --shards since the
+// intra-switch partition-parallel engine landed; metrics must match the
+// single-shard oracle byte for byte.
+TEST(CliRun, ShardedStarRunMatchesSingleShard) {
   SimOptions opts;
-  opts.scenario = "incast";
+  opts.scenario = "burst_absorption";
+  opts.bm = "occamy";
+  opts.scale = "smoke";
+  opts.duration_ms = 2;
+  opts.shards = 1;
+  const SimResult one = RunScenario(opts);
+  ASSERT_TRUE(one.ok) << one.error;
+  opts.shards = 4;
+  const SimResult four = RunScenario(opts);
+  ASSERT_TRUE(four.ok) << four.error;
+  for (const char* key :
+       {"delivered_bytes", "qct_p99_ms", "fct_avg_ms", "sim_events", "drops"}) {
+    EXPECT_EQ(JsonNumber(one.json, key), JsonNumber(four.json, key)) << key;
+  }
+  EXPECT_EQ(JsonNumber(one.json, "shards"), 1);
+  EXPECT_EQ(JsonNumber(four.json, "shards"), 4);
+}
+
+TEST(CliRun, ShardedBurstRunMatchesSingleShard) {
+  SimOptions opts;
+  opts.scenario = "burst";
+  opts.bm = "dt";
+  opts.scale = "smoke";
+  opts.duration_ms = 1;
+  opts.shards = 1;
+  const SimResult one = RunScenario(opts);
+  ASSERT_TRUE(one.ok) << one.error;
   opts.shards = 2;
-  const SimResult result = RunScenario(opts);
-  EXPECT_FALSE(result.ok);
-  EXPECT_NE(result.error.find("shards"), std::string::npos) << result.error;
+  const SimResult two = RunScenario(opts);
+  ASSERT_TRUE(two.ok) << two.error;
+  for (const char* key :
+       {"burst_packets", "burst_drops", "burst_loss_rate", "sim_events"}) {
+    EXPECT_EQ(JsonNumber(one.json, key), JsonNumber(two.json, key)) << key;
+  }
+  EXPECT_EQ(JsonNumber(two.json, "shards"), 2);
 }
 
 TEST(CliRun, ListsAreNonEmpty) {

@@ -1,0 +1,105 @@
+// Differential-oracle test harness for the partition-parallel engines.
+//
+// The engines' determinism contract (src/sim/sharded_simulator.h) says a
+// scenario's JSON metrics are byte-identical for ANY shard count >= 1, with
+// shards=1 — the identical windowed algorithm on one thread — as the
+// single-threaded oracle. This header turns that contract into a reusable
+// assertion: run any exp::PointSpec at shards=1 and shards=N and diff the
+// *deterministic fingerprint* of the metrics — every metric except the
+// wall-clock fields, rendered with round-trip-exact doubles. Exact equality
+// is intentional: "close" would mean the conservative synchronization
+// leaked.
+//
+// The same fingerprint doubles as the golden-file format of
+// tests/golden_test.cc, so "deterministic metric" is defined in exactly one
+// place for both suites.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <initializer_list>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "src/exp/scenario_runner.h"
+
+namespace occamy::testing {
+
+// Metric keys that legitimately vary run to run or engine to engine: wall
+// clock and its derivatives, plus the engine-id fields themselves.
+inline const std::set<std::string>& VolatileMetricKeys() {
+  static const std::set<std::string> kKeys = {
+      "wall_ms", "events_per_sec", "parallel_efficiency", "shards"};
+  return kKeys;
+}
+
+// Canonical textual form of every deterministic metric, one "key=value" per
+// line in insertion order. Doubles print with %.17g (round-trip exact), so
+// two fingerprints are equal iff the metrics are bit-identical.
+inline std::string DeterministicFingerprint(const exp::Metrics& metrics) {
+  std::ostringstream out;
+  char buf[64];
+  for (const auto& entry : metrics.entries()) {
+    if (VolatileMetricKeys().count(entry.key) > 0) continue;
+    out << entry.key << '=';
+    switch (entry.value.kind) {
+      case exp::Metrics::Kind::kInt:
+        std::snprintf(buf, sizeof(buf), "%" PRId64, entry.value.i);
+        out << buf;
+        break;
+      case exp::Metrics::Kind::kDouble:
+        std::snprintf(buf, sizeof(buf), "%.17g", entry.value.d);
+        out << buf;
+        break;
+      case exp::Metrics::Kind::kString:
+        out << entry.value.s;
+        break;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+// Base seed shifted by OCCAMY_TEST_SEED (the CI seed-matrix knob): the
+// differential contract must hold for every seed, so the smoke step reruns
+// these suites under several.
+inline uint64_t ShiftedSeed(uint64_t base) {
+  const char* env = std::getenv("OCCAMY_TEST_SEED");
+  if (env == nullptr || *env == '\0') return base;
+  return base + static_cast<uint64_t>(std::strtoull(env, nullptr, 10));
+}
+
+inline exp::Metrics RunPointOrFail(const exp::PointSpec& spec) {
+  const exp::PointResult result = exp::RunPoint(spec);
+  EXPECT_TRUE(result.ok) << spec.scenario << "/" << spec.bm << ": " << result.error;
+  return result.metrics;
+}
+
+// The differential assertion: `spec` run at shards=1 must produce a
+// byte-identical deterministic fingerprint at every count in
+// `shard_counts`. `spec.shards` is overwritten; every other knob (scenario,
+// bm, seed, scale, duration, ...) is compared as-is.
+inline void ExpectShardCountInvariant(exp::PointSpec spec,
+                                      std::initializer_list<int> shard_counts) {
+  spec.shards = 1;
+  const exp::Metrics oracle_metrics = RunPointOrFail(spec);
+  const std::string oracle = DeterministicFingerprint(oracle_metrics);
+  ASSERT_FALSE(oracle.empty());
+  // An all-zero run would make the invariant vacuous; insist the oracle
+  // actually simulated something.
+  EXPECT_GT(oracle_metrics.Number("sim_events"), 0)
+      << spec.scenario << "/" << spec.bm;
+  for (const int shards : shard_counts) {
+    spec.shards = shards;
+    const std::string sharded = DeterministicFingerprint(RunPointOrFail(spec));
+    EXPECT_EQ(oracle, sharded)
+        << spec.scenario << "/" << spec.bm << ": shards=" << shards
+        << " diverged from the single-shard oracle (seed " << spec.seed << ")";
+  }
+}
+
+}  // namespace occamy::testing

@@ -1,0 +1,129 @@
+// Differential-oracle suite for the intra-switch partition-parallel star/P4
+// engines (and a fabric cross-check): every scenario must produce
+// byte-identical JSON metrics at --shards=1/2/4. shards=1 runs the
+// identical windowed algorithm single-threaded, so it is the oracle; see
+// tests/differential.h for the comparison machinery.
+//
+// The CI seed-matrix step reruns this suite with OCCAMY_TEST_SEED=1..3 so
+// seed-dependent nondeterminism surfaces before merge.
+#include "tests/differential.h"
+
+#include "bench/common/burst_lab.h"
+#include "bench/common/dpdk_run.h"
+
+namespace occamy {
+namespace {
+
+exp::PointSpec SmokePoint(const std::string& scenario, const std::string& bm,
+                          double duration_ms, uint64_t seed = 1) {
+  exp::PointSpec spec;
+  spec.scenario = scenario;
+  spec.bm = bm;
+  spec.scale = bench::BenchScale::kSmoke;
+  spec.duration_ms = duration_ms;
+  spec.seed = testing::ShiftedSeed(seed);
+  return spec;
+}
+
+// ---- P4 testbed (§6.1): open-loop burst lab ----
+
+TEST(DifferentialTest, BurstShardCountInvariant) {
+  testing::ExpectShardCountInvariant(SmokePoint("burst", "occamy", 1), {2, 4});
+}
+
+TEST(DifferentialTest, BurstDtShardCountInvariant) {
+  testing::ExpectShardCountInvariant(SmokePoint("burst", "dt", 1), {2});
+}
+
+// ---- DPDK star testbed (§6.2/§6.3): DCTCP incast + backgrounds ----
+
+TEST(DifferentialTest, IncastShardCountInvariant) {
+  testing::ExpectShardCountInvariant(SmokePoint("incast", "occamy", 2), {2, 4});
+}
+
+TEST(DifferentialTest, BurstAbsorptionShardCountInvariant) {
+  // The headline star scenario: web-search DCTCP background + incast.
+  testing::ExpectShardCountInvariant(SmokePoint("burst_absorption", "occamy", 2),
+                                     {2, 4});
+}
+
+TEST(DifferentialTest, BurstAbsorptionDtShardCountInvariant) {
+  testing::ExpectShardCountInvariant(SmokePoint("burst_absorption", "dt", 2), {2});
+}
+
+TEST(DifferentialTest, IsolationShardCountInvariant) {
+  // Two DRR queues, CUBIC background: exercises multi-class scheduling
+  // under the sharded engine.
+  testing::ExpectShardCountInvariant(SmokePoint("isolation", "occamy", 2), {2});
+}
+
+TEST(DifferentialTest, ChokingShardCountInvariant) {
+  // Saturating-LP background: live (shard-confined) open-loop senders
+  // alongside pre-generated incast queries.
+  testing::ExpectShardCountInvariant(SmokePoint("choking", "occamy", 2), {2, 4});
+}
+
+// ---- fabric (§6.4) cross-check through the same harness ----
+
+TEST(DifferentialTest, WebSearchFabricShardCountInvariant) {
+  testing::ExpectShardCountInvariant(SmokePoint("websearch", "occamy", 2), {2, 4});
+}
+
+// Different seeds must each satisfy the invariant independently (the
+// windowed algorithm has no seed-specific paths).
+TEST(DifferentialTest, SeedSweepShardCountInvariant) {
+  for (const uint64_t seed : {7u, 23u}) {
+    testing::ExpectShardCountInvariant(SmokePoint("burst_absorption", "occamy", 2, seed),
+                                       {2});
+  }
+}
+
+// ---- runner-level knobs the PointSpec harness cannot reach ----
+
+// Worker threads on/off run the identical windowed algorithm: star engine.
+TEST(DifferentialTest, StarThreadedAndInlineExecutionMatch) {
+  bench::DpdkRunSpec run;
+  run.scheme = bench::Scheme::kOccamy;
+  run.scale = bench::BenchScale::kSmoke;
+  run.duration = run.max_duration = Milliseconds(2);
+  run.min_queries = 0;
+  run.seed = testing::ShiftedSeed(1);
+  run.shards = 4;
+  run.shard_threads = true;
+  const bench::DpdkRunResult threaded = bench::RunDpdk(run);
+  run.shard_threads = false;
+  const bench::DpdkRunResult inline_run = bench::RunDpdk(run);
+  EXPECT_EQ(threaded.qct_avg_ms, inline_run.qct_avg_ms);
+  EXPECT_EQ(threaded.fct_avg_ms, inline_run.fct_avg_ms);
+  EXPECT_EQ(threaded.delivered_bytes, inline_run.delivered_bytes);
+  EXPECT_EQ(threaded.drops, inline_run.drops);
+  EXPECT_EQ(threaded.rtos, inline_run.rtos);
+  EXPECT_EQ(threaded.sim_events, inline_run.sim_events);
+  EXPECT_GT(threaded.sim_events, 0);
+}
+
+// Same for the P4 burst lab, plus the engine-id fields.
+TEST(DifferentialTest, BurstLabThreadedAndInlineExecutionMatch) {
+  bench::BurstLabSpec spec;
+  spec.scheme = bench::Scheme::kOccamy;
+  spec.horizon = Milliseconds(1);
+  spec.seed = testing::ShiftedSeed(1);
+  spec.shards = 2;
+  spec.shard_threads = true;
+  const bench::BurstLabResult threaded = bench::RunBurstLab(spec);
+  spec.shard_threads = false;
+  const bench::BurstLabResult inline_run = bench::RunBurstLab(spec);
+  EXPECT_EQ(threaded.burst_packets, inline_run.burst_packets);
+  EXPECT_EQ(threaded.burst_drops, inline_run.burst_drops);
+  EXPECT_EQ(threaded.long_lived_drops, inline_run.long_lived_drops);
+  EXPECT_EQ(threaded.expelled, inline_run.expelled);
+  EXPECT_EQ(threaded.sim_events, inline_run.sim_events);
+  EXPECT_GT(threaded.sim_events, 0);
+  EXPECT_EQ(threaded.shards, 2);
+  EXPECT_GT(threaded.parallel_efficiency, 0.0);
+  const bench::BurstLabResult legacy = bench::RunBurstLab(bench::BurstLabSpec{});
+  EXPECT_EQ(legacy.shards, 0);
+}
+
+}  // namespace
+}  // namespace occamy

@@ -306,17 +306,19 @@ TEST(SweepJobsCap, RunSweepWarnsWhenCapping) {
   }
 }
 
-TEST(SweepExpand, ShardsKnobOnlyAppliesToFabricPoints) {
+// Every platform has a sharded engine (node-affinity on the fabric,
+// intra-switch partition sharding on star/p4), so the execution knob
+// applies to the whole grid.
+TEST(SweepExpand, ShardsKnobAppliesToEveryPlatform) {
   SweepSpec spec;
-  spec.scenarios = {"incast", "websearch"};
+  spec.scenarios = {"incast", "websearch", "burst"};
   spec.bms = {"dt"};
   spec.shards = 2;
   std::vector<SweepPoint> points;
   ASSERT_FALSE(ExpandSweep(spec, points).has_value());
-  ASSERT_EQ(points.size(), 2u);
+  ASSERT_EQ(points.size(), 3u);
   for (const auto& p : points) {
-    const bool fabric = p.spec.scenario == "websearch";
-    EXPECT_EQ(p.spec.shards, fabric ? 2 : 0) << p.run_key;
+    EXPECT_EQ(p.spec.shards, 2) << p.run_key;
   }
 }
 

@@ -2,12 +2,42 @@
 // shard count >= 1 (and with worker threads on or off) a fabric run must
 // produce bit-identical metrics. Exact double equality is intentional —
 // "close" would mean the conservative synchronization leaked.
+//
+// The shard-count invariance itself goes through the shared differential-
+// oracle harness (tests/differential.h), which compares the full JSON
+// metric fingerprint; the runner-level tests below cover what the harness
+// cannot express (thread on/off knob, engine-id fields).
 #include <gtest/gtest.h>
 
 #include "bench/common/fabric_run.h"
+#include "tests/differential.h"
 
 namespace occamy::bench {
 namespace {
+
+exp::PointSpec FabricPoint(const std::string& scenario, uint64_t seed = 1) {
+  exp::PointSpec spec;
+  spec.scenario = scenario;
+  spec.bm = "occamy";
+  spec.scale = BenchScale::kSmoke;
+  spec.duration_ms = 2;
+  spec.seed = occamy::testing::ShiftedSeed(seed);
+  return spec;
+}
+
+TEST(FabricParallelTest, WebSearchShardCountInvariant) {
+  occamy::testing::ExpectShardCountInvariant(FabricPoint("websearch"), {2, 4});
+}
+
+TEST(FabricParallelTest, AllToAllShardCountInvariant) {
+  occamy::testing::ExpectShardCountInvariant(FabricPoint("alltoall"), {2, 4});
+}
+
+TEST(FabricParallelTest, AllReduceShardCountInvariant) {
+  occamy::testing::ExpectShardCountInvariant(FabricPoint("allreduce"), {2});
+}
+
+// ---- runner-level knobs the PointSpec harness cannot reach ----
 
 FabricRunSpec SmokeSpec(BgPattern pattern, uint64_t seed = 1) {
   FabricRunSpec run;
@@ -41,30 +71,6 @@ void ExpectIdentical(const FabricRunResult& a, const FabricRunResult& b,
   EXPECT_EQ(a.delivered_bytes, b.delivered_bytes) << label;
   EXPECT_EQ(a.peak_occupancy_bytes, b.peak_occupancy_bytes) << label;
   EXPECT_EQ(a.sim_events, b.sim_events) << label;
-}
-
-TEST(FabricParallelTest, WebSearchShardCountInvariant) {
-  FabricRunSpec run = SmokeSpec(BgPattern::kWebSearch);
-  run.shards = 1;
-  const FabricRunResult oracle = RunFabric(run);
-  ASSERT_GT(oracle.bg_flows_completed, 0);
-  ASSERT_GT(oracle.queries_completed, 0);
-  ASSERT_GT(oracle.sim_events, 0);
-  for (const int shards : {2, 4}) {
-    run.shards = shards;
-    ExpectIdentical(oracle, RunFabric(run), "websearch shards=" + std::to_string(shards));
-  }
-}
-
-TEST(FabricParallelTest, AllToAllShardCountInvariant) {
-  FabricRunSpec run = SmokeSpec(BgPattern::kAllToAll);
-  run.shards = 1;
-  const FabricRunResult oracle = RunFabric(run);
-  ASSERT_GT(oracle.bg_flows_completed, 0);
-  for (const int shards : {2, 4}) {
-    run.shards = shards;
-    ExpectIdentical(oracle, RunFabric(run), "alltoall shards=" + std::to_string(shards));
-  }
 }
 
 TEST(FabricParallelTest, ThreadedAndInlineExecutionMatch) {

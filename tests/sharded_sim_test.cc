@@ -4,12 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "src/bm/dynamic_threshold.h"
 #include "src/net/network.h"
 #include "src/net/topology.h"
 #include "src/sim/mailbox.h"
+#include "src/util/rng.h"
 
 namespace occamy {
 namespace {
@@ -213,6 +216,125 @@ TEST(ShardedSimTest, RunUntilAdvancesAllClocksAndHopsEmptyWindows) {
   EXPECT_LT(ssim.windows_run(), 10u);
 }
 
+// ---- property tests: conservative-window invariant over randomized
+// topologies, shard maps, and traffic ----
+
+// For any randomized (topology, shard assignment, send schedule, seed):
+//  * no staged mailbox delivery ever lands earlier than the window lower
+//    bound — observed at the drain as deliver_time > the destination
+//    shard's clock (= the previous window's bound), and a fortiori as a
+//    strictly later window than the send's;
+//  * the arrival logs are byte-identical for every shard count and for
+//    worker threads on/off (the full determinism contract).
+TEST(ShardedSimProperty, ConservativeWindowInvariantRandomized) {
+  for (uint64_t trial = 0; trial < 12; ++trial) {
+    Rng rng(0xC0FFEE + trial);
+    const int nodes = 2 + static_cast<int>(rng.UniformInt(7));   // 2..8
+    const int sends = 1 + static_cast<int>(rng.UniformInt(24));  // 1..24
+    // A random (but pure-function) shard map: hash of the node id.
+    const uint64_t map_salt = rng.Next();
+
+    struct Send {
+      net::NodeId src = 0, dst = 0;
+      Time at = 0;
+      Time delay = 0;
+      uint64_t tag = 0;
+    };
+    std::vector<Send> schedule;
+    for (int i = 0; i < sends; ++i) {
+      Send s;
+      s.src = static_cast<net::NodeId>(rng.UniformInt(static_cast<uint64_t>(nodes)));
+      do {
+        s.dst = static_cast<net::NodeId>(rng.UniformInt(static_cast<uint64_t>(nodes)));
+      } while (s.dst == s.src);
+      s.at = static_cast<Time>(rng.UniformInt(200 * kLookahead));
+      s.delay = kLookahead + static_cast<Time>(rng.UniformInt(10 * kLookahead));
+      s.tag = 1000 + static_cast<uint64_t>(i);
+      schedule.push_back(s);
+    }
+
+    std::vector<std::vector<std::pair<Time, uint64_t>>> oracle;
+    for (const int shards : {1, 2, 4}) {
+      for (const bool threads : {true, false}) {
+        sim::ShardedSimulator ssim(EngineOptions(shards, threads));
+        net::Network net(&ssim, [shards, map_salt](net::NodeId id) {
+          return static_cast<int>(SplitMix64(map_salt ^ id) % static_cast<uint64_t>(shards));
+        });
+        std::vector<RecordingNode*> ptrs;
+        for (int i = 0; i < nodes; ++i) {
+          auto node = std::make_unique<RecordingNode>();
+          ptrs.push_back(node.get());
+          net.AddNode(std::move(node));
+        }
+        // The probe runs concurrently on the shard workers: guard it.
+        std::mutex probe_mu;
+        int64_t drained = 0;
+        net.set_drain_probe([&](Time deliver_time, Time dst_now) {
+          std::lock_guard<std::mutex> lock(probe_mu);
+          ++drained;
+          // Never into the past, and — since every staged record crosses
+          // exactly one barrier with delay >= lookahead — strictly past the
+          // window bound the destination shard just reached.
+          EXPECT_GE(deliver_time, dst_now);
+          if (dst_now > 0) {
+            EXPECT_GT(deliver_time, dst_now);
+          }
+        });
+        for (const Send& s : schedule) {
+          ssim.shard(net.shard_of(s.src)).At(s.at, [&net, s] {
+            net.DeliverAfter(s.src, s.delay, {s.dst, 0}, MakePacket(s.tag));
+          });
+        }
+        ssim.RunUntil(Milliseconds(10));
+        EXPECT_EQ(drained, static_cast<int64_t>(schedule.size()))
+            << "trial=" << trial << " shards=" << shards;
+
+        std::vector<std::vector<std::pair<Time, uint64_t>>> logs;
+        for (auto* p : ptrs) logs.push_back(p->received);
+        if (oracle.empty()) {
+          oracle = logs;  // shards=1, threads=true: the reference
+          size_t total = 0;
+          for (const auto& log : logs) total += log.size();
+          EXPECT_EQ(total, schedule.size());
+        } else {
+          EXPECT_EQ(logs, oracle)
+              << "trial=" << trial << " shards=" << shards << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+// Shards left empty by a randomized assignment — including the extreme
+// where every node maps to one shard — must neither wedge the barrier
+// protocol nor change the logs; an engine with no events at all terminates
+// with every clock advanced.
+TEST(ShardedSimProperty, EmptyShardsAndZeroEventRunsTerminate) {
+  // No nodes, no events: RunUntil must return immediately with clocks at
+  // `until`.
+  for (const bool threads : {true, false}) {
+    sim::ShardedSimulator ssim(EngineOptions(4, threads));
+    EXPECT_EQ(ssim.RunUntil(Milliseconds(1)), 0u);
+    for (int s = 0; s < 4; ++s) EXPECT_EQ(ssim.shard(s).now(), Milliseconds(1));
+  }
+  // All nodes crowded onto one shard k of 4: the other three stay empty for
+  // the whole run.
+  for (int k = 0; k < 4; ++k) {
+    sim::ShardedSimulator ssim(EngineOptions(4));
+    net::Network net(&ssim, [k](net::NodeId) { return k; });
+    auto node = std::make_unique<RecordingNode>();
+    RecordingNode* ptr = node.get();
+    net.AddNode(std::move(node));
+    net.AddNode(std::make_unique<RecordingNode>());
+    ssim.shard(k).At(Microseconds(1), [&net] {
+      net.DeliverAfter(1, kLookahead, {0, 0}, MakePacket(5));
+    });
+    ssim.RunUntil(Milliseconds(1));
+    ASSERT_EQ(ptr->received.size(), 1u) << "k=" << k;
+    for (int s = 0; s < 4; ++s) EXPECT_EQ(ssim.shard(s).now(), Milliseconds(1));
+  }
+}
+
 // SpscMailbox drains FIFO and empties.
 TEST(ShardedSimTest, SpscMailboxDrainsFifo) {
   sim::SpscMailbox<int> box;
@@ -252,6 +374,68 @@ TEST(ShardedSimTest, LeafSpineShardAssignment) {
   }
   for (net::NodeId id = 0; id < 40; ++id) {
     EXPECT_EQ(net::LeafSpineShardOf(cfg, 1, id), 0);
+  }
+}
+
+// Star intra-switch shard assignment: partition p (lane p) -> shard
+// p % shards, each host on its egress partition's shard, the switch's home
+// shard 0, and everything on shard 0 when shards == 1 or with one shared
+// buffer.
+TEST(ShardedSimTest, StarShardAssignment) {
+  net::StarConfig cfg;
+  cfg.num_hosts = 16;
+  cfg.switch_config.ports_per_partition = 4;  // 4 partitions
+  const int kShards = 3;
+  EXPECT_EQ(net::StarShardOf(cfg, kShards, /*id=*/0), 0);  // switch home
+  for (int h = 0; h < cfg.num_hosts; ++h) {
+    const int partition = net::StarPartitionOfPort(cfg, h);
+    EXPECT_EQ(partition, h / 4);
+    const int lane_shard = net::StarLaneShardOf(kShards, partition);
+    EXPECT_EQ(lane_shard, partition % kShards);
+    // Host i is node id i + 1 (BuildStar adds the switch first) and must
+    // ride on its egress partition's shard.
+    EXPECT_EQ(net::StarShardOf(cfg, kShards, static_cast<net::NodeId>(h + 1)),
+              lane_shard);
+  }
+  // One shared buffer (ports_per_partition = 0 sentinel): a single lane.
+  net::StarConfig one;
+  one.num_hosts = 8;
+  one.switch_config.ports_per_partition = 0;
+  for (net::NodeId id = 0; id <= 8; ++id) {
+    EXPECT_EQ(net::StarShardOf(one, 4, id), 0);
+    EXPECT_EQ(net::StarShardOf(one, 1, id), 0);
+  }
+  EXPECT_EQ(net::StarPartitionOfPort(one, 7), 0);
+}
+
+// A lane-sharded star actually spreads its partitions' work across shards:
+// build one through the real Network/BuildStar path and check the lane
+// bindings and per-lane simulators.
+TEST(ShardedSimTest, StarLaneBindingSpreadsPartitions) {
+  net::StarConfig cfg;
+  cfg.num_hosts = 8;
+  cfg.link_propagation = kLookahead;
+  cfg.switch_config.ports_per_partition = 2;  // 4 partitions over 2 shards
+  cfg.switch_config.tm.buffer_bytes = 100 * 1000;
+  cfg.switch_config.scheme_factory = [] {
+    return std::unique_ptr<bm::BmScheme>(new bm::DynamicThreshold());
+  };
+  const int kShards = 2;
+  sim::ShardedSimulator ssim(EngineOptions(kShards));
+  net::Network net(
+      &ssim, [&cfg](net::NodeId id) { return net::StarShardOf(cfg, kShards, id); },
+      [](net::NodeId, int lane) { return net::StarLaneShardOf(kShards, lane); });
+  net::StarTopology topo = net::BuildStar(net, cfg);
+  EXPECT_TRUE(net.lane_sharded(topo.switch_id));
+  auto& sw = topo.sw(net);
+  ASSERT_EQ(sw.num_partitions(), 4);
+  for (int lane = 0; lane < 4; ++lane) {
+    EXPECT_EQ(net.lane_shard(topo.switch_id, lane), lane % kShards);
+    EXPECT_EQ(&net.LaneSim(topo.switch_id, lane), &ssim.shard(lane % kShards));
+  }
+  // Hosts follow their egress partition.
+  for (int h = 0; h < cfg.num_hosts; ++h) {
+    EXPECT_EQ(net.shard_of(topo.hosts[static_cast<size_t>(h)]), (h / 2) % kShards);
   }
 }
 

@@ -169,9 +169,10 @@ std::string UsageString() {
          "  --seed=<n>          RNG seed (default: 1)\n"
          "  --duration-ms=<ms>  traffic duration override (default: scenario-specific)\n"
          "  --alphas=<a,b,...>  per-class alpha override (default: scheme-specific)\n"
-         "  --shards=<n>        fabric scenarios: run on the partition-parallel\n"
-         "                      engine with n shards (byte-identical metrics for\n"
-         "                      any n; default: single-threaded engine)\n"
+         "  --shards=<n>        run on the partition-parallel engine with n shards\n"
+         "                      (fabric: node-affinity sharding; star/p4: intra-\n"
+         "                      switch partition sharding; byte-identical metrics\n"
+         "                      for any n; default: single-threaded engine)\n"
          "  --list              list scenarios and schemes, then exit\n"
          "  --help              this message\n";
   return out.str();

@@ -146,7 +146,7 @@ std::string SweepUsageString() {
          "  --out=<dir>               output directory (default: sweep_out)\n"
          "  --scale=<s>               smoke | default | full\n"
          "  --duration-ms=<ms>        traffic duration override\n"
-         "  --shards=<n>              run fabric points on the partition-parallel\n"
+         "  --shards=<n>              run every point on the partition-parallel\n"
          "                            engine with n shards each (results unchanged;\n"
          "                            jobs is capped so jobs x shards fits the CPU)\n"
          "Sweep dimensions (each value adds a grid axis):\n"
