@@ -36,6 +36,7 @@ class Host final : public Node {
   // Queues a packet for transmission. Returns false if the NIC queue
   // overflowed (packet dropped).
   bool Send(Packet pkt) {
+    OCCAMY_ASSERT_SHARD(sim());  // NIC queue/timers belong to this host's shard
     OCCAMY_CHECK(connected_) << "host " << id() << " has no uplink";
     if (tx_queue_limit_ > 0 && tx_queue_bytes_ + pkt.size_bytes > tx_queue_limit_) {
       ++tx_drops_;
@@ -49,6 +50,7 @@ class Host final : public Node {
 
   void ReceivePacket(int in_port, Packet pkt) override {
     (void)in_port;
+    OCCAMY_ASSERT_SHARD(sim());
     ++rx_packets_;
     rx_bytes_ += pkt.size_bytes;
     if (receiver_) receiver_(pkt);

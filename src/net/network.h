@@ -42,6 +42,7 @@
 #include "src/buffer/packet.h"
 #include "src/net/node.h"
 #include "src/sim/mailbox.h"
+#include "src/sim/shard_checks.h"
 #include "src/sim/sharded_simulator.h"
 #include "src/sim/simulator.h"
 #include "src/util/check.h"
@@ -210,6 +211,7 @@ class Network {
     // SPSC invariant: only the producing lane's worker may write this
     // outbox row (and only its clock is the right send time).
     OCCAMY_DCHECK_EQ(sim::CurrentShard(), src_shard);
+    OCCAMY_ASSERT_SHARD(ssim_->shard(src_shard));
     // A lane > 0 requires the source to have bound its lanes (BindNodeLanes
     // sizes the per-lane sequence counters).
     OCCAMY_DCHECK(static_cast<size_t>(src_lane) < src.lane_delivery_seq_.size());
@@ -272,6 +274,7 @@ class Network {
   // Barrier hook: moves everything staged for `shard` into its event queue,
   // in canonical order. Runs on `shard`'s worker with all shards quiescent.
   void DrainInbound(int shard) {
+    OCCAMY_ASSERT_SHARD(ssim_->shard(shard));
     auto& scratch = shard_state_[static_cast<size_t>(shard)].drain_scratch;
     scratch.clear();
     const size_t n = static_cast<size_t>(num_shards());

@@ -109,9 +109,15 @@ void SwitchNode::ReceivePacket(int in_port, Packet pkt) {
   OCCAMY_CHECK(initialized_);
   const int egress = RoutePort(pkt);
   if (egress < 0) {
+    // The RxLane contract routes a routeless arrival to the ingress port's
+    // lane; its drop counter belongs to that lane's shard.
+    OCCAMY_ASSERT_SHARD(*ports_[static_cast<size_t>(in_port)].sim);
     DropRouteless(port_partition_[static_cast<size_t>(in_port)], pkt);
     return;
   }
+  // RxLane routed this arrival to the egress partition's lane; executing it
+  // anywhere else would race that partition's buffer.
+  OCCAMY_ASSERT_SHARD(*ports_[static_cast<size_t>(egress)].sim);
   auto& part = partition_for_port(egress);
   const auto result = part.Enqueue(local_port(egress), std::move(pkt));
   if (result.accepted) KickTx(egress);
@@ -119,6 +125,7 @@ void SwitchNode::ReceivePacket(int in_port, Packet pkt) {
 
 void SwitchNode::KickTx(int port) {
   PortState& state = ports_[static_cast<size_t>(port)];
+  OCCAMY_ASSERT_SHARD(*state.sim);  // egress machinery is lane-confined
   if (state.busy) return;
   OCCAMY_CHECK(state.connected) << "switch " << id() << " port " << port << " unwired";
   auto& part = partition_for_port(port);

@@ -35,6 +35,22 @@
 #include "src/util/check.h"
 #include "src/util/time.h"
 
+// OCCAMY_ASAN builds poison the callback storage of freed arena slots, so
+// any code that reaches into a recycled event's state (instead of going
+// through the generation-checked EventHandle API) reports as a
+// use-after-poison instead of silently reading the next tenant's callback.
+// Only the callback region is poisoned: generation/cancelled stay readable,
+// because stale-handle Cancel()/IsPending() legitimately read them to
+// discover the slot was recycled.
+#ifdef OCCAMY_ASAN
+#include <sanitizer/asan_interface.h>
+#define OCCAMY_POISON_SLOT(addr, size) ASAN_POISON_MEMORY_REGION(addr, size)
+#define OCCAMY_UNPOISON_SLOT(addr, size) ASAN_UNPOISON_MEMORY_REGION(addr, size)
+#else
+#define OCCAMY_POISON_SLOT(addr, size) static_cast<void>(0)
+#define OCCAMY_UNPOISON_SLOT(addr, size) static_cast<void>(0)
+#endif
+
 namespace occamy::sim {
 
 class EventQueue;
@@ -62,6 +78,16 @@ class EventHandle {
 
 class EventQueue {
  public:
+#ifdef OCCAMY_ASAN
+  ~EventQueue() {
+    // Unpoison recycled slots so the arena vector's destructor may run
+    // the (trivial, but instrumented) Callback destructors.
+    for (const uint32_t slot : free_) {
+      OCCAMY_UNPOISON_SLOT(&slots_[slot].callback, sizeof(Callback));
+    }
+  }
+#endif
+
   EventHandle Push(Time time, Callback cb) {
     // The pop path invokes unconditionally (the old queue silently skipped
     // null callbacks); reject the programming error at schedule time.
@@ -70,6 +96,7 @@ class EventQueue {
     if (!free_.empty()) {
       slot = free_.back();
       free_.pop_back();
+      OCCAMY_UNPOISON_SLOT(&slots_[slot].callback, sizeof(Callback));
     } else {
       slot = static_cast<uint32_t>(slots_.size());
       OCCAMY_CHECK(slot < (1u << kSlotBits)) << "too many concurrent events";
@@ -208,6 +235,10 @@ class EventQueue {
     Slot& s = slots_[slot];
     ++s.generation;  // invalidates every outstanding handle to this slot
     s.callback = nullptr;
+    // Freed slots only leave free_ through Push (which unpoisons), and the
+    // arena vector only grows when free_ is empty, so a poisoned region is
+    // never relocated.
+    OCCAMY_POISON_SLOT(&s.callback, sizeof(Callback));
     free_.push_back(slot);
   }
 

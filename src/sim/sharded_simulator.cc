@@ -53,6 +53,17 @@ class CyclicBarrier {
 int CurrentShard() { return tls_shard < 0 ? 0 : tls_shard; }
 
 namespace internal {
+
+bool OnOwningShard(const Simulator& sim) {
+  const int owner = sim.bound_shard();
+  return owner < 0 || owner == CurrentShard();
+}
+
+int BoundShardOf(const Simulator& sim) { return sim.bound_shard(); }
+
+}  // namespace internal
+
+namespace internal {
 ShardScope::ShardScope(int shard) : saved_(tls_shard) { tls_shard = shard; }
 ShardScope::~ShardScope() { tls_shard = saved_; }
 }  // namespace internal
@@ -122,6 +133,11 @@ uint64_t ShardedSimulator::RunUntil(Time until) {
   stop_requested_.store(false, std::memory_order_relaxed);
   running_.store(true, std::memory_order_relaxed);
   windows_run_ = 0;
+  // Record each shard's ownership for the duration of the run so that
+  // OCCAMY_ASSERT_SHARD (src/sim/shard_checks.h) catches mis-pinned work
+  // deterministically. Bound before the workers start and unbound after
+  // they join, i.e. only while the run owns all shard state anyway.
+  for (int s = 0; s < n; ++s) shards_[static_cast<size_t>(s)]->BindShard(s);
 
   Plan plan;  // written only by the barrier leader, read by all after release
   std::vector<uint64_t> busy_ns(static_cast<size_t>(n), 0);
@@ -179,6 +195,7 @@ uint64_t ShardedSimulator::RunUntil(Time until) {
     for (auto& t : threads) t.join();
   }
 
+  for (auto& s : shards_) s->BindShard(-1);
   running_.store(false, std::memory_order_relaxed);
   const double wall_ns = static_cast<double>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(WallClock::now() - wall_start)

@@ -92,6 +92,8 @@ class ShardedSimulator {
   // Hook run once per shard at every window barrier, on that shard's worker
   // thread, with all shards quiescent. net::Network registers its mailbox
   // drain here. Must be set before RunUntil if cross-shard traffic exists.
+  // (Type-erasure is fine here: once per window barrier, not per event.)
+  // occamy-lint: allow(hot-path-indirection) barrier hook, not per-event
   void set_barrier_drain(std::function<void(int shard)> hook) {
     barrier_drain_ = std::move(hook);
   }
@@ -135,6 +137,7 @@ class ShardedSimulator {
   std::vector<std::unique_ptr<Simulator>> shards_;
   Time lookahead_;
   bool use_threads_;
+  // occamy-lint: allow(hot-path-indirection) barrier hook, not per-event
   std::function<void(int)> barrier_drain_;
 
   // Set by Stop(); read at barriers. Plain bool-behind-barrier would do for

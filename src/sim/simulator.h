@@ -68,6 +68,13 @@ class Simulator {
   static constexpr Time kNoEvent = std::numeric_limits<Time>::max();
   Time NextEventTime() { return queue_.Empty() ? kNoEvent : queue_.NextTime(); }
 
+  // Shard-affinity record (see src/sim/shard_checks.h): the shard index
+  // this simulator is bound to while a sharded RunUntil executes, -1
+  // otherwise. ShardedSimulator binds/unbinds it; OCCAMY_ASSERT_SHARD call
+  // sites read it through sim::internal::OnOwningShard.
+  int bound_shard() const { return bound_shard_; }
+  void BindShard(int shard) { bound_shard_ = shard; }
+
  private:
   uint64_t RunCore(Time until) {
     uint64_t n = 0;
@@ -88,6 +95,7 @@ class Simulator {
   Time now_ = 0;
   bool stopped_ = false;
   uint64_t processed_ = 0;
+  int bound_shard_ = -1;
   Rng rng_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/sim/shard_checks.h"
 #include "src/util/check.h"
 #include "src/util/logging.h"
 
@@ -78,6 +79,7 @@ void TmPartition::SyncSnapshot() {
 }
 
 TmPartition::EnqueueResult TmPartition::Enqueue(int port, Packet pkt) {
+  OCCAMY_ASSERT_SHARD(*sim_);  // this partition is one lane of its switch
   OCCAMY_CHECK(port >= 0 && port < num_ports());
   const int cls = std::min<int>(pkt.traffic_class, config_.queues_per_port - 1);
   const int q = QueueIndex(port, cls);
@@ -138,6 +140,7 @@ bool TmPartition::PortHasTraffic(int port) const {
 }
 
 std::optional<Packet> TmPartition::DequeueForPort(int port) {
+  OCCAMY_ASSERT_SHARD(*sim_);
   OCCAMY_CHECK(port >= 0 && port < num_ports());
   PortView view(this, port);
   const int cls = schedulers_[static_cast<size_t>(port)]->Pick(view);
@@ -167,6 +170,8 @@ double TmPartition::normalized_drain_rate(int q) const {
 }
 
 void TmPartition::HeadDropOnePacket(int q) {
+  // Expulsion kicks run on the engine's simulator == this partition's lane.
+  OCCAMY_ASSERT_SHARD(*sim_);
   OCCAMY_CHECK(!shared_.queue(q).Empty());
   const buffer::PacketDescriptor pd = shared_.DequeueHead(q);
   scheme_->OnDequeue(*this, q, static_cast<int64_t>(pd.cell_count) * config_.cell_bytes);

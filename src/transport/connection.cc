@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/sim/shard_checks.h"
 #include "src/transport/flow_manager.h"
 #include "src/util/check.h"
 
@@ -25,6 +26,7 @@ Connection::Connection(FlowManager* manager, FlowParams params)
 }
 
 void Connection::Start() {
+  OCCAMY_ASSERT_SHARD(*sim_);  // sender half lives on the source host's shard
   OCCAMY_CHECK(!started_);
   started_ = true;
   dctcp_window_end_ = cwnd_;
@@ -72,6 +74,7 @@ void Connection::ArmRtoTimer() {
 }
 
 void Connection::OnRtoTimeout() {
+  OCCAMY_ASSERT_SHARD(*sim_);  // RTO timer is sender state
   if (completed_) return;
   const auto& cfg = manager_->config();
   manager_->mutable_counters().rtos++;
@@ -89,6 +92,8 @@ void Connection::OnRtoTimeout() {
 // ---------------- sender: ACK processing ----------------
 
 void Connection::HandleAck(const Packet& ack) {
+  // ACKs arrive at the source host: sender state only, on the source shard.
+  OCCAMY_ASSERT_SHARD(*sim_);
   if (completed_ || !started_) return;
   const int64_t ack_seq = static_cast<int64_t>(ack.ack_seq);
 
@@ -246,6 +251,7 @@ void Connection::UpdateRtt(Time sample) {
 }
 
 void Connection::Complete() {
+  OCCAMY_ASSERT_SHARD(*sim_);  // completion is sender-side (see below)
   completed_ = true;
   rto_timer_.Cancel();
   // Receiver state (rcv_*) is deliberately left alone: it belongs to the
@@ -257,6 +263,9 @@ void Connection::Complete() {
 // ---------------- receiver ----------------
 
 void Connection::HandleData(const Packet& pkt) {
+  // Data arrives at the destination host: receiver half (rcv_*) only, on
+  // the destination shard — the other side of the sender/receiver split.
+  OCCAMY_ASSERT_SHARD(manager_->network().sim_of(params_.dst));
   const auto& cfg = manager_->config();
   const int64_t seq = static_cast<int64_t>(pkt.seq);
   const int64_t seg = seq / cfg.mss;

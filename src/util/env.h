@@ -8,13 +8,19 @@
 namespace occamy {
 
 inline std::string GetEnvOr(const char* name, const std::string& fallback) {
-  const char* v = std::getenv(name);
+  // Read once before any worker threads start; nothing in the tree setenv()s.
+  const char* v = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
   return (v != nullptr && *v != '\0') ? std::string(v) : fallback;
 }
 
 inline long GetEnvLongOr(const char* name, long fallback) {
-  const char* v = std::getenv(name);
-  return (v != nullptr && *v != '\0') ? std::atol(v) : fallback;
+  const char* v = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
+  if (v == nullptr || *v == '\0') return fallback;
+  // strtol instead of atol: a malformed value falls back instead of
+  // silently parsing as 0 (or invoking UB on out-of-range input).
+  char* end = nullptr;
+  const long parsed = std::strtol(v, &end, 10);
+  return (end != v && *end == '\0') ? parsed : fallback;
 }
 
 }  // namespace occamy

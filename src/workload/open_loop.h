@@ -7,6 +7,7 @@
 
 #include "src/net/host.h"
 #include "src/net/network.h"
+#include "src/sim/shard_checks.h"
 #include "src/util/bandwidth.h"
 
 namespace occamy::workload {
@@ -42,6 +43,8 @@ class OpenLoopSender {
 
  private:
   void InjectNext() {
+    // Injection timers and counters are pinned to the source host's shard.
+    OCCAMY_ASSERT_SHARD(*sim_);
     if (config_.total_bytes > 0 && bytes_sent_ >= config_.total_bytes) return;
     if (config_.stop > 0 && sim_->now() > config_.stop) return;
     Packet pkt;

@@ -1,0 +1,15 @@
+// Lint fixture: a control-plane hook (runs once per window barrier, not
+// per event), suppressed by annotation. Never compiled; used by --self-test.
+#include <functional>
+#include <utility>
+
+class Engine {
+ public:
+  // occamy-lint: allow(hot-path-indirection) barrier hook: once per window
+  void set_barrier_drain(std::function<void(int)> hook) {
+    barrier_drain_ = std::move(hook);  // occamy-lint: allow(hot-path-indirection)
+  }
+
+ private:
+  std::function<void(int)> barrier_drain_;  // occamy-lint: allow(hot-path-indirection)
+};

@@ -1,0 +1,9 @@
+// Lint fixture: a pointer-keyed set used purely for membership tests (never
+// iterated), suppressed by annotation. Never compiled; used by --self-test.
+#include <set>
+
+struct Node;
+
+struct Dedup {
+  std::set<const Node*> seen;  // occamy-lint: allow(pointer-keyed-order) membership only
+};

@@ -1,0 +1,8 @@
+// Lint fixture: an environment read that is genuinely test-only plumbing,
+// suppressed by annotation. Never compiled; used by --self-test.
+#include <cstdlib>
+
+int TestSeedShift() {
+  const char* v = getenv("OCCAMY_TEST_SEED");  // occamy-lint: allow(raw-random)
+  return v != nullptr ? atoi(v) : 0;
+}

@@ -1,0 +1,14 @@
+// Lint fixture: unordered iteration whose reduction is order-insensitive,
+// suppressed by annotation. Never compiled; used by --self-test.
+#include <unordered_map>
+
+double Total() {
+  std::unordered_map<int, double> metrics;
+  metrics[1] = 0.5;
+  double total = 0.0;
+  // occamy-lint: allow(unordered-iteration) integer-free sum: order-insensitive
+  for (const auto& [key, value] : metrics) {
+    total += value;
+  }
+  return total;
+}

@@ -1,0 +1,9 @@
+// Lint fixture: type-erased/refcounted indirection in a hot-path dir.
+// Never compiled; consumed by occamy_lint.py --self-test.
+#include <functional>
+#include <memory>
+
+struct Event {
+  std::function<void()> callback;
+  std::shared_ptr<int> payload = std::make_shared<int>(0);
+};

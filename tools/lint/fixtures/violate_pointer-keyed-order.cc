@@ -1,0 +1,12 @@
+// Lint fixture: ordered containers keyed on raw pointer values (ASLR makes
+// their order run-to-run nondeterministic). Never compiled; used by
+// occamy_lint.py --self-test.
+#include <map>
+#include <set>
+
+struct Node;
+
+struct Registry {
+  std::map<Node*, int> weights;
+  std::set<const Node*> active;
+};

@@ -1,0 +1,14 @@
+// Lint fixture: raw randomness / environment reads inside a simulation
+// directory. Never compiled; consumed by occamy_lint.py --self-test.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int Jitter() {
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  if (getenv("OCCAMY_JITTER") != nullptr) {
+    std::random_device rd;
+    return static_cast<int>(rd());
+  }
+  return rand() % 7;
+}

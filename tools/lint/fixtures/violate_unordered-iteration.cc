@@ -1,0 +1,13 @@
+// Lint fixture: iterating an unordered container into an order-sensitive
+// sink. Never compiled; consumed by occamy_lint.py --self-test.
+#include <cstdio>
+#include <unordered_map>
+
+void EmitJson() {
+  std::unordered_map<int, double> metrics;
+  metrics[1] = 0.5;
+  // Hash order leaks straight into the output stream.
+  for (const auto& [key, value] : metrics) {
+    std::printf("%d=%f\n", key, value);
+  }
+}

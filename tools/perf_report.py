@@ -68,20 +68,27 @@ def merge_metrics(base, extra, source):
     return base
 
 
+def gated(key, gated_suffixes):
+    return (key.endswith(tuple(gated_suffixes)) and "_legacy_" not in key
+            and key != "schema_version")
+
+
 def check(current, baseline_path, max_regression, gated_suffixes):
     with open(baseline_path) as f:
         baseline = json.load(f)
     failures = []
     for key, base in sorted(baseline.items()):
-        if not key.endswith(tuple(gated_suffixes)):
-            continue
-        if "_legacy_" in key:
-            continue  # the embedded comparator's speed is not our regression
+        if not gated(key, gated_suffixes):
+            continue  # (legacy comparator speed is not our regression)
         if not isinstance(base, (int, float)) or base <= 0:
             continue
         cur = current.get(key)
         if cur is None:
-            failures.append(f"{key}: missing from current run")
+            failures.append(
+                f"{key}: missing from current run — rerun with the "
+                f"--extra-bench that emits it (see --help), or refresh "
+                f"{baseline_path} with --update if the metric was "
+                f"intentionally retired")
             continue
         ratio = cur / base
         marker = "OK"
@@ -90,6 +97,15 @@ def check(current, baseline_path, max_regression, gated_suffixes):
                             f"({(1.0 - ratio) * 100.0:.1f}% regression)")
             marker = "REGRESSED"
         print(f"perf_report: {key}: {cur:.3g} / baseline {base:.3g} = {ratio:.2f} {marker}")
+    # The reverse gap — a gated metric the current run emits but the
+    # baseline has never recorded — is also an error: a new tracked metric
+    # must be baselined explicitly (via --update), not silently ungated.
+    for key in sorted(current):
+        if gated(key, gated_suffixes) and key not in baseline:
+            failures.append(
+                f"{key}: missing from baseline {baseline_path} — run "
+                f"tools/perf_report.py with --update to record it, then "
+                f"commit the refreshed baseline")
     return failures
 
 
@@ -112,7 +128,14 @@ def main():
     parser.add_argument("--extra-bench", action="append", default=[],
                         help="additional bench to run and merge (whitespace-split "
                              "into command + args; repeatable)")
+    parser.add_argument("--update", action="store_true",
+                        help="with --check: overwrite the baseline with this "
+                             "run's metrics instead of gating against it "
+                             "(adopts new metrics, retires removed ones)")
     args = parser.parse_args()
+    if args.update and not args.check:
+        print("perf_report: --update requires --check=<baseline>", file=sys.stderr)
+        sys.exit(2)
 
     current = run_bench(args.bench, args.out, args.bench_arg)
     for i, spec in enumerate(args.extra_bench):
@@ -126,6 +149,13 @@ def main():
             json.dump(current, f)
             f.write("\n")
     print(f"perf_report: wrote {args.out}")
+
+    if args.check and args.update:
+        with open(args.check, "w") as f:
+            json.dump(current, f)
+            f.write("\n")
+        print(f"perf_report: baseline {args.check} updated from this run")
+        return
 
     if args.check:
         suffixes = [s for s in args.gate_suffixes.split(",") if s]
