@@ -34,6 +34,7 @@
 #include "bench/common/table.h"
 #include "src/buffer/shared_buffer.h"
 #include "src/exp/scenario_runner.h"
+#include "src/obs/trace.h"
 #include "src/sim/event_queue.h"
 #include "src/util/json.h"
 
@@ -419,6 +420,15 @@ int main(int argc, char** argv) {
   json.Add("incast_sim_events", static_cast<int64_t>(incast_events));
   json.Add("incast_wall_ms", incast_wall_ms);
   json.Add("incast_events_per_sec", incast_eps);
+  // Zero-overhead-tracing guard: the CI perf-smoke job builds with
+  // -DOCCAMY_TRACE=OFF and asserts trace_compiled == 0, so the
+  // trace_off_events_per_sec it records is genuinely tracing-free incast
+  // throughput — a regression there means the OFF build stopped compiling
+  // the instrumentation out. (An ON build emits the same scenario number;
+  // the recorder is disarmed, so the only delta is the per-site relaxed
+  // atomic check.)
+  json.Add("trace_compiled", int64_t{obs::kTraceCompiled ? 1 : 0});
+  json.Add("trace_off_events_per_sec", incast_eps);
   if (!opts.json_path.empty()) {
     std::ofstream out(opts.json_path);
     if (!out) {

@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "bench/common/scenarios.h"
+#include "src/obs/counters.h"
 #include "src/stats/timeseries.h"
 #include "src/workload/open_loop.h"
 
@@ -56,6 +57,9 @@ struct BurstLabResult {
   int64_t sim_events = 0;  // simulator events processed (deterministic)
   int shards = 0;          // engine: 0 = single-threaded, >= 1 = sharded
   double parallel_efficiency = 0;  // sharded engine only; wall-clock derived
+  obs::BufferObs obs;              // per-queue delay/drop aggregate (schema v6)
+  uint64_t mailbox_staged = 0;     // cross-shard records staged (sharded engine)
+  uint64_t mailbox_drained = 0;    // cross-shard records drained at barriers
 
   double BurstLossRate() const {
     return burst_packets == 0
@@ -140,7 +144,10 @@ inline BurstLabResult RunBurstLabSharded(const BurstLabSpec& spec) {
   result.burst_packets = burst_sender.packets_sent();
   for (int p = 0; p < s.sw().num_partitions(); ++p) {
     result.expelled += s.sw().partition(p).stats().expelled_packets;
+    s.sw().partition(p).AccumulateObs(result.obs);
   }
+  result.mailbox_staged = s.net.mailbox_staged();
+  result.mailbox_drained = s.net.mailbox_drained();
   result.sim_events = static_cast<int64_t>(s.ssim.processed_events());
   result.shards = spec.shards;
   result.parallel_efficiency = s.ssim.parallel_efficiency();
@@ -180,7 +187,12 @@ inline BurstLabResult RunBurstLab(const BurstLabSpec& spec) {
 
   s.sim.RunUntil(spec.horizon);
   result.burst_packets = burst_sender.packets_sent();
-  result.expelled = s.sw().partition(0).stats().expelled_packets;
+  for (int p = 0; p < s.sw().num_partitions(); ++p) {
+    if (p == 0) result.expelled = s.sw().partition(p).stats().expelled_packets;
+    s.sw().partition(p).AccumulateObs(result.obs);
+  }
+  result.mailbox_staged = s.net.mailbox_staged();
+  result.mailbox_drained = s.net.mailbox_drained();
   result.sim_events = static_cast<int64_t>(s.sim.processed_events());
   return result;
 }

@@ -22,6 +22,7 @@
 
 #include "bench/common/scenarios.h"
 #include "bench/common/sharded_run.h"
+#include "src/obs/counters.h"
 #include "src/workload/flow_size_dist.h"
 #include "src/workload/incast.h"
 #include "src/workload/open_loop.h"
@@ -87,6 +88,9 @@ struct DpdkRunResult {
   int64_t sim_events = 0;  // simulator events processed (deterministic)
   int shards = 0;          // engine: 0 = single-threaded, >= 1 = sharded
   double parallel_efficiency = 0;  // sharded engine only; wall-clock derived
+  obs::BufferObs obs;              // per-queue delay/drop aggregate (schema v6)
+  uint64_t mailbox_staged = 0;     // cross-shard records staged (sharded engine)
+  uint64_t mailbox_drained = 0;    // cross-shard records drained at barriers
 };
 
 // ---------------- config shared by both engines ----------------
@@ -202,7 +206,10 @@ void FillDpdkSwitchStats(Scenario& s, DpdkRunResult& result) {
     result.peak_occupancy_bytes =
         std::max(result.peak_occupancy_bytes,
                  s.sw().partition(p).shared_buffer().peak_occupancy_bytes());
+    s.sw().partition(p).AccumulateObs(result.obs);
   }
+  result.mailbox_staged = s.net.mailbox_staged();
+  result.mailbox_drained = s.net.mailbox_drained();
 }
 
 // QCT / FCT / volume metrics shared by both engines. `bg_filter` selects

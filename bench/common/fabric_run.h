@@ -20,6 +20,7 @@
 
 #include "bench/common/scenarios.h"
 #include "bench/common/sharded_run.h"
+#include "src/obs/counters.h"
 #include "src/workload/collective.h"
 #include "src/workload/pregen.h"
 
@@ -73,6 +74,9 @@ struct FabricRunResult {
   int64_t sim_events = 0;    // simulator events processed (deterministic)
   int shards = 0;            // engine: 0 = single-threaded, >= 1 = sharded
   double parallel_efficiency = 0;  // sharded engine only; wall-clock derived
+  obs::BufferObs obs;              // per-queue delay/drop aggregate (schema v6)
+  uint64_t mailbox_staged = 0;     // cross-shard records staged (sharded engine)
+  uint64_t mailbox_drained = 0;    // cross-shard records drained at barriers
 };
 
 inline Time DefaultFabricDuration(BenchScale scale) {
@@ -150,6 +154,7 @@ void CollectFabricSwitchStats(Scenario& s, FabricRunResult& result) {
       result.peak_occupancy_bytes =
           std::max(result.peak_occupancy_bytes,
                    sw.partition(p).shared_buffer().peak_occupancy_bytes());
+      sw.partition(p).AccumulateObs(result.obs);
     }
   }
   for (auto& sw_id : s.topo.spines) {
@@ -159,8 +164,11 @@ void CollectFabricSwitchStats(Scenario& s, FabricRunResult& result) {
       result.peak_occupancy_bytes =
           std::max(result.peak_occupancy_bytes,
                    sw.partition(p).shared_buffer().peak_occupancy_bytes());
+      sw.partition(p).AccumulateObs(result.obs);
     }
   }
+  result.mailbox_staged = s.net.mailbox_staged();
+  result.mailbox_drained = s.net.mailbox_drained();
 }
 
 // QCT / FCT / volume metrics shared by both engines, so the two runners

@@ -10,6 +10,7 @@
 
 #include "src/buffer/cell_memory.h"
 #include "src/buffer/pd_queue.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 
 namespace occamy::buffer {
@@ -52,6 +53,7 @@ class SharedBuffer {
     queues_[static_cast<size_t>(q)].EmplaceBack(pkt, head, static_cast<int32_t>(n), now,
                                                 cell_bytes_);
     peak_used_cells_ = std::max(peak_used_cells_, cells_.used_cells());
+    OCCAMY_TRACE_INSTANT_ARG("buf.enqueue", "bytes", pkt.size_bytes);
     return true;
   }
 

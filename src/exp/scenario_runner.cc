@@ -65,10 +65,11 @@ std::string KnobError(const char* knob, const ScenarioInfo& entry) {
 
 void AddCommonFields(Metrics& m, const ScenarioInfo& entry, const PointSpec& spec,
                      BenchScale scale) {
-  // Schema v5: every platform carries the `shards` engine field (star/p4
-  // gained the intra-switch partition-parallel engine; previously fabric
-  // only), plus parallel_efficiency on sharded runs.
-  m.Set("schema_version", int64_t{5});
+  // Schema v6: every platform additionally carries the counter-registry
+  // fields (per-queue queueing-delay percentiles, per-queue drop and
+  // mailbox counters — see AddObsFields). v5 added the `shards` engine
+  // field on every platform plus parallel_efficiency on sharded runs.
+  m.Set("schema_version", int64_t{6});
   m.Set("scenario", entry.name);
   m.Set("platform", entry.platform);
   m.Set("bm", spec.bm);
@@ -96,6 +97,30 @@ void AddPerfFields(Metrics& m, int64_t sim_events, PerfClock::time_point start) 
   m.Set("wall_ms", wall_ms);
   m.Set("events_per_sec", wall_ms > 0 ? static_cast<double>(sim_events) / wall_ms * 1e3
                                       : 0.0);
+}
+
+// Schema v6 counter-registry fields: per-queue queueing-delay percentiles
+// (from the PdQueue enqueue timestamps, simulated time, reported in ns),
+// worst-single-queue drop/delay counters, and the sharded engine's
+// cross-shard mailbox traffic. Every value is an exact integer produced by
+// commutative folds (obs::BufferObs / obs::CounterRegistry), so it is
+// byte-identical for any shard count >= 1 — the fields participate in the
+// golden and differential fingerprints.
+void AddObsFields(Metrics& m, const obs::BufferObs& obs, uint64_t mailbox_staged,
+                  uint64_t mailbox_drained) {
+  obs::CounterRegistry reg;
+  reg.Add("mailbox_staged_events", static_cast<int64_t>(mailbox_staged));
+  reg.Add("mailbox_drained_events", static_cast<int64_t>(mailbox_drained));
+  reg.Add("queue_delay_samples", static_cast<int64_t>(obs.all_delays.count()));
+  reg.Add("queues_with_drops", static_cast<int64_t>(obs.queues_with_drops));
+  reg.SetMax("queue_drops_max", static_cast<int64_t>(obs.queue_drops_max));
+  reg.SetMax("queue_delay_p50_ns", obs.all_delays.Quantile(0.5) / kNanosecond);
+  reg.SetMax("queue_delay_p99_ns", obs.all_delays.Quantile(0.99) / kNanosecond);
+  reg.SetMax("queue_delay_max_ns", obs.all_delays.max() / kNanosecond);
+  reg.SetMax("worst_queue_delay_p99_ns", obs.worst_queue_p99_ps / kNanosecond);
+  // The registry keeps entries name-sorted, so emission order (and thus the
+  // JSON text) is deterministic no matter how the fields above are added.
+  for (const auto& e : reg.entries()) m.Set(e.name, e.value);
 }
 
 void AddOccupancy(Metrics& m, int64_t buffer_bytes, int64_t peak_bytes) {
@@ -146,6 +171,7 @@ PointResult RunBurst(const ScenarioInfo& entry, Scheme scheme, const PointSpec& 
   m.Set("long_lived_drops", r.long_lived_drops);
   m.Set("expelled", r.expelled);
   m.Set("buffer_bytes", run.buffer_bytes);
+  AddObsFields(m, r.obs, r.mailbox_staged, r.mailbox_drained);
   AddPerfFields(m, r.sim_events, start);
   AddEngineFields(m, r.shards, r.parallel_efficiency);
   result.ok = true;
@@ -227,6 +253,7 @@ PointResult RunStar(const ScenarioInfo& entry, Scheme scheme, const PointSpec& s
   m.Set("drops", r.drops);
   m.Set("expelled", r.expelled);
   AddOccupancy(m, r.buffer_bytes, r.peak_occupancy_bytes);
+  AddObsFields(m, r.obs, r.mailbox_staged, r.mailbox_drained);
   AddPerfFields(m, r.sim_events, start);
   AddEngineFields(m, r.shards, r.parallel_efficiency);
   result.ok = true;
@@ -302,6 +329,7 @@ PointResult RunFabricScenario(const ScenarioInfo& entry, Scheme scheme,
   m.Set("drops", r.drops);
   m.Set("expelled", r.expelled);
   AddOccupancy(m, r.buffer_bytes, r.peak_occupancy_bytes);
+  AddObsFields(m, r.obs, r.mailbox_staged, r.mailbox_drained);
   AddPerfFields(m, r.sim_events, start);
   AddEngineFields(m, r.shards, r.parallel_efficiency);
   result.ok = true;

@@ -216,6 +216,7 @@ class Network {
     // sizes the per-lane sequence counters).
     OCCAMY_DCHECK(static_cast<size_t>(src_lane) < src.lane_delivery_seq_.size());
     ++shard_state_[static_cast<size_t>(src_shard)].delivered_events;
+    ++shard_state_[static_cast<size_t>(src_shard)].staged_mail;
     Mail mail;
     mail.time = ssim_->shard(src_shard).now() + delay;
     mail.src_node = from;
@@ -231,6 +232,22 @@ class Network {
   uint64_t delivered_events() const {
     uint64_t total = 0;
     for (const auto& s : shard_state_) total += s.delivered_events;
+    return total;
+  }
+
+  // Cross-shard mailbox telemetry (schema v6 counter registry). Staged =
+  // records pushed by DeliverAfter in sharded mode (0 on the legacy
+  // engine); drained = records merged back in at window barriers. Both
+  // count simulated deliveries only, so they are byte-identical for any
+  // shard count >= 1. Read after the run.
+  uint64_t mailbox_staged() const {
+    uint64_t total = 0;
+    for (const auto& s : shard_state_) total += s.staged_mail;
+    return total;
+  }
+  uint64_t mailbox_drained() const {
+    uint64_t total = 0;
+    for (const auto& s : shard_state_) total += s.drained_mail;
     return total;
   }
 
@@ -282,6 +299,7 @@ class Network {
       outboxes_[src * n + static_cast<size_t>(shard)].DrainInto(scratch);
     }
     if (scratch.empty()) return;
+    shard_state_[static_cast<size_t>(shard)].drained_mail += scratch.size();
     std::sort(scratch.begin(), scratch.end(), [](const Mail& a, const Mail& b) {
       if (a.time != b.time) return a.time < b.time;
       if (a.src_node != b.src_node) return a.src_node < b.src_node;
@@ -303,6 +321,8 @@ class Network {
   // Per-shard mutable state, padded so shards never share a cache line.
   struct alignas(64) ShardState {
     uint64_t delivered_events = 0;
+    uint64_t staged_mail = 0;
+    uint64_t drained_mail = 0;
     std::vector<Mail> drain_scratch;
   };
 

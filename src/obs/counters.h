@@ -1,0 +1,190 @@
+// Counter/metrics registry: deterministic, mergeable run telemetry.
+//
+// Unlike the trace recorder (wall-clock, OCCAMY_TRACE-gated, volatile), the
+// types here feed the *deterministic* metric surface — schema v6 JSON, the
+// sweep JSONL sink, the golden/differential fingerprints — so every
+// operation is exact integer arithmetic and every merge is commutative:
+// merging per-queue / per-partition contributions yields byte-identical
+// results for any shard count and any merge order.
+//
+//  - DelayHistogram: fixed-shape log2-bucketed histogram of simulated-time
+//    durations (picoseconds). O(1) record, exact bucket-count merge,
+//    deterministic midpoint quantiles. Sized for the per-queue queueing-
+//    delay tracking TmPartition does on every dequeue, so it is
+//    allocation-free and branch-light.
+//  - CounterRegistry: named monotonic counters (Add) and high-water gauges
+//    (SetMax), kept sorted by name; MergeFrom sums counters and maxes
+//    gauges.
+//  - BufferObs: the per-run aggregate the scenario runners build by walking
+//    TmPartitions in index order (the walk order is fixed by topology, and
+//    every fold below is commutative anyway).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace occamy::obs {
+
+// Log-linear histogram over non-negative int64 values (picoseconds here):
+// exact buckets below 2^kSubBits, then 2^kSubBits sub-buckets per octave
+// (HdrHistogram-style), giving <= 1/16 relative bucket width everywhere.
+class DelayHistogram {
+ public:
+  static constexpr int kSubBits = 4;
+  static constexpr int kSubBuckets = 1 << kSubBits;  // 16
+  // Values < 16 map to buckets [0,16); each octave m in [4,63) contributes
+  // 16 buckets starting at index (m - 3) * 16.
+  static constexpr int kBuckets = (63 - kSubBits + 1) * kSubBuckets;
+
+  void Record(int64_t value) {
+    const uint64_t v = value > 0 ? static_cast<uint64_t>(value) : 0;
+    ++buckets_[BucketIndex(v)];
+    ++count_;
+    max_ = std::max(max_, static_cast<int64_t>(v));
+  }
+
+  void MergeFrom(const DelayHistogram& other) {
+    for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    max_ = std::max(max_, other.max_);
+  }
+
+  // Deterministic quantile estimate: midpoint of the bucket containing the
+  // q-th sample (exact for values < 16, <= 1/32 relative error above),
+  // clamped to the exact observed maximum. q outside [0,1] is clamped.
+  int64_t Quantile(double q) const {
+    if (count_ == 0) return 0;
+    const double clamped = std::min(1.0, std::max(0.0, q));
+    // Rank of the target sample, 1-based; ceil keeps Quantile(1.0) == max.
+    auto rank = static_cast<uint64_t>(clamped * static_cast<double>(count_));
+    if (rank < 1) rank = 1;
+    uint64_t seen = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      seen += buckets_[i];
+      if (seen >= rank) return std::min(BucketMidpoint(i), max_);
+    }
+    return max_;
+  }
+
+  uint64_t count() const { return count_; }
+  int64_t max() const { return max_; }
+  bool Empty() const { return count_ == 0; }
+
+  static int BucketIndex(uint64_t v) {
+    if (v < kSubBuckets) return static_cast<int>(v);
+    const int msb = 63 - __builtin_clzll(v);
+    const int sub = static_cast<int>((v >> (msb - kSubBits)) & (kSubBuckets - 1));
+    return (msb - kSubBits + 1) * kSubBuckets + sub;
+  }
+
+  // Inclusive lower bound of bucket i.
+  static int64_t BucketLowerBound(int i) {
+    if (i < kSubBuckets) return i;
+    const int msb = i / kSubBuckets + kSubBits - 1;
+    const int sub = i % kSubBuckets;
+    return (int64_t{1} << msb) | (static_cast<int64_t>(sub) << (msb - kSubBits));
+  }
+
+  static int64_t BucketMidpoint(int i) {
+    if (i < kSubBuckets) return i;  // exact region
+    const int msb = i / kSubBuckets + kSubBits - 1;
+    const int64_t width = int64_t{1} << (msb - kSubBits);
+    return BucketLowerBound(i) + width / 2;
+  }
+
+ private:
+  std::array<uint64_t, kBuckets> buckets_{};
+  uint64_t count_ = 0;
+  int64_t max_ = 0;
+};
+
+// Named monotonic counters + high-water gauges, sorted by name so
+// iteration (and therefore JSON emission order) is deterministic.
+class CounterRegistry {
+ public:
+  enum class Kind { kCounter, kGauge };
+
+  struct Entry {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    int64_t value = 0;
+  };
+
+  // Monotonic counter: accumulates. Registering the same name as a gauge
+  // and a counter is a programming error; the first kind wins.
+  void Add(std::string_view name, int64_t delta) {
+    Entry& e = FindOrInsert(name, Kind::kCounter);
+    e.value += delta;
+  }
+
+  // High-water gauge: keeps the maximum ever set.
+  void SetMax(std::string_view name, int64_t value) {
+    Entry& e = FindOrInsert(name, Kind::kGauge);
+    e.value = std::max(e.value, value);
+  }
+
+  // Commutative merge: counters sum, gauges max.
+  void MergeFrom(const CounterRegistry& other) {
+    for (const Entry& e : other.entries_) {
+      if (e.kind == Kind::kCounter) {
+        Add(e.name, e.value);
+      } else {
+        SetMax(e.name, e.value);
+      }
+    }
+  }
+
+  int64_t Value(std::string_view name) const {
+    const auto it = Lower(name);
+    return (it != entries_.end() && it->name == name) ? it->value : 0;
+  }
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  std::vector<Entry>::const_iterator Lower(std::string_view name) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), name,
+        [](const Entry& e, std::string_view n) { return e.name < n; });
+  }
+
+  Entry& FindOrInsert(std::string_view name, Kind kind) {
+    const auto it = Lower(name);
+    const auto idx = static_cast<size_t>(it - entries_.begin());
+    if (it != entries_.end() && it->name == name) return entries_[idx];
+    Entry e;
+    e.name = std::string(name);
+    e.kind = kind;
+    return *entries_.insert(entries_.begin() + static_cast<ptrdiff_t>(idx), std::move(e));
+  }
+
+  std::vector<Entry> entries_;  // sorted by name
+};
+
+// Per-run aggregate of the buffer telemetry TmPartition keeps per queue.
+// Built by folding every partition's queues in; all folds are commutative,
+// so the result is independent of partition order and shard count.
+struct BufferObs {
+  DelayHistogram all_delays;       // union of every queue's delay samples
+  int64_t worst_queue_p99_ps = 0;  // max over per-queue p99s
+  uint64_t queue_drops_max = 0;    // worst single queue's drop count
+  uint64_t queues_with_drops = 0;  // queues that dropped at least once
+
+  void AddQueue(const DelayHistogram& delays, uint64_t drops) {
+    all_delays.MergeFrom(delays);
+    if (!delays.Empty()) {
+      worst_queue_p99_ps = std::max(worst_queue_p99_ps, delays.Quantile(0.99));
+    }
+    if (drops > 0) {
+      queue_drops_max = std::max(queue_drops_max, drops);
+      ++queues_with_drops;
+    }
+  }
+};
+
+}  // namespace occamy::obs

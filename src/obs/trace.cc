@@ -1,0 +1,27 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+
+namespace occamy::obs {
+
+std::atomic<bool> TraceRecorder::enabled_{false};
+
+std::vector<TraceEvent> TraceRecorder::SortedEvents() const {
+  std::vector<TraceEvent> out;
+  size_t total = 0;
+  for (const Ring& ring : rings_) total += std::min<uint64_t>(ring.count, ring.events.size());
+  out.reserve(total);
+  for (const Ring& ring : rings_) {
+    const uint64_t kept = std::min<uint64_t>(ring.count, ring.events.size());
+    // On wrap the ring holds the *last* `capacity` events; insertion order
+    // within one ring does not matter here because we sort below.
+    for (uint64_t i = 0; i < kept; ++i) out.push_back(ring.events[i]);
+  }
+  std::stable_sort(out.begin(), out.end(), [](const TraceEvent& a, const TraceEvent& b) {
+    if (a.ts_ns != b.ts_ns) return a.ts_ns < b.ts_ns;
+    return a.shard < b.shard;
+  });
+  return out;
+}
+
+}  // namespace occamy::obs

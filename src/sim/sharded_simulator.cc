@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
 
@@ -149,14 +150,19 @@ uint64_t ShardedSimulator::RunUntil(Time until) {
       if (barrier_drain_) {
         for (int s = 0; s < n; ++s) {
           internal::ShardScope scope(s);
+          OCCAMY_TRACE_SPAN(drain_span, "mailbox.drain");
           barrier_drain_(s);
         }
       }
-      plan = PlanNextWindow(until);
+      {
+        OCCAMY_TRACE_SPAN(plan_span, "barrier.plan");
+        plan = PlanNextWindow(until);
+      }
       if (plan.done) break;
       ++windows_run_;
       for (int s = 0; s < n; ++s) {
         internal::ShardScope scope(s);
+        OCCAMY_TRACE_SPAN(window_span, "window.execute");
         const WallClock::time_point t0 = WallClock::now();
         shards_[static_cast<size_t>(s)]->RunUntil(plan.bound);
         busy_ns[static_cast<size_t>(s)] += static_cast<uint64_t>(
@@ -172,20 +178,34 @@ uint64_t ShardedSimulator::RunUntil(Time until) {
       Simulator& sim = *shards_[static_cast<size_t>(s)];
       for (;;) {
         // Phase 1: hand over everything this shard's peers staged for it.
-        if (barrier_drain_) barrier_drain_(s);
-        // Phase 2: plan (leader only, all queues quiescent).
-        plan_barrier.ArriveAndWait([&] {
-          plan = PlanNextWindow(until);
-          if (!plan.done) ++windows_run_;
-        });
+        if (barrier_drain_) {
+          OCCAMY_TRACE_SPAN(drain_span, "mailbox.drain");
+          barrier_drain_(s);
+        }
+        // Phase 2: plan (leader only, all queues quiescent). The span
+        // covers the wait, so its duration is this shard's plan-barrier
+        // overhead for the window.
+        {
+          OCCAMY_TRACE_SPAN(plan_span, "barrier.plan");
+          plan_barrier.ArriveAndWait([&] {
+            plan = PlanNextWindow(until);
+            if (!plan.done) ++windows_run_;
+          });
+        }
         if (plan.done) return;
         // Phase 3: run the window.
-        const WallClock::time_point t0 = WallClock::now();
-        sim.RunUntil(plan.bound);
-        busy_ns[static_cast<size_t>(s)] += static_cast<uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(WallClock::now() - t0)
-                .count());
-        window_barrier.ArriveAndWait([] {});
+        {
+          OCCAMY_TRACE_SPAN(window_span, "window.execute");
+          const WallClock::time_point t0 = WallClock::now();
+          sim.RunUntil(plan.bound);
+          busy_ns[static_cast<size_t>(s)] += static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(WallClock::now() - t0)
+                  .count());
+        }
+        {
+          OCCAMY_TRACE_SPAN(barrier_span, "barrier.window");
+          window_barrier.ArriveAndWait([] {});
+        }
       }
     };
     std::vector<std::thread> threads;

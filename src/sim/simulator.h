@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <limits>
 
+#include "src/obs/trace.h"
 #include "src/sim/event_queue.h"
 #include "src/util/check.h"
 #include "src/util/rng.h"
@@ -77,6 +78,7 @@ class Simulator {
 
  private:
   uint64_t RunCore(Time until) {
+    OCCAMY_TRACE_SPAN(core_span, "run.core");
     uint64_t n = 0;
     stopped_ = false;
     while (!stopped_ && !queue_.Empty() && queue_.NextTime() <= until) {
@@ -88,6 +90,7 @@ class Simulator {
       ++n;
       ++processed_;
     }
+    OCCAMY_TRACE_SPAN_ARG(core_span, "events", n);
     return n;
   }
 

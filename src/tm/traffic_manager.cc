@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/trace.h"
 #include "src/sim/shard_checks.h"
 #include "src/util/check.h"
 #include "src/util/logging.h"
@@ -48,6 +49,8 @@ TmPartition::TmPartition(sim::Simulator* sim, TmConfig config,
   }
 
   drain_rates_.assign(queue_configs_.size(), stats::EwmaRateEstimator(Microseconds(100)));
+  queue_delay_hist_.resize(queue_configs_.size());
+  queue_drops_.assign(queue_configs_.size(), 0);
 
   if (config_.enable_expulsion) {
     // Incremental bitmap refresh is only exact for DT-family thresholds
@@ -90,7 +93,7 @@ TmPartition::EnqueueResult TmPartition::Enqueue(int port, Packet pkt) {
   if (!scheme_->Admit(AdmissionView(), q, cell_bytes_needed)) {
     ++stats_.admission_drops;
     scheme_->OnAdmissionDrop(*this, q, cell_bytes_needed);
-    RecordDrop(pkt, DropReason::kAdmission);
+    RecordDrop(pkt, DropReason::kAdmission, q);
     return {};
   }
 
@@ -99,7 +102,7 @@ TmPartition::EnqueueResult TmPartition::Enqueue(int port, Packet pkt) {
     const std::optional<int> victim = scheme_->EvictVictim(*this, q);
     if (!victim.has_value()) {
       ++stats_.buffer_full_drops;
-      RecordDrop(pkt, DropReason::kBufferFull);
+      RecordDrop(pkt, DropReason::kBufferFull, q);
       return {};
     }
     OCCAMY_CHECK(!shared_.queue(*victim).Empty()) << "pushout victim is empty";
@@ -107,7 +110,7 @@ TmPartition::EnqueueResult TmPartition::Enqueue(int port, Packet pkt) {
     ++stats_.pushout_evictions;
     scheme_->OnDequeue(*this, *victim, evicted.cell_count * config_.cell_bytes);
     if (engine_ != nullptr) engine_->KickQueue(*victim);
-    RecordDrop(evicted.packet, DropReason::kPushoutEvicted);
+    RecordDrop(evicted.packet, DropReason::kPushoutEvicted, *victim);
   }
 
   // ECN marking at enqueue (DCTCP-style instantaneous queue length).
@@ -149,6 +152,9 @@ std::optional<Packet> TmPartition::DequeueForPort(int port) {
 
   buffer::PacketDescriptor pd = shared_.DequeueHead(q);
   const int64_t bytes = static_cast<int64_t>(pd.cell_count) * config_.cell_bytes;
+  const Time queueing_delay = sim_->now() - pd.enqueue_time;
+  queue_delay_hist_[static_cast<size_t>(q)].Record(queueing_delay);
+  OCCAMY_TRACE_INSTANT_ARG("tm.dequeue", "delay_ns", ToNanoseconds(queueing_delay));
 
   // The output scheduler always wins the memory port: force-consume tokens
   // (the balance may go negative; expulsion then stalls).
@@ -175,7 +181,7 @@ void TmPartition::HeadDropOnePacket(int q) {
   OCCAMY_CHECK(!shared_.queue(q).Empty());
   const buffer::PacketDescriptor pd = shared_.DequeueHead(q);
   scheme_->OnDequeue(*this, q, static_cast<int64_t>(pd.cell_count) * config_.cell_bytes);
-  RecordDrop(pd.packet, DropReason::kExpelled);
+  RecordDrop(pd.packet, DropReason::kExpelled, q);
 }
 
 TmStats& TmPartition::stats() {
@@ -186,7 +192,9 @@ TmStats& TmPartition::stats() {
   return stats_;
 }
 
-void TmPartition::RecordDrop(const Packet& pkt, DropReason reason) {
+void TmPartition::RecordDrop(const Packet& pkt, DropReason reason, int q) {
+  ++queue_drops_[static_cast<size_t>(q)];
+  OCCAMY_TRACE_INSTANT_ARG("tm.drop", "reason", static_cast<int>(reason));
   // Fig. 7 metrics: utilization sampled at drop events. Expulsions are
   // deliberate reclamation, not congestion losses, so they are excluded.
   if (reason == DropReason::kAdmission || reason == DropReason::kBufferFull) {

@@ -18,6 +18,7 @@
 #include "src/buffer/shared_buffer.h"
 #include "src/core/expulsion_engine.h"
 #include "src/core/memory_bandwidth.h"
+#include "src/obs/counters.h"
 #include "src/sim/simulator.h"
 #include "src/stats/cdf.h"
 #include "src/stats/rate_estimator.h"
@@ -124,6 +125,23 @@ class TmPartition final : public bm::TmView, public core::ExpulsionTarget {
   TmStats& stats();
   const buffer::SharedBuffer& shared_buffer() const { return shared_; }
 
+  // ---- Per-queue observability (schema v6 counter registry) ----
+  // Queueing delay of every dequeued packet (sim time from the descriptor's
+  // enqueue stamp to dequeue), and drops attributed to the queue they hit.
+  // Exact integer folds, so cross-partition aggregation is byte-identical
+  // for any shard count.
+  const obs::DelayHistogram& queue_delay_hist(int q) const {
+    return queue_delay_hist_[static_cast<size_t>(q)];
+  }
+  uint64_t queue_drops(int q) const { return queue_drops_[static_cast<size_t>(q)]; }
+  // Folds every queue of this partition into `out` (delay percentiles,
+  // worst-queue stats); the runners call this per partition after the run.
+  void AccumulateObs(obs::BufferObs& out) const {
+    for (size_t q = 0; q < queue_delay_hist_.size(); ++q) {
+      out.AddQueue(queue_delay_hist_[q], queue_drops_[q]);
+    }
+  }
+
   // Optional per-drop callback (packet, reason) for workload-level loss
   // accounting; invoked for every lost packet including expulsions.
   void set_drop_hook(std::function<void(const Packet&, DropReason)> hook) {
@@ -197,7 +215,7 @@ class TmPartition final : public bm::TmView, public core::ExpulsionTarget {
     int port_;
   };
 
-  void RecordDrop(const Packet& pkt, DropReason reason);
+  void RecordDrop(const Packet& pkt, DropReason reason, int q);
   int PortOfQueue(int q) const { return q / config_.queues_per_port; }
   // The view the admission path consults (snapshot when sync is enabled).
   const bm::TmView& AdmissionView() const;
@@ -212,6 +230,8 @@ class TmPartition final : public bm::TmView, public core::ExpulsionTarget {
   core::MemoryBandwidthModel memory_;
   std::unique_ptr<core::ExpulsionEngine> engine_;
   mutable std::vector<stats::EwmaRateEstimator> drain_rates_;  // per queue
+  std::vector<obs::DelayHistogram> queue_delay_hist_;          // per queue
+  std::vector<uint64_t> queue_drops_;                          // per queue
   TmStats stats_;
   std::function<void(const Packet&, DropReason)> drop_hook_;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/obs/trace.h"
 #include "src/sim/shard_checks.h"
 #include "src/transport/flow_manager.h"
 #include "src/util/check.h"
@@ -79,6 +80,7 @@ void Connection::OnRtoTimeout() {
   const auto& cfg = manager_->config();
   manager_->mutable_counters().rtos++;
   ++rto_count_;
+  OCCAMY_TRACE_INSTANT_ARG("conn.rto", "flow", params_.id);
   rto_backoff_ = std::min(rto_backoff_ + 1, 8);
   ssthresh_ = std::max<int64_t>(cwnd_ / 2, 2 * cfg.mss);
   cwnd_ = kMinCwndSegments * cfg.mss;
@@ -254,6 +256,7 @@ void Connection::Complete() {
   OCCAMY_ASSERT_SHARD(*sim_);  // completion is sender-side (see below)
   completed_ = true;
   rto_timer_.Cancel();
+  OCCAMY_TRACE_INSTANT_ARG("conn.complete", "flow", params_.id);
   // Receiver state (rcv_*) is deliberately left alone: it belongs to the
   // destination host's shard, which may still be processing in-flight
   // retransmissions concurrently.

@@ -66,6 +66,19 @@ TEST(CliParse, ShardsFlag) {
   }
 }
 
+TEST(CliParse, TraceFlag) {
+  const char* argv[] = {"occamy_sim", "--trace=/tmp/trace.json"};
+  SimOptions opts;
+  EXPECT_FALSE(ParseArgs(2, argv, opts).has_value());
+  EXPECT_EQ(opts.trace_path, "/tmp/trace.json");
+  EXPECT_FALSE(opts.profile);  // profile is the subcommand, not a flag
+
+  // An empty path is rejected like every other empty flag value.
+  const char* empty[] = {"occamy_sim", "--trace="};
+  SimOptions empty_opts;
+  EXPECT_TRUE(ParseArgs(2, empty, empty_opts).has_value());
+}
+
 TEST(CliParse, RejectsMalformedInput) {
   SimOptions opts;
   const char* bad_flag[] = {"occamy_sim", "--frobnicate=1"};

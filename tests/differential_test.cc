@@ -102,6 +102,39 @@ TEST(DifferentialTest, StarThreadedAndInlineExecutionMatch) {
   EXPECT_GT(threaded.sim_events, 0);
 }
 
+// ---- schema-v6 observability counters (src/obs/counters.h) ----
+
+// The counter-registry fields ride inside the deterministic fingerprint, so
+// every invariance test above already covers them; this asserts they are
+// actually *present* (a silently-missing field would make that coverage
+// vacuous) and sane on a run that queues and drops.
+TEST(DifferentialTest, ObsCountersEmittedInMetrics) {
+  exp::PointSpec spec = SmokePoint("burst_absorption", "occamy", 2);
+  spec.shards = 2;
+  const exp::Metrics m = testing::RunPointOrFail(spec);
+  EXPECT_EQ(m.Number("schema_version"), 6);
+  for (const char* key :
+       {"mailbox_drained_events", "mailbox_staged_events", "queue_delay_max_ns",
+        "queue_delay_p50_ns", "queue_delay_p99_ns", "queue_delay_samples",
+        "queue_drops_max", "queues_with_drops", "worst_queue_delay_p99_ns"}) {
+    EXPECT_NE(m.Find(key), nullptr) << key;
+  }
+  EXPECT_GT(m.Number("queue_delay_samples"), 0);
+  EXPECT_GE(m.Number("queue_delay_p99_ns"), m.Number("queue_delay_p50_ns"));
+  EXPECT_GE(m.Number("queue_delay_max_ns"), m.Number("queue_delay_p99_ns"));
+}
+
+// The mailbox counters are deterministic per engine: DeliverAfter always
+// stages cross-shard records in sharded mode, so staged == drained and both
+// are invariant across shard counts >= 1 (the fingerprint tests enforce
+// that); here the conservation law itself.
+TEST(DifferentialTest, MailboxStagedEqualsDrained) {
+  exp::PointSpec spec = SmokePoint("burst_absorption", "occamy", 2);
+  spec.shards = 4;
+  const exp::Metrics m = testing::RunPointOrFail(spec);
+  EXPECT_EQ(m.Number("mailbox_staged_events"), m.Number("mailbox_drained_events"));
+}
+
 // Same for the P4 burst lab, plus the engine-id fields.
 TEST(DifferentialTest, BurstLabThreadedAndInlineExecutionMatch) {
   bench::BurstLabSpec spec;

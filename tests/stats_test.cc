@@ -186,5 +186,74 @@ TEST(TimeSeriesTest, DownsampleBounds) {
   EXPECT_GE(down.size(), 99u);
 }
 
+TEST(TimeSeriesTest, ValueAtExactSampleTime) {
+  // Step interpolation is inclusive: the sample *at* t wins over the one
+  // before it.
+  TimeSeries ts;
+  ts.Record(Nanoseconds(10), 1.0);
+  ts.Record(Nanoseconds(20), 5.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(Nanoseconds(20)), 5.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(Nanoseconds(19)), 1.0);
+}
+
+TEST(TimeSeriesTest, EmptyAndSmallPassThrough) {
+  TimeSeries ts("empty");
+  EXPECT_TRUE(ts.Empty());
+  EXPECT_DOUBLE_EQ(ts.MaxValue(), 0.0);
+  EXPECT_DOUBLE_EQ(ts.ValueAt(Nanoseconds(100)), 0.0);
+  EXPECT_EQ(ts.name(), "empty");
+  ts.Record(Nanoseconds(1), 2.0);
+  // Fewer samples than max_points (and max_points == 0) return unchanged.
+  EXPECT_EQ(ts.Downsample(10).size(), 1u);
+  EXPECT_EQ(ts.Downsample(0).size(), 1u);
+}
+
+TEST(TimeSeriesTest, DownsampleKeepsFirstSample) {
+  TimeSeries ts;
+  for (int i = 0; i < 1000; ++i) ts.Record(Nanoseconds(i), static_cast<double>(i));
+  const auto down = ts.Downsample(10);
+  ASSERT_FALSE(down.empty());
+  EXPECT_EQ(down.front().t, Nanoseconds(0));
+  // Stride sampling: timestamps remain strictly increasing.
+  for (size_t i = 1; i < down.size(); ++i) EXPECT_LT(down[i - 1].t, down[i].t);
+}
+
+TEST(EwmaRateTest, ResetClearsEstimate) {
+  EwmaRateEstimator est(Microseconds(10));
+  est.Update(100000, Microseconds(1));
+  EXPECT_GT(est.BytesPerSec(Microseconds(1)), 0.0);
+  est.Reset(Microseconds(1));
+  EXPECT_DOUBLE_EQ(est.BytesPerSec(Microseconds(1)), 0.0);
+}
+
+TEST(EwmaRateTest, VeryLongIdleDecaysToZero) {
+  // Gaps past the FastExpNeg cutoff (dt/tau > 40) must flush to exactly 0,
+  // not underflow garbage.
+  EwmaRateEstimator est(Microseconds(1));
+  est.Update(1000000, Microseconds(1));
+  EXPECT_DOUBLE_EQ(est.BytesPerSec(Milliseconds(100)), 0.0);
+}
+
+TEST(EwmaRateTest, UpdatesAtSameTimestampAccumulate) {
+  EwmaRateEstimator est(Microseconds(10));
+  est.Update(1000, Microseconds(5));
+  const double one = est.BytesPerSec(Microseconds(5));
+  est.Update(1000, Microseconds(5));
+  EXPECT_DOUBLE_EQ(est.BytesPerSec(Microseconds(5)), 2.0 * one);
+}
+
+TEST(WindowedRateTest, RotationKeepsTrailingWindow) {
+  // One half-window boundary crossing keeps the previous bucket's bytes in
+  // the estimate; two crossings retire them.
+  WindowedRate rate(Microseconds(10));
+  rate.Update(5000, Microseconds(2));
+  const double with_current = rate.BytesPerSec(Microseconds(4));
+  EXPECT_GT(with_current, 0.0);
+  const double after_one_rotation = rate.BytesPerSec(Microseconds(8));
+  EXPECT_GT(after_one_rotation, 0.0);
+  const double after_two_rotations = rate.BytesPerSec(Microseconds(14));
+  EXPECT_NEAR(after_two_rotations, 0.0, 1.0);
+}
+
 }  // namespace
 }  // namespace occamy::stats

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Validator for occamy_sim --trace output (Chrome trace-event JSON).
+
+Checks the structural contract the exporter (src/obs/export.cc) promises —
+the same contract Perfetto / chrome://tracing rely on to load the file:
+
+  - top level is an object with a "traceEvents" list;
+  - one process_name metadata record for pid 0 and one thread_name record
+    per shard, mapping tid -> "shard N";
+  - every event has name/ph/pid/tid/ts, pid == 0, tid within the shard set;
+  - ph is "M" (metadata), "X" (complete span, requires dur >= 0), or
+    "i" (instant, requires s == "t");
+  - timestamps are normalized (min ts == 0) and non-decreasing in file
+    order (SortedEvents' ordering survives serialization).
+
+Optionally --require=name[,name...] asserts specific span/instant names are
+present (CI requires the barrier + window spans on a sharded run).
+
+Usage: tools/check_trace.py trace.json [--require=barrier.window,window.execute]
+Exit codes: 0 ok, 1 validation failure, 2 usage error.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="path to the Chrome trace-event JSON")
+    parser.add_argument("--require", default="",
+                        help="comma-separated event names that must appear")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot load {args.trace}: {e}")
+
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        fail("top level must be an object with a 'traceEvents' list")
+    events = doc["traceEvents"]
+    if not events:
+        fail("traceEvents is empty")
+
+    shard_tids = set()
+    saw_process_name = False
+    names = set()
+    prev_ts = None
+    min_ts = None
+    for i, ev in enumerate(events):
+        where = f"event #{i}"
+        if not isinstance(ev, dict):
+            fail(f"{where}: not an object")
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in ev:
+                fail(f"{where}: missing required key '{key}'")
+        if ev["pid"] != 0:
+            fail(f"{where}: pid {ev['pid']} != 0 (single-process trace)")
+        ph = ev["ph"]
+        if ph == "M":
+            if ev["name"] == "process_name":
+                saw_process_name = True
+            elif ev["name"] == "thread_name":
+                label = ev.get("args", {}).get("name", "")
+                if label != f"shard {ev['tid']}":
+                    fail(f"{where}: thread_name for tid {ev['tid']} is "
+                         f"'{label}', want 'shard {ev['tid']}'")
+                shard_tids.add(ev["tid"])
+            continue
+        # Non-metadata events: the recorder's ordering and shard routing.
+        if "ts" not in ev:
+            fail(f"{where}: missing 'ts'")
+        ts = float(ev["ts"])
+        if prev_ts is not None and ts < prev_ts:
+            fail(f"{where}: ts {ts} < previous {prev_ts} (not sorted)")
+        prev_ts = ts
+        min_ts = ts if min_ts is None else min(min_ts, ts)
+        if ev["tid"] not in shard_tids:
+            fail(f"{where}: tid {ev['tid']} has no thread_name metadata")
+        names.add(ev["name"])
+        if ph == "X":
+            if float(ev.get("dur", -1)) < 0:
+                fail(f"{where}: complete span without non-negative 'dur'")
+        elif ph == "i":
+            if ev.get("s") != "t":
+                fail(f"{where}: instant without thread scope (s == 't')")
+        else:
+            fail(f"{where}: unexpected phase '{ph}'")
+
+    if not saw_process_name:
+        fail("no process_name metadata record")
+    if not shard_tids:
+        fail("no thread_name (shard) metadata records")
+    if min_ts is None:
+        fail("metadata only — no span or instant events recorded")
+    if min_ts != 0:
+        fail(f"timestamps not normalized: min ts is {min_ts}, want 0")
+
+    required = [n for n in args.require.split(",") if n]
+    missing = [n for n in required if n not in names]
+    if missing:
+        fail(f"required event name(s) absent: {', '.join(missing)} "
+             f"(present: {', '.join(sorted(names))})")
+
+    n_events = sum(1 for ev in events if ev.get("ph") != "M")
+    print(f"check_trace: OK: {n_events} events across "
+          f"{len(shard_tids)} shard(s), {len(names)} distinct names")
+
+
+if __name__ == "__main__":
+    main()

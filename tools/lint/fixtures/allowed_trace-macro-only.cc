@@ -1,0 +1,11 @@
+// Fixture: annotated direct obs:: use — e.g. a debug-only probe that is
+// deliberately unconditional — passes with the allow-annotation and must
+// be flagged again once the annotation is stripped.
+#include <cstdint>
+
+namespace occamy::buffer {
+
+// occamy-lint: allow(trace-macro-only) debug probe, not on the hot path
+void DebugProbe() { occamy::obs::RecordInstant("probe", nullptr, 0); }
+
+}  // namespace occamy::buffer

@@ -1,0 +1,12 @@
+// Fixture: direct obs:: API use in an engine hot-path dir (scoped as
+// src/buffer by the self-test). Instrumentation must go through the
+// OCCAMY_TRACE_* macros so OCCAMY_TRACE=OFF builds compile it out.
+#include <cstdint>
+
+namespace occamy::buffer {
+
+void OnEnqueue(int64_t bytes) {
+  occamy::obs::RecordInstant("buf.enqueue", "bytes", bytes);
+}
+
+}  // namespace occamy::buffer

@@ -33,6 +33,13 @@ make it hold *statically*, on every build, as named file-scoped rules:
                         Pointer order is allocation order — run-to-run
                         nondeterministic under ASLR — so anything iterating
                         such a container inherits it.
+  trace-macro-only      Direct obs:: use inside src/sim, src/net,
+                        src/buffer. Engine hot paths instrument through the
+                        OCCAMY_TRACE_* macros (src/obs/trace.h), which
+                        compile to nothing in OCCAMY_TRACE=OFF builds; a
+                        direct obs:: call would survive the gate and tax
+                        the zero-overhead guarantee BENCH_core.json's
+                        trace_off_events_per_sec metric protects.
 
 Escape hatch: a finding is suppressed by an inline annotation on the same
 line, or on a comment-only line immediately above:
@@ -63,6 +70,9 @@ SOURCE_EXTS = (".h", ".cc")
 RAW_RANDOM_DIRS = ("src/sim", "src/net", "src/transport")
 # hot-path-indirection applies to the allocation-scrubbed hot-path dirs.
 HOT_PATH_DIRS = ("src/sim", "src/core", "src/buffer")
+# trace-macro-only applies to the engine dirs the OCCAMY_TRACE_* macros
+# instrument (src/tm and src/obs itself legitimately use obs:: types).
+TRACE_MACRO_DIRS = ("src/sim", "src/net", "src/buffer")
 
 ALLOW_RE = re.compile(r"//\s*occamy-lint:\s*allow\(([^)]*)\)")
 UNORDERED_DECL_RE = re.compile(
@@ -74,6 +84,7 @@ RULES = [
     "raw-random",
     "hot-path-indirection",
     "pointer-keyed-order",
+    "trace-macro-only",
 ]
 
 
@@ -289,6 +300,28 @@ def check_pointer_keyed(relpath, code_lines):
     return findings
 
 
+TRACE_MACRO_RE = re.compile(r"\bobs::")
+
+
+def check_trace_macro_only(relpath, code_lines):
+    """Flags direct obs:: use in the macro-instrumented engine dirs. The
+    OCCAMY_TRACE_* invocations themselves contain no `obs::` text, and the
+    #include "src/obs/trace.h" path is a string literal (blanked before
+    this check runs), so only genuine API calls match."""
+    findings = []
+    if not relpath.startswith(TRACE_MACRO_DIRS):
+        return findings
+    for i, line in enumerate(code_lines, start=1):
+        if TRACE_MACRO_RE.search(line):
+            findings.append(Finding(
+                "trace-macro-only", relpath, i,
+                "direct obs:: use in an engine hot-path dir: instrument via "
+                "the OCCAMY_TRACE_* macros (src/obs/trace.h) so an "
+                "OCCAMY_TRACE=OFF build compiles the tracing out entirely",
+                line))
+    return findings
+
+
 def lint_source(relpath, raw_text, extra_decl_text=""):
     """Lints one file's raw text. `extra_decl_text` supplies blanked source
     of directly-included repo headers so member declarations in a .h are
@@ -303,6 +336,7 @@ def lint_source(relpath, raw_text, extra_decl_text=""):
     findings += check_raw_random(relpath, code_lines)
     findings += check_hot_path(relpath, code_lines)
     findings += check_pointer_keyed(relpath, code_lines)
+    findings += check_trace_macro_only(relpath, code_lines)
 
     kept = []
     for f in findings:
@@ -359,6 +393,7 @@ def self_test(fixtures_dir):
             "raw-random": "src/sim/fixture.cc",
             "hot-path-indirection": "src/core/fixture.cc",
             "pointer-keyed-order": "src/net/fixture.cc",
+            "trace-macro-only": "src/buffer/fixture.cc",
         }[rule]
 
         bad = os.path.join(fixtures_dir, f"violate_{rule}.cc")

@@ -19,6 +19,14 @@ Usage:
 whitespace-split into command + args) and merges its flat JSON metrics into
 the same output dictionary; duplicate keys across benches are an error.
 
+Zero-overhead-tracing guard: bench_core_hotpath also emits trace_compiled
+(1 when built with -DOCCAMY_TRACE=ON) and trace_off_events_per_sec (incast
+throughput, the guard for "an OCCAMY_TRACE=OFF build carries no tracing
+cost"). The CI perf-smoke job builds with -DOCCAMY_TRACE=OFF and asserts
+trace_compiled == 0 before gating, so the recorded baseline rate is
+genuinely tracing-free; the metric is gated through the ordinary
+_events_per_sec suffix.
+
 The checked-in BENCH_core.json baseline is the union of bench_core_hotpath,
 bench_fabric_parallel (fabric_parallel_speedup: node-affinity sharding),
 and bench_star_parallel (star_parallel_speedup: intra-switch lane sharding)

@@ -1,5 +1,6 @@
 #include "tools/sim_cli.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -9,6 +10,7 @@
 
 #include "src/exp/figures.h"
 #include "src/exp/scenario_runner.h"
+#include "src/obs/export.h"
 #include "tools/sweep_cli.h"
 
 namespace occamy::cli {
@@ -107,6 +109,8 @@ std::optional<std::string> ParseArgs(int argc, const char* const* argv, SimOptio
       out.bm = value;
     } else if (key == "json") {
       out.json_path = value;
+    } else if (key == "trace") {
+      out.trace_path = value;
     } else if (key == "scale") {
       if (!exp::ScaleByName(value).has_value()) {
         return "invalid --scale (want smoke|default|full): " + value;
@@ -153,11 +157,16 @@ std::vector<std::string> SchemeNames() { return exp::SchemeNames(); }
 
 std::string UsageString() {
   std::ostringstream out;
-  out << "Usage: occamy_sim [options]\n"
+  out << "Usage: occamy_sim [run] [options]\n"
+         "       occamy_sim profile [options]\n"
          "       occamy_sim sweep [sweep options]\n"
          "       occamy_sim figure --name=<fig> [figure options]\n"
          "\n"
-         "Runs a named buffer-management scenario and emits JSON metrics.\n"
+         "Runs a named buffer-management scenario and emits JSON metrics\n"
+         "(stdout carries only the JSON; progress goes to stderr). The\n"
+         "profile subcommand runs the scenario with tracing on and prints\n"
+         "the aggregated engine profile (per-shard utilization, barrier\n"
+         "overhead, window event-density histogram) instead of the JSON.\n"
          "The sweep/figure subcommands run whole experiment grids in\n"
          "parallel (see `occamy_sim sweep --help`).\n"
          "\n"
@@ -165,6 +174,8 @@ std::string UsageString() {
          "  --scenario=<name>   scenario to run (default: incast); see --list\n"
          "  --bm=<scheme>       buffer-management scheme (default: occamy); see --list\n"
          "  --json=<path>       write the JSON result to <path> (default: stdout)\n"
+         "  --trace=<path>      record a Chrome trace-event JSON (load in Perfetto /\n"
+         "                      chrome://tracing); needs an OCCAMY_TRACE=ON build\n"
          "  --scale=<s>         smoke | default | full (default: OCCAMY_BENCH_SCALE)\n"
          "  --seed=<n>          RNG seed (default: 1)\n"
          "  --duration-ms=<ms>  traffic duration override (default: scenario-specific)\n"
@@ -200,10 +211,16 @@ SimResult RunScenario(const SimOptions& opts) {
 }
 
 int Main(int argc, const char* const* argv) {
+  bool profile = false;
   if (argc >= 2) {
     const std::string sub = argv[1];
     if (sub == "sweep") return SweepMain(argc - 1, argv + 1);
     if (sub == "figure") return FigureMain(argc - 1, argv + 1);
+    if (sub == "run" || sub == "profile") {
+      profile = sub == "profile";
+      --argc;
+      ++argv;
+    }
   }
 
   SimOptions opts;
@@ -211,6 +228,7 @@ int Main(int argc, const char* const* argv) {
     std::fprintf(stderr, "occamy_sim: %s\n\n%s", err->c_str(), UsageString().c_str());
     return 2;
   }
+  opts.profile = profile;
   if (opts.help) {
     std::fputs(UsageString().c_str(), stdout);
     return 0;
@@ -229,11 +247,46 @@ int Main(int argc, const char* const* argv) {
     return 0;
   }
 
+  // Tracing brackets the whole run: armed before, drained after. The
+  // profile subcommand implies it (the report aggregates the trace).
+  const bool tracing = opts.profile || !opts.trace_path.empty();
+  if (tracing && !obs::kTraceCompiled) {
+    std::fprintf(stderr,
+                 "occamy_sim: tracing is compiled out of this binary; rebuild "
+                 "with -DOCCAMY_TRACE=ON\n");
+    return 2;
+  }
+  if (tracing) obs::TraceRecorder::Get().Start(std::max(1, opts.shards));
+
   const SimResult result = RunScenario(opts);
   if (!result.ok) {
+    if (tracing) obs::TraceRecorder::Get().Clear();
     std::fprintf(stderr, "occamy_sim: %s\n", result.error.c_str());
     return 1;
   }
+
+  if (tracing) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Get();
+    recorder.Stop();
+    const std::vector<obs::TraceEvent> events = recorder.SortedEvents();
+    if (!opts.trace_path.empty()) {
+      std::ofstream trace_out(opts.trace_path);
+      if (!trace_out) {
+        std::fprintf(stderr, "occamy_sim: cannot write %s\n", opts.trace_path.c_str());
+        return 1;
+      }
+      obs::WriteChromeTrace(events, recorder.shards(), trace_out);
+      std::fprintf(stderr, "occamy_sim: %zu trace events -> %s\n", events.size(),
+                   opts.trace_path.c_str());
+    }
+    if (opts.profile) {
+      const obs::ProfileReport report =
+          obs::BuildProfileReport(events, recorder.shards(), recorder.dropped());
+      std::fputs(obs::FormatProfileReport(report).c_str(), stdout);
+    }
+    recorder.Clear();
+  }
+
   if (!opts.json_path.empty()) {
     std::ofstream out(opts.json_path);
     if (!out) {
@@ -241,9 +294,11 @@ int Main(int argc, const char* const* argv) {
       return 1;
     }
     out << result.json << "\n";
-    std::printf("occamy_sim: %s under %s done, JSON -> %s\n", opts.scenario.c_str(),
-                opts.bm.c_str(), opts.json_path.c_str());
-  } else {
+    // Progress chatter goes to stderr: stdout is reserved for machine
+    // output (the JSON result or the profile report).
+    std::fprintf(stderr, "occamy_sim: %s under %s done, JSON -> %s\n",
+                 opts.scenario.c_str(), opts.bm.c_str(), opts.json_path.c_str());
+  } else if (!opts.profile) {
     std::printf("%s\n", result.json.c_str());
   }
   return 0;

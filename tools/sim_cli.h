@@ -23,11 +23,13 @@ struct SimOptions {
   std::string scenario = "incast";
   std::string bm = "occamy";
   std::string json_path;        // empty = print JSON to stdout
+  std::string trace_path;       // non-empty = record a Chrome trace there
   std::string scale;            // smoke | default | full; empty = env/default
   uint64_t seed = 1;
   double duration_ms = 0;       // 0 = scenario default
   std::vector<double> alphas;   // per-class override; empty = scheme default
   int shards = 0;               // fabric: 0 = single-threaded, N = sharded engine
+  bool profile = false;         // `profile` subcommand: print the trace report
   bool list = false;
   bool help = false;
 };

@@ -121,8 +121,10 @@ int RunAndEmit(const std::vector<exp::SweepPoint>& points, int jobs,
     exp::WriteSummaryCsv(exp::Aggregate(records), out);
   }
 
-  std::printf("occamy_sim %s: %zu runs (%zu failed) -> %s, %s\n", label, records.size(),
-              failed, jsonl_path.c_str(), csv_path.c_str());
+  // stderr like every other progress line: stdout stays pure machine
+  // output so `occamy_sim sweep ... > pipe` composes.
+  std::fprintf(stderr, "occamy_sim %s: %zu runs (%zu failed) -> %s, %s\n", label,
+               records.size(), failed, jsonl_path.c_str(), csv_path.c_str());
   return failed == 0 ? 0 : 1;
 }
 
