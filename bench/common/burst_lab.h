@@ -15,7 +15,9 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
+#include "bench/common/fault_setup.h"
 #include "bench/common/scenarios.h"
 #include "src/obs/counters.h"
 #include "src/stats/timeseries.h"
@@ -38,6 +40,9 @@ struct BurstLabSpec {
   // The open-loop senders are deterministic, but the seed still reaches the
   // simulator so scheme-internal randomization (if any) is reproducible.
   uint64_t seed = 1;
+  // Fault schedule (src/fault grammar); empty = healthy lab. Validated
+  // upstream; armed on both engines before the senders start.
+  std::string faults;
 
   // 0 = legacy single-threaded engine; >= 1 = intra-switch partition-
   // parallel engine with that many shards (1 = the single-shard oracle).
@@ -60,6 +65,7 @@ struct BurstLabResult {
   obs::BufferObs obs;              // per-queue delay/drop aggregate (schema v6)
   uint64_t mailbox_staged = 0;     // cross-shard records staged (sharded engine)
   uint64_t mailbox_drained = 0;    // cross-shard records drained at barriers
+  fault::FaultCounters faults;     // injected-fault counters (schema v7)
 
   double BurstLossRate() const {
     return burst_packets == 0
@@ -131,6 +137,8 @@ inline BurstLabResult RunBurstLabSharded(const BurstLabSpec& spec) {
       << "queue-length traces need the single-threaded engine (shards=0)";
   const StarSpec star = MakeBurstLabStarSpec(spec);
   ShardedStarScenario s(star, spec.shards, spec.shard_threads);
+  std::optional<fault::FaultInjector> injector;
+  ArmFaultsOrDie(injector, s.net, spec.faults, StarFaultTopology(s.topo));
 
   BurstLabResult result;
   InstallBurstLabDropHook(s, result);
@@ -151,6 +159,7 @@ inline BurstLabResult RunBurstLabSharded(const BurstLabSpec& spec) {
   result.sim_events = static_cast<int64_t>(s.ssim.processed_events());
   result.shards = spec.shards;
   result.parallel_efficiency = s.ssim.parallel_efficiency();
+  if (injector) result.faults = injector->Totals();
   return result;
 }
 
@@ -160,6 +169,8 @@ inline BurstLabResult RunBurstLab(const BurstLabSpec& spec) {
   if (spec.shards >= 1) return RunBurstLabSharded(spec);
 
   StarScenario s(MakeBurstLabStarSpec(spec));
+  std::optional<fault::FaultInjector> injector;
+  ArmFaultsOrDie(injector, s.net, spec.faults, StarFaultTopology(s.topo));
 
   BurstLabResult result;
   InstallBurstLabDropHook(s, result);
@@ -194,6 +205,7 @@ inline BurstLabResult RunBurstLab(const BurstLabSpec& spec) {
   result.mailbox_staged = s.net.mailbox_staged();
   result.mailbox_drained = s.net.mailbox_drained();
   result.sim_events = static_cast<int64_t>(s.sim.processed_events());
+  if (injector) result.faults = injector->Totals();
   return result;
 }
 

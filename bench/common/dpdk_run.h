@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "bench/common/fault_setup.h"
 #include "bench/common/scenarios.h"
 #include "bench/common/sharded_run.h"
 #include "src/obs/counters.h"
@@ -60,6 +61,9 @@ struct DpdkRunSpec {
   Time max_duration = Milliseconds(450);
   int min_queries = 60;
   uint64_t seed = 1;
+  // Fault schedule (src/fault grammar); empty = healthy fabric. Parsed and
+  // validated upstream; armed on both engines before any workload starts.
+  std::string faults;
   // Explicit scale so parallel runs in one process never race on the
   // OCCAMY_BENCH_SCALE environment variable; nullopt falls back to the env.
   std::optional<BenchScale> scale;
@@ -91,6 +95,7 @@ struct DpdkRunResult {
   obs::BufferObs obs;              // per-queue delay/drop aggregate (schema v6)
   uint64_t mailbox_staged = 0;     // cross-shard records staged (sharded engine)
   uint64_t mailbox_drained = 0;    // cross-shard records drained at barriers
+  fault::FaultCounters faults;     // injected-fault counters (schema v7)
 };
 
 // ---------------- config shared by both engines ----------------
@@ -239,6 +244,8 @@ inline DpdkRunResult RunDpdkSharded(const DpdkRunSpec& run) {
   const StarSpec star = MakeDpdkStarSpec(run);
   ShardedStarScenario s(star, run.shards, run.shard_threads);
   const Time duration = DpdkDuration(run, star, scale);
+  std::optional<fault::FaultInjector> injector;
+  ArmFaultsOrDie(injector, s.net, run.faults, StarFaultTopology(s.topo));
 
   // ---- background: pre-generated Poisson flows (low contiguous id range,
   // the post-run filter keys on it) or live shard-confined LP streams ----
@@ -287,6 +294,7 @@ inline DpdkRunResult RunDpdkSharded(const DpdkRunSpec& run) {
   result.sim_events = static_cast<int64_t>(s.ssim.processed_events());
   result.shards = run.shards;
   result.parallel_efficiency = s.ssim.parallel_efficiency();
+  if (injector) result.faults = injector->Totals();
   return result;
 }
 
@@ -299,6 +307,8 @@ inline DpdkRunResult RunDpdk(const DpdkRunSpec& run) {
   const StarSpec star = MakeDpdkStarSpec(run);
   StarScenario s(star);
   const Time duration = DpdkDuration(run, star, scale);
+  std::optional<fault::FaultInjector> injector;
+  ArmFaultsOrDie(injector, s.net, run.faults, StarFaultTopology(s.topo));
 
   // ---- background ----
   std::unique_ptr<workload::PoissonFlowGenerator> bg_gen;
@@ -338,6 +348,7 @@ inline DpdkRunResult RunDpdk(const DpdkRunSpec& run) {
   result.duration_ms = ToMilliseconds(duration);
   result.drain_ms = ToMilliseconds(DpdkDrain());
   result.sim_events = static_cast<int64_t>(s.sim.processed_events());
+  if (injector) result.faults = injector->Totals();
   return result;
 }
 

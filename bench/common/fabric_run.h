@@ -18,6 +18,7 @@
 #include <memory>
 #include <optional>
 
+#include "bench/common/fault_setup.h"
 #include "bench/common/scenarios.h"
 #include "bench/common/sharded_run.h"
 #include "src/obs/counters.h"
@@ -45,6 +46,9 @@ struct FabricRunSpec {
   Time duration = 0;  // 0 = scale default
   Time drain = Milliseconds(40);
   uint64_t seed = 1;
+  // Fault schedule (src/fault grammar); empty = healthy fabric. Parsed and
+  // validated upstream; armed on both engines before any workload starts.
+  std::string faults;
   // Explicit scale so parallel runs in one process never race on the
   // OCCAMY_BENCH_SCALE environment variable; nullopt falls back to the env.
   std::optional<BenchScale> scale;
@@ -77,6 +81,7 @@ struct FabricRunResult {
   obs::BufferObs obs;              // per-queue delay/drop aggregate (schema v6)
   uint64_t mailbox_staged = 0;     // cross-shard records staged (sharded engine)
   uint64_t mailbox_drained = 0;    // cross-shard records drained at barriers
+  fault::FaultCounters faults;     // injected-fault counters (schema v7)
 };
 
 inline Time DefaultFabricDuration(BenchScale scale) {
@@ -210,6 +215,8 @@ inline FabricRunResult RunFabricSharded(const FabricRunSpec& run) {
   spec.buffer_per_port_per_gbps = run.buffer_per_port_per_gbps;
   spec.seed = run.seed;
   ShardedFabricScenario s(spec, scale, run.shards, run.shard_threads);
+  std::optional<fault::FaultInjector> injector;
+  ArmFaultsOrDie(injector, s.net, run.faults, FabricFaultTopology(s.topo));
 
   const Time duration = run.duration > 0 ? run.duration : DefaultFabricDuration(scale);
   const Bandwidth host_rate = s.topo.config.host_rate;
@@ -254,6 +261,7 @@ inline FabricRunResult RunFabricSharded(const FabricRunSpec& run) {
   result.sim_events = static_cast<int64_t>(s.ssim.processed_events());
   result.shards = run.shards;
   result.parallel_efficiency = s.ssim.parallel_efficiency();
+  if (injector) result.faults = injector->Totals();
   return result;
 }
 
@@ -269,6 +277,8 @@ inline FabricRunResult RunFabric(const FabricRunSpec& run) {
   spec.buffer_per_port_per_gbps = run.buffer_per_port_per_gbps;
   spec.seed = run.seed;
   FabricScenario s(spec, scale);
+  std::optional<fault::FaultInjector> injector;
+  ArmFaultsOrDie(injector, s.net, run.faults, FabricFaultTopology(s.topo));
 
   const Time duration = run.duration > 0 ? run.duration : DefaultFabricDuration(scale);
   const Bandwidth host_rate = s.topo.config.host_rate;
@@ -299,6 +309,7 @@ inline FabricRunResult RunFabric(const FabricRunSpec& run) {
   result.duration_ms = ToMilliseconds(duration);
   result.drain_ms = ToMilliseconds(run.drain);
   result.sim_events = static_cast<int64_t>(s.sim.processed_events());
+  if (injector) result.faults = injector->Totals();
   return result;
 }
 

@@ -38,6 +38,11 @@ struct Packet {
   uint64_t ack_seq = 0;   // cumulative ack: all bytes < ack_seq received
   bool ece = false;       // echoes the CE bit of the data packet being acked
 
+  // Fault injection (src/fault): bit-corrupted in flight. The packet still
+  // traverses the wire but the receiving endpoint's FCS check drops it
+  // before the node sees it (counted as packets_corrupted).
+  bool corrupted = false;
+
   // Instrumentation.
   Time ts_sent = 0;  // when the segment/ack left the sender (for RTT samples)
 

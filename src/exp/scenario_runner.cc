@@ -1,10 +1,12 @@
 #include "src/exp/scenario_runner.h"
 
 #include <chrono>
+#include <cstdio>
 
 #include "bench/common/burst_lab.h"
 #include "bench/common/dpdk_run.h"
 #include "bench/common/fabric_run.h"
+#include "src/fault/fault_plan.h"
 
 namespace occamy::exp {
 
@@ -63,18 +65,37 @@ std::string KnobError(const char* knob, const ScenarioInfo& entry) {
          "' (platform " + entry.platform + ")";
 }
 
+// The effective fault schedule of a point: the explicit `faults` string
+// plus the `loss_rate` shorthand appended as an i.i.d. loss fault. Empty =
+// healthy run.
+std::string ComposeFaults(const PointSpec& spec) {
+  std::string f = spec.faults;
+  if (spec.loss_rate > 0) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "loss:rate=%.17g", spec.loss_rate);
+    if (!f.empty()) f += ';';
+    f += buf;
+  }
+  return f;
+}
+
 void AddCommonFields(Metrics& m, const ScenarioInfo& entry, const PointSpec& spec,
-                     BenchScale scale) {
-  // Schema v6: every platform additionally carries the counter-registry
+                     BenchScale scale, const std::string& faults) {
+  // Schema v7: every platform carries the fault-injection counters
+  // (faults_injected, packets_lost_injected, packets_corrupted,
+  // blackhole_drops, link_down_drops — see AddObsFields) plus the `faults`
+  // schedule / `loss_rate` knob when set. v6 added the counter-registry
   // fields (per-queue queueing-delay percentiles, per-queue drop and
-  // mailbox counters — see AddObsFields). v5 added the `shards` engine
-  // field on every platform plus parallel_efficiency on sharded runs.
-  m.Set("schema_version", int64_t{6});
+  // mailbox counters). v5 added the `shards` engine field on every platform
+  // plus parallel_efficiency on sharded runs.
+  m.Set("schema_version", int64_t{7});
   m.Set("scenario", entry.name);
   m.Set("platform", entry.platform);
   m.Set("bm", spec.bm);
   m.Set("scale", ScaleName(scale));
   m.Set("seed", spec.seed);
+  if (!faults.empty()) m.Set("faults", faults);
+  if (spec.loss_rate > 0) m.Set("loss_rate", spec.loss_rate);
 }
 
 // Schema v4/v5: which engine ran the point (0 = single-threaded) and, for
@@ -107,10 +128,18 @@ void AddPerfFields(Metrics& m, int64_t sim_events, PerfClock::time_point start) 
 // byte-identical for any shard count >= 1 — the fields participate in the
 // golden and differential fingerprints.
 void AddObsFields(Metrics& m, const obs::BufferObs& obs, uint64_t mailbox_staged,
-                  uint64_t mailbox_drained) {
+                  uint64_t mailbox_drained, const fault::FaultCounters& faults) {
   obs::CounterRegistry reg;
   reg.Add("mailbox_staged_events", static_cast<int64_t>(mailbox_staged));
   reg.Add("mailbox_drained_events", static_cast<int64_t>(mailbox_drained));
+  // Schema v7 fault counters: exact integers from the injector's per-shard
+  // slots, byte-identical for any shard count — always present (0 when the
+  // run is healthy) so the fingerprint shape does not depend on the plan.
+  reg.Add("faults_injected", faults.faults_injected);
+  reg.Add("packets_lost_injected", faults.packets_lost);
+  reg.Add("packets_corrupted", faults.packets_corrupted);
+  reg.Add("blackhole_drops", faults.blackhole_drops);
+  reg.Add("link_down_drops", faults.link_down_drops);
   reg.Add("queue_delay_samples", static_cast<int64_t>(obs.all_delays.count()));
   reg.Add("queues_with_drops", static_cast<int64_t>(obs.queues_with_drops));
   reg.SetMax("queue_drops_max", static_cast<int64_t>(obs.queue_drops_max));
@@ -133,7 +162,7 @@ void AddOccupancy(Metrics& m, int64_t buffer_bytes, int64_t peak_bytes) {
 }
 
 PointResult RunBurst(const ScenarioInfo& entry, Scheme scheme, const PointSpec& spec,
-                     BenchScale scale) {
+                     BenchScale scale, const std::string& faults) {
   PointResult result;
   if (spec.bg_load != 0) {
     result.error = KnobError("bg_load", entry);
@@ -156,12 +185,13 @@ PointResult RunBurst(const ScenarioInfo& entry, Scheme scheme, const PointSpec& 
   if (spec.duration_ms > 0) run.horizon = FromSeconds(spec.duration_ms / 1000.0);
   run.seed = spec.seed;
   run.shards = spec.shards;
+  run.faults = faults;
 
   const PerfClock::time_point start = PerfClock::now();
   const bench::BurstLabResult r = bench::RunBurstLab(run);
 
   Metrics& m = result.metrics;
-  AddCommonFields(m, entry, spec, scale);
+  AddCommonFields(m, entry, spec, scale, faults);
   m.Set("alpha", run.alpha);
   m.Set("burst_bytes", run.burst_bytes);
   m.Set("horizon_ms", ToMilliseconds(run.horizon));
@@ -171,7 +201,7 @@ PointResult RunBurst(const ScenarioInfo& entry, Scheme scheme, const PointSpec& 
   m.Set("long_lived_drops", r.long_lived_drops);
   m.Set("expelled", r.expelled);
   m.Set("buffer_bytes", run.buffer_bytes);
-  AddObsFields(m, r.obs, r.mailbox_staged, r.mailbox_drained);
+  AddObsFields(m, r.obs, r.mailbox_staged, r.mailbox_drained, r.faults);
   AddPerfFields(m, r.sim_events, start);
   AddEngineFields(m, r.shards, r.parallel_efficiency);
   result.ok = true;
@@ -179,7 +209,7 @@ PointResult RunBurst(const ScenarioInfo& entry, Scheme scheme, const PointSpec& 
 }
 
 PointResult RunStar(const ScenarioInfo& entry, Scheme scheme, const PointSpec& spec,
-                    BenchScale scale) {
+                    BenchScale scale, const std::string& faults) {
   PointResult result;
   if (spec.bg_flow_bytes != 0) {
     result.error = KnobError("bg_flow_bytes", entry);
@@ -196,6 +226,7 @@ PointResult RunStar(const ScenarioInfo& entry, Scheme scheme, const PointSpec& s
   run.seed = spec.seed;
   run.scale = scale;
   run.shards = spec.shards;
+  run.faults = faults;
   if (spec.buffer_bytes > 0) run.buffer_bytes = spec.buffer_bytes;
 
   const std::string name = entry.name;
@@ -237,7 +268,7 @@ PointResult RunStar(const ScenarioInfo& entry, Scheme scheme, const PointSpec& s
   const bench::DpdkRunResult r = bench::RunDpdk(run);
 
   Metrics& m = result.metrics;
-  AddCommonFields(m, entry, spec, scale);
+  AddCommonFields(m, entry, spec, scale, faults);
   m.Set("bg_load", run.bg == bench::DpdkRunSpec::Bg::kNone ? 0.0 : run.bg_load);
   m.Set("query_bytes", run.query_bytes);
   m.Set("duration_ms", r.duration_ms);
@@ -253,7 +284,7 @@ PointResult RunStar(const ScenarioInfo& entry, Scheme scheme, const PointSpec& s
   m.Set("drops", r.drops);
   m.Set("expelled", r.expelled);
   AddOccupancy(m, r.buffer_bytes, r.peak_occupancy_bytes);
-  AddObsFields(m, r.obs, r.mailbox_staged, r.mailbox_drained);
+  AddObsFields(m, r.obs, r.mailbox_staged, r.mailbox_drained, r.faults);
   AddPerfFields(m, r.sim_events, start);
   AddEngineFields(m, r.shards, r.parallel_efficiency);
   result.ok = true;
@@ -261,7 +292,8 @@ PointResult RunStar(const ScenarioInfo& entry, Scheme scheme, const PointSpec& s
 }
 
 PointResult RunFabricScenario(const ScenarioInfo& entry, Scheme scheme,
-                              const PointSpec& spec, BenchScale scale) {
+                              const PointSpec& spec, BenchScale scale,
+                              const std::string& faults) {
   PointResult result;
   if (spec.query_bytes != 0) {
     result.error = KnobError("query_bytes", entry);
@@ -282,6 +314,7 @@ PointResult RunFabricScenario(const ScenarioInfo& entry, Scheme scheme,
   run.seed = spec.seed;
   run.scale = scale;
   run.shards = spec.shards;
+  run.faults = faults;
 
   const std::string name = entry.name;
   if (name == "alltoall") {
@@ -308,7 +341,7 @@ PointResult RunFabricScenario(const ScenarioInfo& entry, Scheme scheme,
   const bench::FabricRunResult r = bench::RunFabric(run);
 
   Metrics& m = result.metrics;
-  AddCommonFields(m, entry, spec, scale);
+  AddCommonFields(m, entry, spec, scale, faults);
   m.Set("bg_load", run.bg_load);
   if (run.pattern != bench::BgPattern::kWebSearch) {
     m.Set("bg_flow_bytes", run.bg_fixed_size);
@@ -329,7 +362,7 @@ PointResult RunFabricScenario(const ScenarioInfo& entry, Scheme scheme,
   m.Set("drops", r.drops);
   m.Set("expelled", r.expelled);
   AddOccupancy(m, r.buffer_bytes, r.peak_occupancy_bytes);
-  AddObsFields(m, r.obs, r.mailbox_staged, r.mailbox_drained);
+  AddObsFields(m, r.obs, r.mailbox_staged, r.mailbox_drained, r.faults);
   AddPerfFields(m, r.sim_events, start);
   AddEngineFields(m, r.shards, r.parallel_efficiency);
   result.ok = true;
@@ -402,11 +435,24 @@ PointResult RunPoint(const PointSpec& spec) {
     result.error = "shards out of range (want 0..64): " + std::to_string(spec.shards);
     return result;
   }
+  if (spec.loss_rate < 0 || spec.loss_rate >= 1) {
+    result.error = "loss_rate out of range (want 0 <= rate < 1): " +
+                   std::to_string(spec.loss_rate);
+    return result;
+  }
+  const std::string faults = ComposeFaults(spec);
+  if (!faults.empty()) {
+    fault::FaultPlan plan;
+    if (auto err = fault::ParseFaultPlan(faults, &plan)) {
+      result.error = *err;
+      return result;
+    }
+  }
   const BenchScale scale = spec.scale.value_or(bench::GetBenchScale());
   const std::string platform = entry->platform;
-  if (platform == "p4") return RunBurst(*entry, *scheme, spec, scale);
-  if (platform == "star") return RunStar(*entry, *scheme, spec, scale);
-  return RunFabricScenario(*entry, *scheme, spec, scale);
+  if (platform == "p4") return RunBurst(*entry, *scheme, spec, scale, faults);
+  if (platform == "star") return RunStar(*entry, *scheme, spec, scale, faults);
+  return RunFabricScenario(*entry, *scheme, spec, scale, faults);
 }
 
 }  // namespace occamy::exp

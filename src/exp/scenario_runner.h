@@ -55,6 +55,13 @@ struct PointSpec {
   int64_t bg_flow_bytes = 0; // fabric alltoall/allreduce: fixed flow size
   int64_t burst_bytes = 0;   // p4 burst lab: measured burst size
 
+  // Fault injection (all platforms). `faults` is a full src/fault schedule
+  // string; `loss_rate` is the sweepable shorthand for i.i.d. loss — when
+  // > 0 it appends `loss:rate=<v>` to the schedule. Both are validated in
+  // RunPoint (parse errors surface as PointResult.error, not a crash).
+  std::string faults;
+  double loss_rate = 0;  // 0 = none; must be < 1
+
   // 0 = single-threaded engine, >= 1 = partition-parallel engine with that
   // many shards: node-affinity sharding on the fabric, intra-switch
   // partition sharding on the star/p4 testbeds. Results are byte-identical

@@ -29,7 +29,8 @@ size_t GridSize(const SweepSpec& spec) {
   return spec.scenarios.size() * spec.bms.size() * DimSize(spec.alphas) *
          DimSize(spec.bg_loads) * DimSize(spec.query_bytes) *
          DimSize(spec.buffer_bytes) * DimSize(spec.bg_flow_bytes) *
-         DimSize(spec.burst_bytes) * static_cast<size_t>(spec.seeds);
+         DimSize(spec.burst_bytes) * DimSize(spec.loss_rates) *
+         static_cast<size_t>(spec.seeds);
 }
 
 std::optional<std::string> ExpandSweep(const SweepSpec& spec,
@@ -56,12 +57,14 @@ std::optional<std::string> ExpandSweep(const SweepSpec& spec,
             for (size_t bi = 0; bi < DimSize(spec.buffer_bytes); ++bi) {
               for (size_t fi = 0; fi < DimSize(spec.bg_flow_bytes); ++fi) {
                 for (size_t ui = 0; ui < DimSize(spec.burst_bytes); ++ui) {
+                 for (size_t ri = 0; ri < DimSize(spec.loss_rates); ++ri) {
                   for (int si = 0; si < spec.seeds; ++si) {
                     SweepPoint p;
                     p.spec.scenario = scenario;
                     p.spec.bm = bm;
                     p.spec.scale = spec.scale;
                     p.spec.duration_ms = spec.duration_ms;
+                    p.spec.faults = spec.faults;
                     p.spec.seed = spec.base_seed + static_cast<uint64_t>(si);
                     // Execution knob, not a sweep dimension: every platform
                     // has a sharded engine (node-affinity on the fabric,
@@ -95,6 +98,11 @@ std::optional<std::string> ExpandSweep(const SweepSpec& spec,
                       p.spec.burst_bytes = spec.burst_bytes[ui];
                       p.key_fields.emplace_back("burst_bytes", FormatInt(spec.burst_bytes[ui]));
                     }
+                    if (!spec.loss_rates.empty()) {
+                      p.spec.loss_rate = spec.loss_rates[ri];
+                      p.key_fields.emplace_back("loss_rate",
+                                                FormatDouble(spec.loss_rates[ri]));
+                    }
                     for (const auto& [k, v] : p.key_fields) {
                       if (!p.cell_key.empty()) p.cell_key += '|';
                       p.cell_key += k + "=" + v;
@@ -103,6 +111,7 @@ std::optional<std::string> ExpandSweep(const SweepSpec& spec,
                     p.run_key = p.cell_key + "|seed=" + std::to_string(p.spec.seed);
                     out.push_back(std::move(p));
                   }
+                 }
                 }
               }
             }

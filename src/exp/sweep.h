@@ -35,6 +35,14 @@ struct SweepSpec {
   std::vector<int64_t> buffer_bytes;
   std::vector<int64_t> bg_flow_bytes;
   std::vector<int64_t> burst_bytes;
+  // i.i.d. loss-rate grid axis (key field "loss_rate"); each value must be
+  // in [0, 1) — validated per point by RunPoint.
+  std::vector<double> loss_rates;
+
+  // Fault schedule applied to EVERY point (src/fault grammar). Like
+  // duration_ms it is a run condition, not a grid axis — it does not enter
+  // the run key. Composes with `loss_rates` (the loss fault is appended).
+  std::string faults;
 
   // Execution knob, not a grid axis (sharded runs are byte-identical to
   // single-shard runs, so it cannot change any result): every point runs on

@@ -1,0 +1,237 @@
+#include "src/fault/fault_plan.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <set>
+
+namespace occamy::fault {
+namespace {
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+// Time values require an explicit unit suffix so "t=2" can never silently
+// mean picoseconds. `what` names the parameter class in errors ("time" /
+// "duration"); `token` is the full key=value token for the message.
+std::optional<std::string> ParseTimeValue(const std::string& token, const std::string& value,
+                                          const char* what, Time* out) {
+  static constexpr struct {
+    const char* suffix;
+    Time unit;
+  } kUnits[] = {{"ns", kNanosecond}, {"us", kMicrosecond}, {"ms", kMillisecond}, {"s", kSecond}};
+  for (const auto& u : kUnits) {
+    const size_t n = std::strlen(u.suffix);
+    if (value.size() <= n || value.compare(value.size() - n, n, u.suffix) != 0) continue;
+    const std::string num = value.substr(0, value.size() - n);
+    char* end = nullptr;
+    const double v = std::strtod(num.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      return "fault spec: bad number in '" + token + "'";
+    }
+    if (v < 0) {
+      return std::string("fault spec: negative ") + what + " in '" + token + "'";
+    }
+    *out = static_cast<Time>(std::llround(v * static_cast<double>(u.unit)));
+    return std::nullopt;
+  }
+  return "fault spec: bad " + std::string(what) + " in '" + token +
+         "' (need a ns/us/ms/s suffix)";
+}
+
+std::optional<std::string> ParseNonNegInt(const std::string& token, const std::string& value,
+                                          int* out) {
+  char* end = nullptr;
+  const long v = std::strtol(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || value.empty() || v < 0 || v > 1'000'000) {
+    return "fault spec: bad number in '" + token + "'";
+  }
+  *out = static_cast<int>(v);
+  return std::nullopt;
+}
+
+std::optional<std::string> ParseSeed(const std::string& token, const std::string& value,
+                                     uint64_t* out) {
+  if (value.empty() || value[0] == '-') {
+    return "fault spec: bad number in '" + token + "'";
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    return "fault spec: bad number in '" + token + "'";
+  }
+  *out = static_cast<uint64_t>(v);
+  return std::nullopt;
+}
+
+std::optional<std::string> ParseRate(const std::string& token, const std::string& value,
+                                     double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == nullptr || *end != '\0' || value.empty()) {
+    return "fault spec: bad number in '" + token + "'";
+  }
+  if (!(v > 0.0) || v > 1.0) {
+    return "fault spec: rate out of range in '" + token + "' (need 0 < rate <= 1)";
+  }
+  *out = v;
+  return std::nullopt;
+}
+
+// Node names stay symbolic here, but the shape is checked so a typo exits
+// 2 at parse time instead of failing at Arm inside a run.
+std::optional<std::string> CheckNodeName(const std::string& token, const std::string& value) {
+  size_t digits = 0;
+  if (value.rfind("sw", 0) == 0) {
+    digits = 2;
+  } else if (value.rfind("host", 0) == 0) {
+    digits = 4;
+  } else {
+    return "fault spec: bad node in '" + token + "' (expected sw<k> or host<k>)";
+  }
+  if (value.size() == digits) {
+    return "fault spec: bad node in '" + token + "' (expected sw<k> or host<k>)";
+  }
+  for (size_t i = digits; i < value.size(); ++i) {
+    if (value[i] < '0' || value[i] > '9') {
+      return "fault spec: bad node in '" + token + "' (expected sw<k> or host<k>)";
+    }
+  }
+  return std::nullopt;
+}
+
+bool ParamAllowed(FaultKind kind, const std::string& key) {
+  if (key == "t" || key == "dur") return true;
+  switch (kind) {
+    case FaultKind::kLinkDown:
+    case FaultKind::kBlackhole:
+      return key == "node" || key == "port";
+    case FaultKind::kFreeze:
+      return key == "node" || key == "part";
+    case FaultKind::kLoss:
+    case FaultKind::kCorrupt:
+      return key == "rate" || key == "seed";
+  }
+  return false;
+}
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kLinkDown:
+      return "link_down";
+    case FaultKind::kBlackhole:
+      return "blackhole";
+    case FaultKind::kFreeze:
+      return "freeze";
+    case FaultKind::kLoss:
+      return "loss";
+    case FaultKind::kCorrupt:
+      return "corrupt";
+  }
+  return "?";
+}
+
+std::optional<std::string> ParseFaultPlan(const std::string& spec, FaultPlan* out) {
+  out->events.clear();
+  if (spec.empty()) return std::nullopt;
+  for (const std::string& entry : Split(spec, ';')) {
+    if (entry.empty()) {
+      return std::string("fault spec: empty fault entry (stray ';')");
+    }
+    const size_t colon = entry.find(':');
+    const std::string type = entry.substr(0, colon);
+    FaultEvent ev;
+    if (type == "link_down") {
+      ev.kind = FaultKind::kLinkDown;
+    } else if (type == "blackhole") {
+      ev.kind = FaultKind::kBlackhole;
+    } else if (type == "freeze") {
+      ev.kind = FaultKind::kFreeze;
+    } else if (type == "loss") {
+      ev.kind = FaultKind::kLoss;
+    } else if (type == "corrupt") {
+      ev.kind = FaultKind::kCorrupt;
+    } else {
+      return "fault spec: unknown fault type '" + type + "'";
+    }
+
+    std::set<std::string> seen;
+    if (colon != std::string::npos) {
+      for (const std::string& kv : Split(entry.substr(colon + 1), ',')) {
+        if (kv.empty()) {
+          return "fault spec: empty parameter in '" + entry + "'";
+        }
+        const size_t eq = kv.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 == kv.size()) {
+          return "fault spec: malformed parameter '" + kv + "' (expected key=value)";
+        }
+        const std::string key = kv.substr(0, eq);
+        const std::string value = kv.substr(eq + 1);
+        if (!ParamAllowed(ev.kind, key)) {
+          return "fault spec: '" + type + "' does not take parameter '" + kv + "'";
+        }
+        if (!seen.insert(key).second) {
+          return "fault spec: duplicate parameter '" + kv + "'";
+        }
+        std::optional<std::string> err;
+        if (key == "t") {
+          err = ParseTimeValue(kv, value, "time", &ev.at);
+        } else if (key == "dur") {
+          err = ParseTimeValue(kv, value, "duration", &ev.duration);
+        } else if (key == "node") {
+          err = CheckNodeName(kv, value);
+          if (!err) ev.node = value;
+        } else if (key == "port") {
+          err = ParseNonNegInt(kv, value, &ev.port);
+        } else if (key == "part") {
+          err = ParseNonNegInt(kv, value, &ev.part);
+        } else if (key == "rate") {
+          err = ParseRate(kv, value, &ev.rate);
+        } else if (key == "seed") {
+          err = ParseSeed(kv, value, &ev.seed);
+        }
+        if (err) return err;
+      }
+    }
+
+    switch (ev.kind) {
+      case FaultKind::kLinkDown:
+      case FaultKind::kBlackhole:
+        if (ev.node.empty()) {
+          return "fault spec: '" + type + "' requires parameter 'node'";
+        }
+        if (ev.port < 0) {
+          return "fault spec: '" + type + "' requires parameter 'port'";
+        }
+        break;
+      case FaultKind::kFreeze:
+        if (ev.node.empty()) {
+          return "fault spec: '" + type + "' requires parameter 'node'";
+        }
+        break;
+      case FaultKind::kLoss:
+      case FaultKind::kCorrupt:
+        if (ev.rate <= 0.0) {
+          return "fault spec: '" + type + "' requires parameter 'rate'";
+        }
+        break;
+    }
+    out->events.push_back(std::move(ev));
+  }
+  return std::nullopt;
+}
+
+}  // namespace occamy::fault

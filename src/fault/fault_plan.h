@@ -1,0 +1,69 @@
+// Typed fault schedules for the deterministic fault-injection subsystem.
+//
+// A FaultPlan is the parsed form of the `--faults=` CLI grammar (and of the
+// sweep fault knobs): a list of typed fault events with activation times,
+// durations, targets, and rates. Parsing is topology-independent — node
+// names like "sw0"/"host3" stay symbolic until fault::FaultInjector::Arm
+// resolves them against a concrete network — so the CLI can validate a spec
+// (and exit 2 naming the offending token) before any scenario is built.
+//
+// Grammar (`;` separates faults, `,` separates parameters):
+//
+//   spec       := fault (';' fault)*
+//   fault      := type ':' param '=' value (',' param '=' value)*
+//   type       := link_down | blackhole | freeze | loss | corrupt
+//   time value := <double> ('ns' | 'us' | 'ms' | 's')   (suffix required)
+//
+//   link_down  t=<time> dur=<time> node=<sw|host><k> port=<int>
+//              Both directions of the link at (node, port) drop every
+//              packet while down; dur=0 (or omitted) keeps it down forever.
+//   blackhole  t=<time> dur=<time> node=<sw|host><k> port=<int>
+//              The egress direction only: packets *sent from* (node, port)
+//              vanish; returning traffic still flows (gray failure).
+//   freeze     t=<time> dur=<time> node=sw<k> [part=<int>]
+//              The switch partition's egress machinery stops serving
+//              (arrivals still enqueue and overflow); part omitted freezes
+//              every partition of the switch.
+//   loss       rate=<double in (0,1]> [seed=<uint64>] [t=..] [dur=..]
+//              I.i.d. per-delivery packet loss on every link.
+//   corrupt    rate=<double in (0,1]> [seed=<uint64>] [t=..] [dur=..]
+//              I.i.d. per-delivery bit corruption; the corrupted packet is
+//              delivered and dropped by the receiver's FCS check (counted
+//              separately from loss).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/time.h"
+
+namespace occamy::fault {
+
+enum class FaultKind { kLinkDown, kBlackhole, kFreeze, kLoss, kCorrupt };
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kLinkDown;
+  Time at = 0;        // activation time (simulated; 0 = from the start)
+  Time duration = 0;  // 0 = permanent
+  std::string node;   // "sw<k>" / "host<k>"; resolved by FaultInjector::Arm
+  int port = -1;      // link_down/blackhole target port
+  int part = -1;      // freeze: partition index, -1 = every partition
+  double rate = 0;    // loss/corrupt probability per delivery
+  uint64_t seed = 1;  // loss/corrupt draw stream (never the workload Rng)
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+  bool empty() const { return events.empty(); }
+};
+
+// Parses `spec` into `*out` (cleared first). Empty spec parses to an empty
+// plan. On failure returns an error message naming the offending token;
+// `*out` is then unspecified.
+std::optional<std::string> ParseFaultPlan(const std::string& spec, FaultPlan* out);
+
+}  // namespace occamy::fault

@@ -1,0 +1,263 @@
+#include "src/fault/injector.h"
+
+#include <limits>
+
+#include "src/net/host.h"
+#include "src/net/switch.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace occamy::fault {
+
+namespace {
+// Salt separating the corruption draw stream from the loss stream so the
+// two fault classes never correlate even with equal seeds.
+constexpr uint64_t kCorruptSalt = 0x5bf0363563ae1ca7ULL;
+}  // namespace
+
+FaultInjector::FaultInjector(net::Network* net, FaultPlan plan, FaultTopology topo)
+    : net_(net), plan_(std::move(plan)), topo_(std::move(topo)) {
+  OCCAMY_CHECK(net_ != nullptr);
+  slots_.resize(static_cast<size_t>(std::max(1, net_->num_shards())));
+}
+
+FaultCounters& FaultInjector::shard_counters() {
+  return slots_[static_cast<size_t>(sim::CurrentShard())].c;
+}
+
+std::optional<std::string> FaultInjector::ResolveNode(const std::string& name,
+                                                      net::NodeId* id) const {
+  const std::vector<net::NodeId>* pool = nullptr;
+  size_t digits = 0;
+  const char* what = nullptr;
+  if (name.rfind("sw", 0) == 0) {
+    pool = &topo_.switches;
+    digits = 2;
+    what = "switches";
+  } else if (name.rfind("host", 0) == 0) {
+    pool = &topo_.hosts;
+    digits = 4;
+    what = "hosts";
+  } else {
+    return "fault spec: bad node '" + name + "' (expected sw<k> or host<k>)";
+  }
+  const unsigned long idx = std::strtoul(name.c_str() + digits, nullptr, 10);
+  if (idx >= pool->size()) {
+    return "fault spec: node '" + name + "' out of range (topology has " +
+           std::to_string(pool->size()) + " " + what + ")";
+  }
+  *id = (*pool)[idx];
+  return std::nullopt;
+}
+
+std::optional<std::string> FaultInjector::ResolveLink(const FaultEvent& ev, Endpoint* a,
+                                                      Endpoint* b) const {
+  net::NodeId id = 0;
+  if (auto err = ResolveNode(ev.node, &id)) return err;
+  net::Node& n = net_->node(id);
+  if (auto* sw = dynamic_cast<net::SwitchNode*>(&n)) {
+    if (ev.port >= sw->num_ports()) {
+      return "fault spec: node '" + ev.node + "' has no port " + std::to_string(ev.port);
+    }
+    if (!sw->port_connected(ev.port)) {
+      return "fault spec: node '" + ev.node + "' port " + std::to_string(ev.port) +
+             " is not wired";
+    }
+    a->end = {id, ev.port};
+    a->lane = sw->partition_of_port(ev.port);
+    b->end = sw->port_peer(ev.port);
+  } else if (auto* host = dynamic_cast<net::Host*>(&n)) {
+    if (ev.port != 0) {
+      return "fault spec: node '" + ev.node + "' is a host; its uplink is port 0";
+    }
+    if (!host->connected()) {
+      return "fault spec: node '" + ev.node + "' has no uplink";
+    }
+    a->end = {id, 0};
+    a->lane = 0;
+    b->end = host->uplink_peer();
+  } else {
+    return "fault spec: node '" + ev.node + "' is neither a switch nor a host";
+  }
+  // The lane sending from the peer endpoint back toward `a`.
+  net::Node& peer = net_->node(b->end.node);
+  if (auto* sw = dynamic_cast<net::SwitchNode*>(&peer)) {
+    b->lane = sw->partition_of_port(b->end.port);
+  } else {
+    b->lane = 0;
+  }
+  return std::nullopt;
+}
+
+void FaultInjector::EnsureEdge(net::LinkEnd e) {
+  auto& ports = edge_state_[e.node];
+  if (ports.size() <= static_cast<size_t>(e.port)) {
+    ports.resize(static_cast<size_t>(e.port) + 1);
+  }
+}
+
+void FaultInjector::ScheduleEdgeToggle(sim::Simulator& sim, Time at, net::LinkEnd edge,
+                                       bool blackhole, int delta, bool count) {
+  sim.At(at, [this, edge, blackhole, delta, count] {
+    EdgeState& e = edge_state_[edge.node][static_cast<size_t>(edge.port)];
+    uint32_t& field = blackhole ? e.blackhole : e.down;
+    field = static_cast<uint32_t>(static_cast<int64_t>(field) + delta);
+    if (count) ++shard_counters().faults_injected;
+  });
+}
+
+std::optional<std::string> FaultInjector::ArmLinkFault(const FaultEvent& ev) {
+  Endpoint a, b;
+  if (auto err = ResolveLink(ev, &a, &b)) return err;
+  EnsureEdge(a.end);
+  EnsureEdge(b.end);
+  const bool blackhole = ev.kind == FaultKind::kBlackhole;
+  // Direction a -> b: arrivals at b, toggled and read on a's sending lane
+  // shard. This direction carries the faults_injected tally.
+  sim::Simulator& sim_ab = net_->LaneSim(a.end.node, a.lane);
+  ScheduleEdgeToggle(sim_ab, ev.at, b.end, blackhole, +1, /*count=*/true);
+  if (ev.duration > 0) {
+    ScheduleEdgeToggle(sim_ab, ev.at + ev.duration, b.end, blackhole, -1, /*count=*/true);
+  }
+  if (!blackhole) {
+    // link_down also severs the reverse direction b -> a.
+    sim::Simulator& sim_ba = net_->LaneSim(b.end.node, b.lane);
+    ScheduleEdgeToggle(sim_ba, ev.at, a.end, blackhole, +1, /*count=*/false);
+    if (ev.duration > 0) {
+      ScheduleEdgeToggle(sim_ba, ev.at + ev.duration, a.end, blackhole, -1, /*count=*/false);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> FaultInjector::ArmFreeze(const FaultEvent& ev) {
+  net::NodeId id = 0;
+  if (auto err = ResolveNode(ev.node, &id)) return err;
+  auto* sw = dynamic_cast<net::SwitchNode*>(&net_->node(id));
+  if (sw == nullptr) {
+    return "fault spec: freeze target '" + ev.node + "' is not a switch";
+  }
+  if (ev.part >= sw->num_partitions()) {
+    return "fault spec: node '" + ev.node + "' has no partition " + std::to_string(ev.part);
+  }
+  const int first = ev.part >= 0 ? ev.part : 0;
+  const int last = ev.part >= 0 ? ev.part : sw->num_partitions() - 1;
+  for (int lane = first; lane <= last; ++lane) {
+    // Only one lane per plan event tallies faults_injected, so the total is
+    // independent of the switch's partition count.
+    const bool count = lane == first;
+    sim::Simulator& sim = net_->LaneSim(id, lane);
+    sim.At(ev.at, [this, sw, lane, count] {
+      sw->SetLaneFrozen(lane, true);
+      if (count) ++shard_counters().faults_injected;
+    });
+    if (ev.duration > 0) {
+      sim.At(ev.at + ev.duration, [this, sw, lane, count] {
+        sw->SetLaneFrozen(lane, false);
+        if (count) ++shard_counters().faults_injected;
+      });
+    }
+  }
+  return std::nullopt;
+}
+
+void FaultInjector::ArmWindow(const FaultEvent& ev) {
+  Window w;
+  w.at = ev.at;
+  w.end = ev.duration > 0 ? ev.at + ev.duration : std::numeric_limits<Time>::max();
+  w.rate = ev.rate;
+  w.seed = ev.seed;
+  (ev.kind == FaultKind::kLoss ? loss_windows_ : corrupt_windows_).push_back(w);
+  // Marker events on the control shard make window activations visible in
+  // faults_injected alongside the link toggles.
+  net_->sim().At(ev.at, [this] { ++shard_counters().faults_injected; });
+  if (ev.duration > 0) {
+    net_->sim().At(ev.at + ev.duration, [this] { ++shard_counters().faults_injected; });
+  }
+}
+
+std::optional<std::string> FaultInjector::Arm() {
+  OCCAMY_CHECK(!armed_) << "FaultInjector armed twice";
+  armed_ = true;
+  if (plan_.empty()) return std::nullopt;
+  // Sized once here and only element-wise mutated afterwards, so the edge
+  // vectors are never resized while shards read them.
+  edge_state_.assign(net_->num_nodes(), {});
+  net_->set_fault_injector(this);
+  for (const FaultEvent& ev : plan_.events) {
+    std::optional<std::string> err;
+    switch (ev.kind) {
+      case FaultKind::kLinkDown:
+      case FaultKind::kBlackhole:
+        err = ArmLinkFault(ev);
+        break;
+      case FaultKind::kFreeze:
+        err = ArmFreeze(ev);
+        break;
+      case FaultKind::kLoss:
+      case FaultKind::kCorrupt:
+        ArmWindow(ev);
+        break;
+    }
+    if (err) return err;
+  }
+  return std::nullopt;
+}
+
+bool FaultInjector::OnDeliver(net::NodeId from, int src_lane, net::LinkEnd to, uint64_t seq,
+                              Time send_time, Packet& pkt) {
+  // Runs on the sending lane's shard — the same shard that toggles the
+  // edge's state, so the read below is single-shard by construction.
+  if (to.node < edge_state_.size()) {
+    const auto& ports = edge_state_[to.node];
+    if (static_cast<size_t>(to.port) < ports.size()) {
+      const EdgeState& e = ports[static_cast<size_t>(to.port)];
+      if (e.down > 0) {
+        ++shard_counters().link_down_drops;
+        return true;
+      }
+      if (e.blackhole > 0) {
+        ++shard_counters().blackhole_drops;
+        return true;
+      }
+    }
+  }
+  if (loss_windows_.empty() && corrupt_windows_.empty()) return false;
+  // Per-delivery draw key: a pure function of (sender, lane, per-lane seq),
+  // all of which are shard-count-invariant.
+  const uint64_t key = SplitMix64(
+      seq + SplitMix64((static_cast<uint64_t>(from) << 16) ^ static_cast<uint64_t>(src_lane)));
+  for (const Window& w : loss_windows_) {
+    if (send_time < w.at || send_time >= w.end) continue;
+    Rng rng(w.seed ^ key);
+    if (rng.UniformDouble() < w.rate) {
+      ++shard_counters().packets_lost;
+      return true;
+    }
+  }
+  for (const Window& w : corrupt_windows_) {
+    if (send_time < w.at || send_time >= w.end) continue;
+    Rng rng(SplitMix64(w.seed ^ kCorruptSalt) ^ key);
+    if (rng.UniformDouble() < w.rate) {
+      pkt.corrupted = true;
+      break;
+    }
+  }
+  return false;
+}
+
+void FaultInjector::OnCorruptedArrival() { ++shard_counters().packets_corrupted; }
+
+FaultCounters FaultInjector::Totals() const {
+  FaultCounters total;
+  for (const Slot& s : slots_) {
+    total.faults_injected += s.c.faults_injected;
+    total.packets_lost += s.c.packets_lost;
+    total.packets_corrupted += s.c.packets_corrupted;
+    total.blackhole_drops += s.c.blackhole_drops;
+    total.link_down_drops += s.c.link_down_drops;
+  }
+  return total;
+}
+
+}  // namespace occamy::fault

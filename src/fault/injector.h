@@ -1,0 +1,127 @@
+// Deterministic, shard-safe fault injection (see fault_plan.h for the
+// schedule grammar).
+//
+// FaultInjector resolves a FaultPlan's symbolic targets against a concrete
+// network, installs itself as the network's net::FaultHook, and schedules
+// every fault toggle onto the Simulator of the shard that owns the affected
+// state. The determinism contract mirrors the engine's:
+//
+//  * Link/blackhole state is kept per *directed edge*, indexed by the
+//    arrival endpoint (dst node, dst port). A point-to-point edge has
+//    exactly one sender, so exactly one lane shard both toggles and reads
+//    each EdgeState — no cross-shard sharing, and the check in OnDeliver
+//    runs on the very shard whose clock defines the send time.
+//  * Toggle events are scheduled at Arm time, before the run starts. The
+//    event queue is FIFO-stable at equal timestamps, so a toggle at time T
+//    always executes before any packet event scheduled at T during the run
+//    — the same order for every shard count.
+//  * Loss/corruption draws are a pure function of (fault seed, sending
+//    node, sending lane, per-lane delivery sequence) through a dedicated
+//    seeded Rng: byte-identical for any --shards >= 1 and never entangled
+//    with the workload's random stream.
+//  * Counters live in per-shard cache-line-padded slots and are summed on
+//    read, so concurrent lanes never race and totals are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/fault/fault_plan.h"
+#include "src/net/network.h"
+
+namespace occamy::fault {
+
+// The node-id universe faults resolve against: "host<k>" -> hosts[k],
+// "sw<k>" -> switches[k] (topology builders list leaves before spines).
+struct FaultTopology {
+  std::vector<net::NodeId> hosts;
+  std::vector<net::NodeId> switches;
+};
+
+struct FaultCounters {
+  int64_t faults_injected = 0;    // fault activations + expiries that fired
+  int64_t packets_lost = 0;       // dropped by i.i.d. loss windows
+  int64_t packets_corrupted = 0;  // delivered corrupted, dropped at receiver
+  int64_t blackhole_drops = 0;    // dropped by port blackholes
+  int64_t link_down_drops = 0;    // dropped by downed links
+};
+
+class FaultInjector final : public net::FaultHook {
+ public:
+  // `net` must outlive the injector. The plan may be empty (Arm is a no-op
+  // then, and no hook is installed).
+  FaultInjector(net::Network* net, FaultPlan plan, FaultTopology topo);
+
+  // Arm() schedules events capturing `this`; moving afterwards would
+  // dangle, so the injector is pinned (hold it in std::optional and
+  // emplace).
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Resolves targets, installs the hook, and schedules every toggle. Call
+  // once, after topology construction and before the run. Returns an error
+  // naming the offending target when the plan does not fit the topology.
+  std::optional<std::string> Arm();
+
+  // Summed per-shard counters; read after the run.
+  FaultCounters Totals() const;
+
+  // net::FaultHook implementation (called by Network on delivery paths).
+  bool OnDeliver(net::NodeId from, int src_lane, net::LinkEnd to, uint64_t seq,
+                 Time send_time, Packet& pkt) override;
+  void OnCorruptedArrival() override;
+
+ private:
+  // Directed-edge fault state, indexed [arrival node][arrival port].
+  // Counts (not flags) so overlapping windows compose.
+  struct EdgeState {
+    uint32_t down = 0;
+    uint32_t blackhole = 0;
+  };
+
+  // One loss/corruption window; end is saturated when dur = 0 (permanent).
+  struct Window {
+    Time at = 0;
+    Time end = 0;
+    double rate = 0;
+    uint64_t seed = 1;
+  };
+
+  // One endpoint of a resolved link: the (node, port) pair plus the lane
+  // (buffer partition) that sends from it.
+  struct Endpoint {
+    net::LinkEnd end;
+    int lane = 0;
+  };
+
+  struct alignas(64) Slot {
+    FaultCounters c;
+  };
+
+  std::optional<std::string> ResolveNode(const std::string& name, net::NodeId* id) const;
+  std::optional<std::string> ResolveLink(const FaultEvent& ev, Endpoint* a, Endpoint* b) const;
+  void EnsureEdge(net::LinkEnd e);
+  std::optional<std::string> ArmLinkFault(const FaultEvent& ev);
+  std::optional<std::string> ArmFreeze(const FaultEvent& ev);
+  void ArmWindow(const FaultEvent& ev);
+  // Adds `delta` to the down/blackhole count of edge (node, port); fires on
+  // the edge's single writer shard. `count` marks the one direction per
+  // plan event that tallies faults_injected.
+  void ScheduleEdgeToggle(sim::Simulator& sim, Time at, net::LinkEnd edge, bool blackhole,
+                          int delta, bool count);
+
+  FaultCounters& shard_counters();
+
+  net::Network* net_;
+  FaultPlan plan_;
+  FaultTopology topo_;
+  bool armed_ = false;
+  std::vector<std::vector<EdgeState>> edge_state_;  // sized at Arm, stable after
+  std::vector<Window> loss_windows_;
+  std::vector<Window> corrupt_windows_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace occamy::fault

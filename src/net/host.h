@@ -32,6 +32,8 @@ class Host final : public Node {
 
   Bandwidth uplink_rate() const { return rate_; }
   bool connected() const { return connected_; }
+  // The far end of the uplink (fault::FaultInjector resolves host links).
+  LinkEnd uplink_peer() const { return peer_; }
 
   // Queues a packet for transmission. Returns false if the NIC queue
   // overflowed (packet dropped).

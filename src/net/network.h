@@ -55,6 +55,25 @@ struct LinkEnd {
   int port = 0;
 };
 
+// Fault-injection hook (implemented by fault::FaultInjector, src/fault).
+// Defined here rather than in src/fault so Network needs no dependency on
+// the fault subsystem; runs on the per-delivery path only while installed.
+class FaultHook {
+ public:
+  virtual ~FaultHook() = default;
+
+  // Consulted once per DeliverAfter, on the sending lane's shard, with that
+  // lane's per-delivery sequence number and the sender's clock. Returns
+  // true to drop the packet on the wire; may mark `pkt` corrupted instead
+  // (the packet is then delivered and dropped by the receiver's FCS check).
+  virtual bool OnDeliver(NodeId from, int src_lane, LinkEnd to, uint64_t seq, Time send_time,
+                         Packet& pkt) = 0;
+
+  // A corrupted packet reached its arrival endpoint; runs on the
+  // destination's shard, which then discards the packet.
+  virtual void OnCorruptedArrival() = 0;
+};
+
 class Network {
  public:
   // Shard of a node's lane: pure function of (node id, lane index) so lane
@@ -189,12 +208,22 @@ class Network {
   // index); plain nodes send from lane 0.
   void DeliverAfter(NodeId from, Time delay, LinkEnd to, Packet pkt, int src_lane = 0) {
     if (ssim_ == nullptr) {
+      if (faults_ != nullptr &&
+          faults_->OnDeliver(from, src_lane, to,
+                             node(from).lane_delivery_seq_[0]++, sim_->now(), pkt)) {
+        return;  // dropped on the wire; the injector accounted for it
+      }
       // Single-threaded: slot 0 directly — no thread-local lookup on the
       // per-packet hot path.
       ++shard_state_[0].delivered_events;
       Node* dst = &node(to.node);
       const int port = to.port;
-      sim_->After(delay, [dst, port, p = std::move(pkt)]() mutable {
+      sim_->After(delay, [this, dst, port, p = std::move(pkt)]() mutable {
+        if (p.corrupted) {
+          // The receiver's FCS check discards the mangled packet.
+          if (faults_ != nullptr) faults_->OnCorruptedArrival();
+          return;
+        }
         dst->ReceivePacket(port, std::move(p));
       });
       return;
@@ -203,11 +232,6 @@ class Network {
         << "cross-node delay below the conservative lookahead";
     Node& src = node(from);
     const int src_shard = lane_shard(from, src_lane);
-    // The destination shard is the one that owns the arrival's lane: for a
-    // lane-sharded switch, the partition owning the packet's egress port.
-    // RxLane repeats the route lookup ReceivePacket will do on arrival, so
-    // only nodes whose lanes genuinely straddle shards pay for it.
-    const int dst_shard = RxShardOf(to, pkt);
     // SPSC invariant: only the producing lane's worker may write this
     // outbox row (and only its clock is the right send time).
     OCCAMY_DCHECK_EQ(sim::CurrentShard(), src_shard);
@@ -215,13 +239,26 @@ class Network {
     // A lane > 0 requires the source to have bound its lanes (BindNodeLanes
     // sizes the per-lane sequence counters).
     OCCAMY_DCHECK(static_cast<size_t>(src_lane) < src.lane_delivery_seq_.size());
+    // The sequence is consumed even when a fault drops the packet: gaps are
+    // harmless to the canonical merge order, while keeping the numbering a
+    // pure function of the lane's send history for any shard count.
+    const uint64_t seq = src.lane_delivery_seq_[static_cast<size_t>(src_lane)]++;
+    if (faults_ != nullptr &&
+        faults_->OnDeliver(from, src_lane, to, seq, ssim_->shard(src_shard).now(), pkt)) {
+      return;  // dropped on the wire; never staged
+    }
+    // The destination shard is the one that owns the arrival's lane: for a
+    // lane-sharded switch, the partition owning the packet's egress port.
+    // RxLane repeats the route lookup ReceivePacket will do on arrival, so
+    // only nodes whose lanes genuinely straddle shards pay for it.
+    const int dst_shard = RxShardOf(to, pkt);
     ++shard_state_[static_cast<size_t>(src_shard)].delivered_events;
     ++shard_state_[static_cast<size_t>(src_shard)].staged_mail;
     Mail mail;
     mail.time = ssim_->shard(src_shard).now() + delay;
     mail.src_node = from;
     mail.src_lane = src_lane;
-    mail.seq = src.lane_delivery_seq_[static_cast<size_t>(src_lane)]++;
+    mail.seq = seq;
     mail.to = to;
     mail.pkt = std::move(pkt);
     outboxes_[static_cast<size_t>(src_shard) * static_cast<size_t>(num_shards()) +
@@ -261,6 +298,11 @@ class Network {
 
   // Fresh unique ids for flows/queries created on this network.
   uint64_t NextFlowId() { return next_flow_id_++; }
+
+  // Installs the fault hook (fault::FaultInjector::Arm). Must happen before
+  // the run; the hook must outlive the network's last delivery.
+  void set_fault_injector(FaultHook* hook) { faults_ = hook; }
+  bool fault_injection_active() const { return faults_ != nullptr; }
 
  private:
   // Shard that must execute the arrival of `pkt` at `to`.
@@ -311,7 +353,13 @@ class Network {
       if (drain_probe_) drain_probe_(mail.time, sim.now());
       Node* dst = &node(mail.to.node);
       const int port = mail.to.port;
-      sim.At(mail.time, [dst, port, p = std::move(mail.pkt)]() mutable {
+      sim.At(mail.time, [this, dst, port, p = std::move(mail.pkt)]() mutable {
+        if (p.corrupted) {
+          // The receiver's FCS check discards the mangled packet, on the
+          // destination lane's shard.
+          if (faults_ != nullptr) faults_->OnCorruptedArrival();
+          return;
+        }
         dst->ReceivePacket(port, std::move(p));
       });
     }
@@ -342,6 +390,7 @@ class Network {
   std::vector<sim::SpscMailbox<Mail>> outboxes_;
   std::vector<ShardState> shard_state_;
   DrainProbe drain_probe_;
+  FaultHook* faults_ = nullptr;
   uint64_t next_flow_id_ = 1;
 };
 

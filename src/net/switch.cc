@@ -123,10 +123,31 @@ void SwitchNode::ReceivePacket(int in_port, Packet pkt) {
   if (result.accepted) KickTx(egress);
 }
 
+void SwitchNode::SetLaneFrozen(int lane, bool frozen) {
+  OCCAMY_CHECK(initialized_);
+  OCCAMY_CHECK(lane >= 0 && lane < num_partitions());
+  OCCAMY_ASSERT_SHARD(network()->LaneSim(id(), lane));
+  LaneState& state = lane_state_[static_cast<size_t>(lane)];
+  if (state.frozen == frozen) return;
+  state.frozen = frozen;
+  if (frozen) return;
+  // Thawed: restart the egress machinery of every port the partition owns
+  // (an in-flight TX kept its busy flag, so re-kicking is idempotent).
+  for (int port = 0; port < config_.num_ports; ++port) {
+    if (port_partition_[static_cast<size_t>(port)] == lane &&
+        ports_[static_cast<size_t>(port)].connected) {
+      KickTx(port);
+    }
+  }
+}
+
 void SwitchNode::KickTx(int port) {
   PortState& state = ports_[static_cast<size_t>(port)];
   OCCAMY_ASSERT_SHARD(*state.sim);  // egress machinery is lane-confined
-  if (state.busy) return;
+  // A frozen lane serves nothing: in-flight serialization completes, but
+  // its completion's re-kick lands here and parks until SetLaneFrozen
+  // thaws the partition.
+  if (state.busy || lane_state_[static_cast<size_t>(state.lane)].frozen) return;
   OCCAMY_CHECK(state.connected) << "switch " << id() << " port " << port << " unwired";
   auto& part = partition_for_port(port);
   auto pkt = part.DequeueForPort(local_port(port));

@@ -82,6 +82,18 @@ class SwitchNode final : public Node {
   int partition_of_port(int port) const {
     return port_partition_[static_cast<size_t>(port)];
   }
+  LinkEnd port_peer(int port) const { return ports_[static_cast<size_t>(port)].peer; }
+  bool port_connected(int port) const { return ports_[static_cast<size_t>(port)].connected; }
+
+  // Fault injection (fault::FaultInjector): freezes/unfreezes partition
+  // `lane`'s egress machinery. Frozen lanes keep accepting arrivals — the
+  // buffer fills and the BM scheme sheds load — but serve nothing until
+  // unfrozen, when every owned port is re-kicked. Must run on the lane's
+  // shard; overlapping freezes do not nest (a single unfreeze thaws).
+  void SetLaneFrozen(int lane, bool frozen);
+  bool lane_frozen(int lane) const {
+    return lane_state_[static_cast<size_t>(lane)].frozen;
+  }
 
   // Queue (partition-global index) that packets of class `cls` for egress
   // `port` occupy; convenience for benches reading queue lengths.
@@ -138,6 +150,9 @@ class SwitchNode final : public Node {
   // share a cache line.
   struct alignas(64) LaneState {
     int64_t routeless_drops = 0;
+    // Fault injection: lane's egress machinery halted (see SetLaneFrozen).
+    // Only ever touched from the lane's own shard.
+    bool frozen = false;
   };
   std::vector<PortState> ports_;
   std::vector<std::unique_ptr<tm::TmPartition>> partitions_;

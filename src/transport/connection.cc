@@ -71,6 +71,7 @@ void Connection::ArmRtoTimer() {
   const auto& cfg = manager_->config();
   Time timeout = rto_ << rto_backoff_;
   timeout = std::min(timeout, cfg.max_rto);
+  last_rto_timeout_ = timeout;
   rto_timer_ = sim_->After(timeout, [this] { OnRtoTimeout(); });
 }
 

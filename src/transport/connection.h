@@ -52,6 +52,13 @@ class Connection {
   int64_t rto_count() const { return rto_count_; }
   int64_t fast_retransmits() const { return fast_retx_count_; }
   Time rto() const { return rto_; }
+  int rto_backoff() const { return rto_backoff_; }
+  // The timeout ArmRtoTimer last armed (post-backoff, clamped at max_rto);
+  // lets tests pin the exact clamp point under sustained blackholes.
+  Time last_rto_timeout() const { return last_rto_timeout_; }
+  // False once the flow completed: Complete() must have cancelled the timer
+  // (a leaked handle here would fire into a dead flow).
+  bool rto_timer_pending() const { return rto_timer_.IsPending(); }
 
  private:
   // ---- sender ----
@@ -101,6 +108,7 @@ class Connection {
   Time rttvar_ = 0;
   Time rto_;
   int rto_backoff_ = 0;
+  Time last_rto_timeout_ = 0;
   int64_t rto_count_ = 0;
   int64_t fast_retx_count_ = 0;
   sim::EventHandle rto_timer_;

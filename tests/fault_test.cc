@@ -1,0 +1,471 @@
+// Fault-injection subsystem tests (src/fault):
+//  * ParseFaultPlan grammar — positives and a table-driven negative suite
+//    (malformed specs must produce a descriptive error naming the offending
+//    token, never crash).
+//  * CLI hardening — a bad --faults= is a usage error (exit 2).
+//  * Transport hardening — under a sustained blackhole the RTO backoff
+//    clamps exactly at max_rto, and Complete() cancels the timer.
+//  * Fault counters — every fault kind shows up in the schema v7 metrics.
+//  * Determinism — faulted runs are byte-identical across shard counts
+//    (FaultDifferentialTest, picked up by the CI Differential|Golden
+//    filter) and across threads-on/threads-off execution.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "bench/common/burst_lab.h"
+#include "bench/common/fault_setup.h"
+#include "src/bm/dynamic_threshold.h"
+#include "src/exp/sweep.h"
+#include "src/fault/fault_plan.h"
+#include "src/fault/injector.h"
+#include "src/net/topology.h"
+#include "src/transport/flow_manager.h"
+#include "tests/differential.h"
+#include "tools/sim_cli.h"
+
+namespace occamy {
+namespace {
+
+using fault::FaultKind;
+using fault::FaultPlan;
+using fault::ParseFaultPlan;
+
+// ---------------- parser: grammar positives ----------------
+
+TEST(FaultPlanParse, EmptySpecIsHealthy) {
+  FaultPlan plan;
+  EXPECT_FALSE(ParseFaultPlan("", &plan).has_value());
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(FaultPlanParse, FullGrammarRoundTrip) {
+  FaultPlan plan;
+  const auto err = ParseFaultPlan(
+      "link_down:t=2ms,dur=1ms,node=sw0,port=3;"
+      "blackhole:t=500us,node=host2,port=0;"
+      "freeze:t=1ms,dur=250us,node=sw1,part=2;"
+      "loss:rate=0.01,seed=7;"
+      "corrupt:rate=0.002,t=100ns,dur=3s",
+      &plan);
+  ASSERT_FALSE(err.has_value()) << *err;
+  ASSERT_EQ(plan.events.size(), 5u);
+
+  const auto& down = plan.events[0];
+  EXPECT_EQ(down.kind, FaultKind::kLinkDown);
+  EXPECT_EQ(down.at, Milliseconds(2));
+  EXPECT_EQ(down.duration, Milliseconds(1));
+  EXPECT_EQ(down.node, "sw0");
+  EXPECT_EQ(down.port, 3);
+
+  const auto& bh = plan.events[1];
+  EXPECT_EQ(bh.kind, FaultKind::kBlackhole);
+  EXPECT_EQ(bh.at, Microseconds(500));
+  EXPECT_EQ(bh.duration, 0) << "omitted dur means permanent";
+  EXPECT_EQ(bh.node, "host2");
+  EXPECT_EQ(bh.port, 0);
+
+  const auto& freeze = plan.events[2];
+  EXPECT_EQ(freeze.kind, FaultKind::kFreeze);
+  EXPECT_EQ(freeze.node, "sw1");
+  EXPECT_EQ(freeze.part, 2);
+
+  const auto& loss = plan.events[3];
+  EXPECT_EQ(loss.kind, FaultKind::kLoss);
+  EXPECT_DOUBLE_EQ(loss.rate, 0.01);
+  EXPECT_EQ(loss.seed, 7u);
+
+  const auto& corrupt = plan.events[4];
+  EXPECT_EQ(corrupt.kind, FaultKind::kCorrupt);
+  EXPECT_EQ(corrupt.at, 100 * kNanosecond);
+  EXPECT_EQ(corrupt.duration, FromSeconds(3.0));
+  EXPECT_EQ(corrupt.seed, 1u) << "seed defaults to 1";
+}
+
+TEST(FaultPlanParse, FreezeWithoutPartMeansAllPartitions) {
+  FaultPlan plan;
+  ASSERT_FALSE(ParseFaultPlan("freeze:t=1ms,node=sw0", &plan).has_value());
+  ASSERT_EQ(plan.events.size(), 1u);
+  EXPECT_EQ(plan.events[0].part, -1);
+}
+
+// ---------------- parser: table-driven negatives ----------------
+
+// Every malformed spec must be rejected with a message that names the
+// offending token; none may crash. The CLI turns these into exit 2.
+struct BadSpec {
+  const char* spec;
+  const char* expect_substr;  // must appear in the error message
+};
+
+constexpr BadSpec kBadSpecs[] = {
+    // Empty / structural.
+    {";loss:rate=0.1", "empty fault entry"},
+    {"loss:rate=0.1;", "empty fault entry"},
+    {"loss:rate=0.1;;corrupt:rate=0.1", "empty fault entry"},
+    {"loss:,rate=0.1", "empty parameter"},
+    {"loss:rate", "malformed parameter 'rate'"},
+    {"loss:rate=", "malformed parameter 'rate='"},
+    {"loss:=0.1", "malformed parameter '=0.1'"},
+    // Unknown types and parameters.
+    {"melt:t=1ms", "unknown fault type 'melt'"},
+    {"lossy:rate=0.1", "unknown fault type 'lossy'"},
+    {"loss:rate=0.1,node=sw0", "does not take parameter 'node=sw0'"},
+    {"link_down:node=sw0,port=1,rate=0.5", "does not take parameter 'rate=0.5'"},
+    // Bad numbers.
+    {"loss:rate=abc", "bad number in 'rate=abc'"},
+    {"loss:rate=0.1x", "bad number in 'rate=0.1x'"},
+    {"link_down:node=sw0,port=abc", "bad number in 'port=abc'"},
+    {"link_down:node=sw0,port=-1", "bad number in 'port=-1'"},
+    {"loss:rate=0.1,seed=-3", "bad number in 'seed=-3'"},
+    // Bad times (missing suffix, negative).
+    {"link_down:t=2,node=sw0,port=1", "bad time in 't=2'"},
+    {"link_down:t=2ms,dur=-1ms,node=sw0,port=1", "negative duration in 'dur=-1ms'"},
+    {"link_down:t=-5us,node=sw0,port=1", "negative time in 't=-5us'"},
+    // Rate range.
+    {"loss:rate=0", "rate out of range in 'rate=0'"},
+    {"loss:rate=1.5", "rate out of range in 'rate=1.5'"},
+    {"corrupt:rate=-0.1", "rate out of range in 'rate=-0.1'"},
+    // Node shape.
+    {"link_down:node=spine0,port=1", "bad node in 'node=spine0'"},
+    {"link_down:node=sw,port=1", "bad node in 'node=sw'"},
+    {"freeze:node=sw1a", "bad node in 'node=sw1a'"},
+    // Missing required parameters.
+    {"link_down:t=1ms", "'link_down' requires parameter 'node'"},
+    {"link_down:node=sw0", "'link_down' requires parameter 'port'"},
+    {"blackhole:port=1", "'blackhole' requires parameter 'node'"},
+    {"freeze:t=1ms", "'freeze' requires parameter 'node'"},
+    {"loss:seed=7", "'loss' requires parameter 'rate'"},
+    {"corrupt:t=1ms", "'corrupt' requires parameter 'rate'"},
+    // Duplicates.
+    {"loss:rate=0.1,rate=0.2", "duplicate parameter 'rate=0.2'"},
+};
+
+TEST(FaultPlanParse, MalformedSpecsRejectedWithOffendingToken) {
+  for (const BadSpec& bad : kBadSpecs) {
+    FaultPlan plan;
+    const auto err = ParseFaultPlan(bad.spec, &plan);
+    ASSERT_TRUE(err.has_value()) << "accepted malformed spec: " << bad.spec;
+    EXPECT_NE(err->find(bad.expect_substr), std::string::npos)
+        << "spec '" << bad.spec << "' produced '" << *err
+        << "', expected it to mention '" << bad.expect_substr << "'";
+  }
+}
+
+// ---------------- CLI hardening ----------------
+
+TEST(FaultCli, BadFaultsIsUsageErrorExit2) {
+  const char* argv[] = {"occamy_sim", "run", "--scenario=burst", "--bm=dt",
+                        "--faults=loss:rate=abc"};
+  EXPECT_EQ(cli::Main(5, argv), 2);
+}
+
+TEST(FaultCli, ParseArgsNamesOffendingToken) {
+  const char* argv[] = {"occamy_sim", "--faults=link_down:t=2,node=sw0,port=1"};
+  cli::SimOptions opts;
+  const auto err = cli::ParseArgs(2, argv, opts);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("'t=2'"), std::string::npos) << *err;
+}
+
+TEST(FaultCli, DegradationRequiresFaults) {
+  const char* argv[] = {"occamy_sim", "--degradation"};
+  cli::SimOptions opts;
+  const auto err = cli::ParseArgs(2, argv, opts);
+  ASSERT_TRUE(err.has_value());
+  EXPECT_NE(err->find("--degradation"), std::string::npos) << *err;
+}
+
+TEST(FaultCli, GoodFaultsAccepted) {
+  const char* argv[] = {"occamy_sim",
+                        "--faults=link_down:t=2ms,dur=1ms,node=sw0,port=3",
+                        "--degradation"};
+  cli::SimOptions opts;
+  EXPECT_FALSE(cli::ParseArgs(3, argv, opts).has_value());
+  EXPECT_EQ(opts.faults, "link_down:t=2ms,dur=1ms,node=sw0,port=3");
+  EXPECT_TRUE(opts.degradation);
+}
+
+// ---------------- transport hardening under blackhole ----------------
+
+// Star harness with an adjustable transport config and a fault injector
+// armed before any flow starts (same-time toggles then precede packets).
+struct FaultHarness {
+  explicit FaultHarness(const std::string& spec,
+                        transport::TransportConfig config = {})
+      : sim(7), net(&sim) {
+    net::StarConfig cfg;
+    cfg.num_hosts = 4;
+    cfg.host_rate = Bandwidth::Gbps(10);
+    cfg.link_propagation = Microseconds(1);
+    cfg.switch_config.tm.buffer_bytes = 500000;
+    cfg.switch_config.scheme_factory = [] {
+      return std::make_unique<bm::DynamicThreshold>();
+    };
+    topo = net::BuildStar(net, cfg);
+    bench::ArmFaultsOrDie(injector, net, spec, bench::StarFaultTopology(topo));
+    manager = std::make_unique<transport::FlowManager>(&net, config);
+    for (auto h : topo.hosts) manager->AttachHost(h);
+  }
+
+  uint64_t Flow(int src, int dst, int64_t bytes) {
+    transport::FlowParams p;
+    p.src = topo.hosts[static_cast<size_t>(src)];
+    p.dst = topo.hosts[static_cast<size_t>(dst)];
+    p.size_bytes = bytes;
+    p.cc = transport::CcAlgorithm::kDctcp;
+    p.start_time = 0;
+    return manager->StartFlow(p);
+  }
+
+  sim::Simulator sim;
+  net::Network net;
+  net::StarTopology topo;
+  std::optional<fault::FaultInjector> injector;
+  std::unique_ptr<transport::FlowManager> manager;
+};
+
+TEST(FaultTransport, RtoBackoffClampsAtMaxRtoUnderSustainedBlackhole) {
+  transport::TransportConfig config;
+  config.min_rto = config.initial_rto = Milliseconds(5);
+  config.max_rto = Milliseconds(50);
+  // Permanent blackhole of the switch egress toward host1: data vanishes,
+  // no ACK ever returns, the sender times out forever.
+  FaultHarness h("blackhole:node=sw0,port=1", config);
+  const uint64_t id = h.Flow(0, 1, 100000);
+  h.sim.RunUntil(Milliseconds(400));
+
+  transport::Connection* conn = h.manager->FindConnection(id);
+  ASSERT_NE(conn, nullptr);
+  EXPECT_FALSE(conn->completed());
+  // Backoff doubles 5,10,20,40 then clamps: 5ms<<4 = 80ms > max_rto. The
+  // exponent itself saturates at 8 (no unbounded shift).
+  EXPECT_EQ(conn->rto_backoff(), 8);
+  EXPECT_EQ(conn->last_rto_timeout(), Milliseconds(50))
+      << "armed timeout must clamp exactly at max_rto";
+  // 5+10+20+40+50k ms: at least 8 timeouts fit in 400 ms.
+  EXPECT_GE(conn->rto_count(), 8);
+  EXPECT_TRUE(conn->rto_timer_pending()) << "live flow keeps its timer armed";
+  EXPECT_GT(h.injector->Totals().blackhole_drops, 0);
+}
+
+TEST(FaultTransport, CompleteCancelsRtoTimerAfterBlackholeLifts) {
+  transport::TransportConfig config;
+  config.min_rto = config.initial_rto = Milliseconds(5);
+  config.max_rto = Milliseconds(50);
+  // Transient blackhole: the flow RTOs through the outage, then recovers
+  // and completes; Complete() must cancel the timer (a leaked handle would
+  // fire into a dead flow).
+  FaultHarness h("blackhole:t=0ns,dur=30ms,node=sw0,port=1", config);
+  const uint64_t id = h.Flow(0, 1, 50000);
+  // The manager defers connection destruction past Complete(), so the
+  // timer state is probed from the synchronous completion listener — the
+  // instant after Complete() ran, before the connection is erased.
+  bool probed = false;
+  h.manager->AddCompletionListener(
+      [&](const transport::FlowParams& p, Time /*end*/) {
+        if (p.id != id) return;
+        transport::Connection* conn = h.manager->FindConnection(id);
+        ASSERT_NE(conn, nullptr);
+        EXPECT_TRUE(conn->completed());
+        EXPECT_FALSE(conn->rto_timer_pending())
+            << "Complete() must cancel rto_timer_";
+        EXPECT_EQ(conn->rto_backoff(), 0) << "new ACKs reset the backoff";
+        EXPECT_GE(conn->rto_count(), 1)
+            << "the outage must actually have bitten";
+        probed = true;
+      });
+  h.sim.Run();
+
+  EXPECT_TRUE(probed) << "flow never completed";
+  EXPECT_EQ(h.manager->completions().Count(), 1u);
+  EXPECT_EQ(h.injector->Totals().faults_injected, 2)
+      << "blackhole on + off";
+}
+
+// ---------------- fault counters in schema v7 metrics ----------------
+
+exp::Metrics RunSmokePoint(const char* scenario, const char* faults,
+                           double duration_ms = 1.0) {
+  exp::PointSpec spec;
+  spec.scenario = scenario;
+  spec.bm = "occamy";
+  spec.scale = bench::BenchScale::kSmoke;
+  spec.duration_ms = duration_ms;
+  spec.seed = 1;
+  if (faults != nullptr) spec.faults = faults;
+  return testing::RunPointOrFail(spec);
+}
+
+TEST(FaultCounters, HealthyRunCarriesZeroedFaultFields) {
+  const exp::Metrics m = RunSmokePoint("burst", nullptr);
+  EXPECT_EQ(m.Number("schema_version"), 7);
+  // Always present so the fingerprint shape is plan-independent.
+  for (const char* key : {"faults_injected", "packets_lost_injected",
+                          "packets_corrupted", "blackhole_drops",
+                          "link_down_drops"}) {
+    const auto* v = m.Find(key);
+    ASSERT_NE(v, nullptr) << key;
+    EXPECT_EQ(v->i, 0) << key;
+  }
+  EXPECT_EQ(m.Find("faults"), nullptr) << "no schedule field on healthy runs";
+}
+
+TEST(FaultCounters, LinkFlapDropsAndCountsTwoInjections) {
+  const exp::Metrics m =
+      RunSmokePoint("burst", "link_down:t=500us,dur=300us,node=sw0,port=2");
+  EXPECT_EQ(m.Number("faults_injected"), 2) << "down + restore";
+  EXPECT_GT(m.Number("link_down_drops"), 0);
+  EXPECT_EQ(m.Str("faults"), "link_down:t=500us,dur=300us,node=sw0,port=2");
+}
+
+TEST(FaultCounters, PermanentBlackholeCountsDrops) {
+  const exp::Metrics m = RunSmokePoint("burst", "blackhole:node=sw0,port=2");
+  EXPECT_EQ(m.Number("faults_injected"), 1) << "permanent: no restore event";
+  EXPECT_GT(m.Number("blackhole_drops"), 0);
+}
+
+TEST(FaultCounters, IidLossCountsInjectedLosses) {
+  const exp::Metrics m =
+      RunSmokePoint("websearch", "loss:rate=0.01,seed=7", 2.0);
+  EXPECT_GT(m.Number("packets_lost_injected"), 0);
+  EXPECT_EQ(m.Number("faults_injected"), 1);
+}
+
+TEST(FaultCounters, CorruptionDroppedAtReceiverAndCounted) {
+  const exp::Metrics m =
+      RunSmokePoint("burst_absorption", "corrupt:rate=0.01,seed=3", 2.0);
+  EXPECT_GT(m.Number("packets_corrupted"), 0);
+}
+
+TEST(FaultCounters, FreezeDegradesQct) {
+  exp::PointSpec spec;
+  spec.scenario = "incast";
+  spec.bm = "occamy";
+  spec.scale = bench::BenchScale::kSmoke;
+  spec.duration_ms = 8.0;
+  const exp::Metrics healthy = testing::RunPointOrFail(spec);
+  // Star incast queries only start at t=5ms (the workload lets the
+  // background establish itself first), so the window must sit on top of
+  // query activity to bite.
+  spec.faults = "freeze:t=5ms,dur=2ms,node=sw0";
+  const exp::Metrics frozen = testing::RunPointOrFail(spec);
+  EXPECT_EQ(frozen.Number("faults_injected"), 2) << "freeze + thaw";
+  // Arrivals kept queueing while egress was halted, so queries crossing the
+  // window finish strictly later; no query can get faster.
+  EXPECT_GE(frozen.Number("qct_avg_ms"), healthy.Number("qct_avg_ms"));
+  EXPECT_GT(frozen.Number("qct_p99_ms"), healthy.Number("qct_p99_ms"));
+}
+
+TEST(FaultCounters, LossRateKnobComposesIntoSchedule) {
+  exp::PointSpec spec;
+  spec.scenario = "incast";
+  spec.bm = "occamy";
+  spec.scale = bench::BenchScale::kSmoke;
+  spec.duration_ms = 2.0;
+  spec.loss_rate = 0.02;
+  const exp::Metrics m = testing::RunPointOrFail(spec);
+  EXPECT_GT(m.Number("packets_lost_injected"), 0);
+  EXPECT_DOUBLE_EQ(m.Number("loss_rate"), 0.02);
+  EXPECT_EQ(m.Str("faults"), "loss:rate=0.02");
+}
+
+TEST(FaultCounters, RunPointRejectsBadFaultKnobs) {
+  exp::PointSpec spec;
+  spec.scenario = "incast";
+  spec.bm = "occamy";
+  spec.loss_rate = 1.5;
+  exp::PointResult r = exp::RunPoint(spec);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("loss_rate"), std::string::npos) << r.error;
+
+  spec.loss_rate = 0;
+  spec.faults = "melt:t=1ms";
+  r = exp::RunPoint(spec);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("unknown fault type"), std::string::npos) << r.error;
+}
+
+// ---------------- sweep integration ----------------
+
+TEST(FaultSweep, LossRatesAreAGridAxisAndFaultsARunCondition) {
+  exp::SweepSpec spec;
+  spec.scenarios = {"incast"};
+  spec.bms = {"dt", "occamy"};
+  spec.seeds = 2;
+  spec.loss_rates = {0.01, 0.02};
+  spec.faults = "freeze:t=100us,dur=50us,node=sw0";
+  EXPECT_EQ(exp::GridSize(spec), 2u * 2u * 2u);
+  std::vector<exp::SweepPoint> points;
+  ASSERT_FALSE(exp::ExpandSweep(spec, points).has_value());
+  ASSERT_EQ(points.size(), 8u);
+  for (const auto& p : points) {
+    EXPECT_TRUE(p.spec.loss_rate == 0.01 || p.spec.loss_rate == 0.02);
+    EXPECT_EQ(p.spec.faults, spec.faults) << "applied to every point";
+    EXPECT_NE(p.run_key.find("loss_rate="), std::string::npos) << p.run_key;
+    EXPECT_EQ(p.cell_key.find("faults"), std::string::npos)
+        << "run condition, not a key field: " << p.cell_key;
+  }
+}
+
+// ---------------- determinism: shard-count invariance ----------------
+
+TEST(FaultDifferentialTest, BurstLinkFlapShardInvariant) {
+  exp::PointSpec spec;
+  spec.scenario = "burst";
+  spec.bm = "occamy";
+  spec.scale = bench::BenchScale::kSmoke;
+  spec.duration_ms = 1.0;
+  spec.seed = testing::ShiftedSeed(1);
+  spec.faults = "link_down:t=500us,dur=300us,node=sw0,port=2";
+  testing::ExpectShardCountInvariant(spec, {2, 4});
+}
+
+TEST(FaultDifferentialTest, WebsearchLossShardInvariant) {
+  exp::PointSpec spec;
+  spec.scenario = "websearch";
+  spec.bm = "occamy";
+  spec.scale = bench::BenchScale::kSmoke;
+  spec.duration_ms = 2.0;
+  spec.seed = testing::ShiftedSeed(1);
+  spec.faults = "loss:rate=0.01,seed=7";
+  testing::ExpectShardCountInvariant(spec, {2, 4});
+}
+
+TEST(FaultDifferentialTest, StarLossCorruptFreezeShardInvariant) {
+  exp::PointSpec spec;
+  spec.scenario = "burst_absorption";
+  spec.bm = "dt";
+  spec.scale = bench::BenchScale::kSmoke;
+  spec.duration_ms = 2.0;
+  spec.seed = testing::ShiftedSeed(2);
+  spec.faults =
+      "loss:rate=0.005,seed=11;corrupt:rate=0.002,seed=13;"
+      "freeze:t=300us,dur=200us,node=sw0";
+  testing::ExpectShardCountInvariant(spec, {2});
+}
+
+// ---------------- determinism: threads vs inline ----------------
+
+TEST(FaultDifferentialTest, ThreadsAndInlineShardingAgreeUnderFaults) {
+  bench::BurstLabSpec spec;
+  spec.shards = 2;
+  spec.faults = "link_down:t=500us,dur=300us,node=sw0,port=2";
+  spec.horizon = Milliseconds(1);
+
+  spec.shard_threads = true;
+  const bench::BurstLabResult threads = bench::RunBurstLab(spec);
+  spec.shard_threads = false;
+  const bench::BurstLabResult inline_run = bench::RunBurstLab(spec);
+
+  EXPECT_EQ(threads.burst_drops, inline_run.burst_drops);
+  EXPECT_EQ(threads.long_lived_drops, inline_run.long_lived_drops);
+  EXPECT_EQ(threads.sim_events, inline_run.sim_events);
+  EXPECT_EQ(threads.faults.link_down_drops, inline_run.faults.link_down_drops);
+  EXPECT_EQ(threads.faults.faults_injected, inline_run.faults.faults_injected);
+  EXPECT_GT(threads.faults.link_down_drops, 0);
+}
+
+}  // namespace
+}  // namespace occamy

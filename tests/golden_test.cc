@@ -51,12 +51,16 @@ struct GoldenCase {
   const char* bm;
   double duration_ms;
   int shards;  // 0 = the platform's default single-threaded engine
+  // Fault schedule (src/fault grammar); nullptr = healthy run. Appended
+  // last so the healthy cases keep their positional initializers.
+  const char* faults = nullptr;
 };
 
-// One file per case: <scenario>.<bm>[.shardsN].golden
+// One file per case: <scenario>.<bm>[.shardsN][.faults].golden
 std::string GoldenPath(const GoldenCase& c) {
   std::string name = std::string(c.scenario) + "." + c.bm;
   if (c.shards > 0) name += ".shards" + std::to_string(c.shards);
+  if (c.faults != nullptr) name += ".faults";
   return GoldenDir() + "/" + name + ".golden";
 }
 
@@ -69,6 +73,7 @@ void CheckGolden(const GoldenCase& c) {
   spec.duration_ms = c.duration_ms;
   spec.seed = 1;  // pinned: goldens are fixed-point, not seed-shifted
   spec.shards = c.shards;
+  if (c.faults != nullptr) spec.faults = c.faults;
   const exp::Metrics metrics = testing::RunPointOrFail(spec);
   ASSERT_GT(metrics.Number("sim_events"), 0);
   const std::string fresh = testing::DeterministicFingerprint(metrics);
@@ -110,6 +115,16 @@ constexpr GoldenCase kCases[] = {
     {"websearch", "occamy", 2.0, 0},
     {"websearch", "occamy", 2.0, 2},
     {"alltoall", "dt", 2.0, 0},
+    // Canonical fault schedules (ISSUE 8): one golden per engine so the
+    // faulted paths of both engines are locked independently. The flap
+    // severs the burst receiver's link mid-burst; the loss case exercises
+    // the per-delivery Bernoulli draw on the fabric.
+    {"burst", "occamy", 1.0, 0, "link_down:t=500us,dur=300us,node=sw0,port=2"},
+    {"burst", "occamy", 1.0, 2, "link_down:t=500us,dur=300us,node=sw0,port=2"},
+    {"websearch", "occamy", 2.0, 0, "loss:rate=0.01,seed=7"},
+    {"websearch", "occamy", 2.0, 2, "loss:rate=0.01,seed=7"},
+    {"burst_absorption", "occamy", 2.0, 0, "loss:rate=0.005,seed=11;corrupt:rate=0.002,seed=13"},
+    {"burst_absorption", "occamy", 2.0, 2, "loss:rate=0.005,seed=11;corrupt:rate=0.002,seed=13"},
 };
 
 TEST(GoldenTest, MetricsMatchCheckedInFingerprints) {

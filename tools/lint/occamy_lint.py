@@ -66,8 +66,10 @@ import sys
 SCAN_DIRS = ["src", "bench/common"]
 SOURCE_EXTS = (".h", ".cc")
 
-# raw-random applies where seeded determinism is load-bearing.
-RAW_RANDOM_DIRS = ("src/sim", "src/net", "src/transport")
+# raw-random applies where seeded determinism is load-bearing. src/fault is
+# in scope: fault draws must come from the plan's seeded Rng, never ambient
+# randomness, or faulted runs stop being byte-identical across shard counts.
+RAW_RANDOM_DIRS = ("src/sim", "src/net", "src/transport", "src/fault")
 # hot-path-indirection applies to the allocation-scrubbed hot-path dirs.
 HOT_PATH_DIRS = ("src/sim", "src/core", "src/buffer")
 # trace-macro-only applies to the engine dirs the OCCAMY_TRACE_* macros
@@ -388,38 +390,45 @@ def self_test(fixtures_dir):
     failures = []
     for rule in RULES:
         # Fixtures fake the rule's directory scope via their path argument.
-        scoped_path = {
-            "unordered-iteration": "src/exp/fixture.cc",
-            "raw-random": "src/sim/fixture.cc",
-            "hot-path-indirection": "src/core/fixture.cc",
-            "pointer-keyed-order": "src/net/fixture.cc",
-            "trace-macro-only": "src/buffer/fixture.cc",
+        # raw-random is checked under every scoped directory family it
+        # guards (the engine dirs and src/fault), proving the scope list
+        # actually reaches the fault subsystem.
+        scoped_paths = {
+            "unordered-iteration": ["src/exp/fixture.cc"],
+            "raw-random": ["src/sim/fixture.cc", "src/fault/fixture.cc"],
+            "hot-path-indirection": ["src/core/fixture.cc"],
+            "pointer-keyed-order": ["src/net/fixture.cc"],
+            "trace-macro-only": ["src/buffer/fixture.cc"],
         }[rule]
 
-        bad = os.path.join(fixtures_dir, f"violate_{rule}.cc")
-        with open(bad) as f:
-            bad_text = f.read()
-        findings = lint_source(scoped_path, bad_text)
-        if not findings:
-            failures.append(f"{rule}: violating fixture produced no findings")
-        elif any(f.rule != rule for f in findings):
-            failures.append(
-                f"{rule}: violating fixture produced foreign findings: "
-                + ", ".join(sorted({f.rule for f in findings})))
+        for scoped_path in scoped_paths:
+            bad = os.path.join(fixtures_dir, f"violate_{rule}.cc")
+            with open(bad) as f:
+                bad_text = f.read()
+            findings = lint_source(scoped_path, bad_text)
+            if not findings:
+                failures.append(
+                    f"{rule}: violating fixture produced no findings "
+                    f"under {scoped_path}")
+            elif any(f.rule != rule for f in findings):
+                failures.append(
+                    f"{rule}: violating fixture produced foreign findings: "
+                    + ", ".join(sorted({f.rule for f in findings})))
 
-        good = os.path.join(fixtures_dir, f"allowed_{rule}.cc")
-        with open(good) as f:
-            good_text = f.read()
-        findings = lint_source(scoped_path, good_text)
-        if findings:
-            failures.append(
-                f"{rule}: annotated fixture still flagged at line "
-                + ", ".join(str(f.line) for f in findings))
-        stripped = ALLOW_RE.sub("//", good_text)
-        findings = lint_source(scoped_path, stripped)
-        if not any(f.rule == rule for f in findings):
-            failures.append(
-                f"{rule}: annotated fixture passed even with annotations stripped")
+            good = os.path.join(fixtures_dir, f"allowed_{rule}.cc")
+            with open(good) as f:
+                good_text = f.read()
+            findings = lint_source(scoped_path, good_text)
+            if findings:
+                failures.append(
+                    f"{rule}: annotated fixture still flagged at line "
+                    + ", ".join(str(f.line) for f in findings))
+            stripped = ALLOW_RE.sub("//", good_text)
+            findings = lint_source(scoped_path, stripped)
+            if not any(f.rule == rule for f in findings):
+                failures.append(
+                    f"{rule}: annotated fixture passed even with annotations "
+                    f"stripped under {scoped_path}")
 
     for failure in failures:
         print(f"occamy_lint self-test: FAIL: {failure}", file=sys.stderr)

@@ -10,6 +10,7 @@
 
 #include "src/exp/figures.h"
 #include "src/exp/scenario_runner.h"
+#include "src/fault/fault_plan.h"
 #include "src/obs/export.h"
 #include "tools/sweep_cli.h"
 
@@ -86,6 +87,10 @@ std::optional<std::string> ParseArgs(int argc, const char* const* argv, SimOptio
       out.list = true;
       continue;
     }
+    if (arg == "--degradation") {
+      out.degradation = true;
+      continue;
+    }
     if (arg == "--help" || arg == "-h") {
       out.help = true;
       continue;
@@ -142,9 +147,18 @@ std::optional<std::string> ParseArgs(int argc, const char* const* argv, SimOptio
       if (out.shards < 1 || out.shards > 64) {
         return "invalid --shards (want 1..64): " + value;
       }
+    } else if (key == "faults") {
+      // Parse eagerly so a malformed schedule is a usage error (exit 2)
+      // naming the offending token, not a mid-run failure.
+      fault::FaultPlan plan;
+      if (auto perr = fault::ParseFaultPlan(value, &plan)) return *perr;
+      out.faults = value;
     } else {
       return "unknown option: --" + key;
     }
+  }
+  if (out.degradation && out.faults.empty()) {
+    return "--degradation needs --faults (it compares against the healthy twin)";
   }
   return std::nullopt;
 }
@@ -184,6 +198,12 @@ std::string UsageString() {
          "                      (fabric: node-affinity sharding; star/p4: intra-\n"
          "                      switch partition sharding; byte-identical metrics\n"
          "                      for any n; default: single-threaded engine)\n"
+         "  --faults=<spec>     deterministic fault schedule, e.g.\n"
+         "                      link_down:t=2ms,dur=1ms,node=sw0,port=3;loss:rate=0.01\n"
+         "                      (types: link_down blackhole freeze loss corrupt;\n"
+         "                      see README \"Fault injection\")\n"
+         "  --degradation       also run the healthy twin (same seed, no faults) and\n"
+         "                      emit healthy_<k>/delta_<k> fields for the key metrics\n"
          "  --list              list scenarios and schemes, then exit\n"
          "  --help              this message\n";
   return out.str();
@@ -198,6 +218,7 @@ SimResult RunScenario(const SimOptions& opts) {
   spec.duration_ms = opts.duration_ms;
   spec.alphas = opts.alphas;
   spec.shards = opts.shards;
+  spec.faults = opts.faults;
   if (!opts.scale.empty()) spec.scale = exp::ScaleByName(opts.scale);
 
   exp::PointResult point = exp::RunPoint(spec);
@@ -205,6 +226,44 @@ SimResult RunScenario(const SimOptions& opts) {
     result.error = std::move(point.error);
     return result;
   }
+
+  // Degradation report: re-run the identical point with the fault schedule
+  // cleared (same seed, same engine) and append healthy_<k> + delta_<k>
+  // (faulted minus healthy) for the metrics that tell the availability
+  // story. Only keys the platform actually emitted are compared.
+  if (opts.degradation) {
+    exp::PointSpec healthy = spec;
+    healthy.faults.clear();
+    healthy.loss_rate = 0;
+    exp::PointResult base = exp::RunPoint(healthy);
+    if (!base.ok) {
+      result.error = "degradation baseline failed: " + base.error;
+      return result;
+    }
+    static const char* const kDegradationKeys[] = {
+        "goodput_gbps", "qct_avg_ms", "qct_p99_ms",       "drops",
+        "rtos",         "expelled",   "delivered_bytes",  "burst_drops",
+        "burst_loss_rate",
+    };
+    for (const char* key : kDegradationKeys) {
+      const exp::Metrics::Value* faulted = point.metrics.Find(key);
+      const exp::Metrics::Value* h = base.metrics.Find(key);
+      if (faulted == nullptr || h == nullptr || !faulted->IsNumeric() ||
+          !h->IsNumeric()) {
+        continue;
+      }
+      const std::string name = key;
+      if (faulted->kind == exp::Metrics::Kind::kInt &&
+          h->kind == exp::Metrics::Kind::kInt) {
+        point.metrics.Set("healthy_" + name, h->i);
+        point.metrics.Set("delta_" + name, faulted->i - h->i);
+      } else {
+        point.metrics.Set("healthy_" + name, h->Number());
+        point.metrics.Set("delta_" + name, faulted->Number() - h->Number());
+      }
+    }
+  }
+
   result.json = point.metrics.ToJson();
   result.ok = true;
   return result;

@@ -11,6 +11,7 @@
 #include "src/exp/figures.h"
 #include "src/exp/sinks.h"
 #include "src/exp/sweep_runner.h"
+#include "src/fault/fault_plan.h"
 #include "tools/sim_cli.h"
 
 namespace occamy::cli {
@@ -151,13 +152,16 @@ std::string SweepUsageString() {
          "  --shards=<n>              run every point on the partition-parallel\n"
          "                            engine with n shards each (results unchanged;\n"
          "                            jobs is capped so jobs x shards fits the CPU)\n"
+         "  --faults=<spec>           fault schedule applied to every point (run\n"
+         "                            condition, not a grid axis; src/fault grammar)\n"
          "Sweep dimensions (each value adds a grid axis):\n"
          "  --alphas=<a,...>          alpha applied to every traffic class\n"
          "  --bg-loads=<l,...>        background load fraction\n"
          "  --query-bytes=<b,...>     incast query size (star scenarios)\n"
          "  --buffer-bytes=<b,...>    shared-buffer size (p4/star scenarios)\n"
          "  --bg-flow-bytes=<b,...>   collective flow size (alltoall/allreduce)\n"
-         "  --burst-bytes=<b,...>     measured burst size (burst scenario)\n";
+         "  --burst-bytes=<b,...>     measured burst size (burst scenario)\n"
+         "  --loss-rates=<r,...>      i.i.d. packet-loss rate, each in (0, 1)\n";
   return out.str();
 }
 
@@ -227,6 +231,15 @@ std::optional<std::string> ParseSweepArgs(int argc, const char* const* argv,
       if (auto e = ParseInt64List(key, value, out.spec.bg_flow_bytes)) return e;
     } else if (key == "burst-bytes") {
       if (auto e = ParseInt64List(key, value, out.spec.burst_bytes)) return e;
+    } else if (key == "loss-rates") {
+      if (auto e = ParseDoubleList(key, value, out.spec.loss_rates)) return e;
+      for (const double r : out.spec.loss_rates) {
+        if (r >= 1.0) return "invalid --loss-rates entry (want < 1): " + value;
+      }
+    } else if (key == "faults") {
+      fault::FaultPlan plan;
+      if (auto perr = fault::ParseFaultPlan(value, &plan)) return *perr;
+      out.spec.faults = value;
     } else {
       return "unknown option: --" + key;
     }
