@@ -85,6 +85,10 @@ struct DpdkRunResult {
   int64_t drops = 0;
   int64_t expelled = 0;
   int64_t delivered_bytes = 0;  // application bytes of completed transfers
+  // Delivered bytes bucketed by the completing transfer's end time in
+  // simulated milliseconds (exact integers; feeds the --degradation
+  // time-to-recovery report, see src/fault/recovery.h).
+  std::vector<int64_t> delivered_by_ms;
   int64_t peak_occupancy_bytes = 0;
   int64_t buffer_bytes = 0;
   double duration_ms = 0;  // traffic window (excludes the drain tail)
@@ -233,7 +237,14 @@ inline void FillDpdkCompletionMetrics(
     };
     result.fct_small_p99_ms = flows.DurationsMs(small).P99();
   }
-  for (const auto& rec : flows.records()) result.delivered_bytes += rec.bytes;
+  for (const auto& rec : flows.records()) {
+    result.delivered_bytes += rec.bytes;
+    const int64_t bucket = rec.end / kMillisecond;
+    if (bucket >= static_cast<int64_t>(result.delivered_by_ms.size())) {
+      result.delivered_by_ms.resize(static_cast<size_t>(bucket) + 1, 0);
+    }
+    result.delivered_by_ms[static_cast<size_t>(bucket)] += rec.bytes;
+  }
 }
 
 // ---------------- intra-switch partition-parallel engine ----------------

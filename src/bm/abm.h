@@ -53,6 +53,12 @@ class Abm : public BmScheme {
     return congested_count_per_prio_[static_cast<size_t>(prio)];
   }
 
+  // Switch restart: no queue is congested once the buffer was flushed.
+  void Reset() override {
+    congested_.assign(congested_.size(), false);
+    congested_count_per_prio_.assign(congested_count_per_prio_.size(), 0);
+  }
+
  private:
   void EnsureSized(const TmView& tm) const {
     if (congested_.size() != static_cast<size_t>(tm.num_queues())) {

@@ -58,6 +58,12 @@ class BmScheme {
   // bitmap incrementally; schemes without it get a full rescan every
   // expulsion step (the pre-optimization behaviour).
   virtual bool ThresholdIsFreeBytesMonotone() const { return false; }
+
+  // Switch-restart support (fault injection): returns the scheme's mutable
+  // per-run state to power-on defaults. Called after the TM flushed every
+  // buffered packet, so queue-length-derived state starts from empty.
+  // Stateless schemes (plain DT) keep the default no-op.
+  virtual void Reset() {}
 };
 
 }  // namespace occamy::bm

@@ -60,6 +60,9 @@ class EnhancedDt : public BmScheme {
     UpdateState(tm, q);
   }
 
+  // Switch restart: every queue returns to NORMAL (the buffer was flushed).
+  void Reset() override { states_.assign(states_.size(), QueueState{}); }
+
   bool IsAbsorbingForTest(const TmView& tm, int q) const {
     EnsureSized(tm);
     const auto& st = states_[static_cast<size_t>(q)];

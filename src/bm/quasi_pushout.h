@@ -55,6 +55,13 @@ class QuasiPushout : public BmScheme {
 
   int quasi_longest_for_test() const { return quasi_longest_; }
 
+  // Switch restart: the quasi-longest register is stale once the buffer was
+  // flushed; clear it so it re-seeds from post-restart traffic.
+  void Reset() override {
+    quasi_longest_ = -1;
+    quasi_len_ = 0;
+  }
+
  private:
   void Observe(const TmView& tm, int q) {
     const int64_t len = tm.qlen_bytes(q);

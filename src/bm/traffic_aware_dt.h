@@ -60,6 +60,9 @@ class TrafficAwareDt : public BmScheme {
 
   Mode ModeForTest(int q) const { return states_[static_cast<size_t>(q)].mode; }
 
+  // Switch restart: every queue returns to NORMAL (the buffer was flushed).
+  void Reset() override { states_.assign(states_.size(), QueueState{}); }
+
  private:
   struct QueueState {
     Mode mode = Mode::kNormal;

@@ -99,6 +99,44 @@ class ExpulsionEngine {
   int64_t expelled_cells() const { return expelled_cells_; }
   int64_t blocked_on_bandwidth() const { return blocked_on_bandwidth_; }
 
+  // ---- Control-plane fault injection (fault::FaultInjector) ----
+  // Freezes/thaws the engine's control plane: while frozen no Step is
+  // scheduled (a pending one is cancelled) and the data path runs without
+  // any expulsion — queues over-allocate freely. Thawing issues a full-
+  // rescan Kick so the engine catches up on everything it missed. Must run
+  // on the engine's simulator; does not nest.
+  void SetControlFrozen(bool frozen) {
+    if (control_frozen_ == frozen) return;
+    control_frozen_ = frozen;
+    if (frozen) {
+      if (scheduled_) {
+        pending_.Cancel();
+        scheduled_ = false;
+        ++cp_stalled_steps_;
+      }
+      return;
+    }
+    Kick();
+  }
+
+  // Adds `lag` to every Step-scheduling decision (a stale control plane);
+  // 0 restores normal scheduling.
+  void set_control_lag(Time lag) { control_lag_ = lag; }
+
+  // Steps suppressed by a frozen control plane or deferred by control lag.
+  int64_t cp_stalled_steps() const { return cp_stalled_steps_; }
+
+  // Switch-restart support: cancels any pending step and marks every queue
+  // dirty (the buffer was just flushed, so all cached selector state is
+  // stale). Cumulative counters survive — they are run-level metrics.
+  void Reset() {
+    if (scheduled_) {
+      pending_.Cancel();
+      scheduled_ = false;
+    }
+    selector_.MarkAllDirty();
+  }
+
  private:
   void Step();
 
@@ -106,16 +144,28 @@ class ExpulsionEngine {
   // dirty state — Step's epilogue owns the reschedule, so a stray re-entrant
   // Kick() (e.g. a drop hook feeding back into the TM) can neither
   // double-schedule Step nor shortcut the pipeline's OpLatency pacing.
+  // A frozen control plane schedules nothing (the dirty marks accumulate
+  // until the thawing Kick); a lagged one schedules `control_lag_` late.
   void ScheduleFromKick() {
     if (scheduled_ || in_step_) return;
+    if (control_frozen_) {
+      ++cp_stalled_steps_;
+      return;
+    }
     scheduled_ = true;
-    pending_ = sim_->After(0, [this] { Step(); });
+    if (control_lag_ > 0) ++cp_stalled_steps_;
+    pending_ = sim_->After(control_lag_, [this] { Step(); });
   }
 
   // Step-side rescheduling; only valid from inside Step().
   void Reschedule(Time delay) {
+    if (control_frozen_) {
+      ++cp_stalled_steps_;
+      return;
+    }
     scheduled_ = true;
-    pending_ = sim_->After(delay, [this] { Step(); });
+    if (control_lag_ > 0) ++cp_stalled_steps_;
+    pending_ = sim_->After(delay + control_lag_, [this] { Step(); });
   }
 
   Time OpLatency(int64_t cells) const {
@@ -134,10 +184,15 @@ class ExpulsionEngine {
   bool in_step_ = false;
   sim::EventHandle pending_;
 
+  // Control-plane fault state (see SetControlFrozen / set_control_lag).
+  bool control_frozen_ = false;
+  Time control_lag_ = 0;
+
   int64_t expelled_packets_ = 0;
   int64_t expelled_bytes_ = 0;
   int64_t expelled_cells_ = 0;
   int64_t blocked_on_bandwidth_ = 0;
+  int64_t cp_stalled_steps_ = 0;
 };
 
 }  // namespace occamy::core

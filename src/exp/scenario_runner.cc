@@ -81,14 +81,16 @@ std::string ComposeFaults(const PointSpec& spec) {
 
 void AddCommonFields(Metrics& m, const ScenarioInfo& entry, const PointSpec& spec,
                      BenchScale scale, const std::string& faults) {
-  // Schema v7: every platform carries the fault-injection counters
-  // (faults_injected, packets_lost_injected, packets_corrupted,
-  // blackhole_drops, link_down_drops — see AddObsFields) plus the `faults`
-  // schedule / `loss_rate` knob when set. v6 added the counter-registry
-  // fields (per-queue queueing-delay percentiles, per-queue drop and
-  // mailbox counters). v5 added the `shards` engine field on every platform
-  // plus parallel_efficiency on sharded runs.
-  m.Set("schema_version", int64_t{7});
+  // Schema v8: the self-healing fault model adds four counters on every
+  // platform (reroutes, flushed_bytes_restart, burst_loss_packets,
+  // cp_stalled_steps — see AddObsFields). v7 added the base fault-injection
+  // counters (faults_injected, packets_lost_injected, packets_corrupted,
+  // blackhole_drops, link_down_drops) plus the `faults` schedule /
+  // `loss_rate` knob when set. v6 added the counter-registry fields
+  // (per-queue queueing-delay percentiles, per-queue drop and mailbox
+  // counters). v5 added the `shards` engine field on every platform plus
+  // parallel_efficiency on sharded runs.
+  m.Set("schema_version", int64_t{8});
   m.Set("scenario", entry.name);
   m.Set("platform", entry.platform);
   m.Set("bm", spec.bm);
@@ -140,6 +142,11 @@ void AddObsFields(Metrics& m, const obs::BufferObs& obs, uint64_t mailbox_staged
   reg.Add("packets_corrupted", faults.packets_corrupted);
   reg.Add("blackhole_drops", faults.blackhole_drops);
   reg.Add("link_down_drops", faults.link_down_drops);
+  // Schema v8 self-healing counters, same contract (always present).
+  reg.Add("reroutes", faults.reroutes);
+  reg.Add("flushed_bytes_restart", faults.flushed_bytes_restart);
+  reg.Add("burst_loss_packets", faults.burst_loss_packets);
+  reg.Add("cp_stalled_steps", faults.cp_stalled_steps);
   reg.Add("queue_delay_samples", static_cast<int64_t>(obs.all_delays.count()));
   reg.Add("queues_with_drops", static_cast<int64_t>(obs.queues_with_drops));
   reg.SetMax("queue_drops_max", static_cast<int64_t>(obs.queue_drops_max));
@@ -287,6 +294,7 @@ PointResult RunStar(const ScenarioInfo& entry, Scheme scheme, const PointSpec& s
   AddObsFields(m, r.obs, r.mailbox_staged, r.mailbox_drained, r.faults);
   AddPerfFields(m, r.sim_events, start);
   AddEngineFields(m, r.shards, r.parallel_efficiency);
+  result.delivered_by_ms = r.delivered_by_ms;
   result.ok = true;
   return result;
 }
@@ -365,6 +373,7 @@ PointResult RunFabricScenario(const ScenarioInfo& entry, Scheme scheme,
   AddObsFields(m, r.obs, r.mailbox_staged, r.mailbox_drained, r.faults);
   AddPerfFields(m, r.sim_events, start);
   AddEngineFields(m, r.shards, r.parallel_efficiency);
+  result.delivered_by_ms = r.delivered_by_ms;
   result.ok = true;
   return result;
 }

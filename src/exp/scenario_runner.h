@@ -7,6 +7,7 @@
 // nothing here writes process-global state such as environment variables.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -74,6 +75,12 @@ struct PointResult {
   bool ok = false;
   std::string error;  // set when !ok
   Metrics metrics;    // set when ok
+  // Delivered application bytes bucketed by completion millisecond (star
+  // and fabric platforms; empty on the p4 burst lab, which has no
+  // completion records). Exact integers, byte-identical for any shard
+  // count; the --degradation report derives time-to-recovery from it
+  // (src/fault/recovery.h).
+  std::vector<int64_t> delivered_by_ms;
 };
 
 // Runs one point. Returns !ok with a descriptive error for unknown

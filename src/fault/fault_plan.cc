@@ -8,19 +8,28 @@
 namespace occamy::fault {
 namespace {
 
-std::vector<std::string> Split(const std::string& s, char sep) {
-  std::vector<std::string> out;
+// A token plus the byte offset of its first character in the original spec,
+// so every parse error can point at the offending token's position.
+struct Token {
+  std::string text;
+  size_t offset = 0;
+};
+
+std::vector<Token> Split(const std::string& s, char sep, size_t base) {
+  std::vector<Token> out;
   size_t start = 0;
   while (true) {
     const size_t pos = s.find(sep, start);
     if (pos == std::string::npos) {
-      out.push_back(s.substr(start));
+      out.push_back({s.substr(start), base + start});
       return out;
     }
-    out.push_back(s.substr(start, pos - start));
+    out.push_back({s.substr(start, pos - start), base + start});
     start = pos + 1;
   }
 }
+
+std::string AtByte(size_t offset) { return " at byte " + std::to_string(offset); }
 
 // Time values require an explicit unit suffix so "t=2" can never silently
 // mean picoseconds. `what` names the parameter class in errors ("time" /
@@ -89,6 +98,35 @@ std::optional<std::string> ParseRate(const std::string& token, const std::string
   return std::nullopt;
 }
 
+// Like ParseRate but admits 0 (used for loss_good, where "no loss while the
+// chain is Good" is the natural default and an explicit 0 should parse).
+std::optional<std::string> ParseRate0(const std::string& token, const std::string& value,
+                                      double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == nullptr || *end != '\0' || value.empty()) {
+    return "fault spec: bad number in '" + token + "'";
+  }
+  if (v < 0.0 || v > 1.0) {
+    return "fault spec: rate out of range in '" + token + "' (need 0 <= rate <= 1)";
+  }
+  *out = v;
+  return std::nullopt;
+}
+
+std::optional<std::string> ParseBool01(const std::string& token, const std::string& value,
+                                       bool* out) {
+  if (value == "0") {
+    *out = false;
+    return std::nullopt;
+  }
+  if (value == "1") {
+    *out = true;
+    return std::nullopt;
+  }
+  return "fault spec: bad number in '" + token + "' (need 0 or 1)";
+}
+
 // Node names stay symbolic here, but the shape is checked so a typo exits
 // 2 at parse time instead of failing at Arm inside a run.
 std::optional<std::string> CheckNodeName(const std::string& token, const std::string& value) {
@@ -112,16 +150,28 @@ std::optional<std::string> CheckNodeName(const std::string& token, const std::st
 }
 
 bool ParamAllowed(FaultKind kind, const std::string& key) {
-  if (key == "t" || key == "dur") return true;
+  if (key == "t") return true;
+  // Instantaneous (restart) and terminator (link_up) events take no dur=.
+  if (key == "dur") return kind != FaultKind::kLinkUp && kind != FaultKind::kRestart;
   switch (kind) {
     case FaultKind::kLinkDown:
+      return key == "node" || key == "port" || key == "reroute";
+    case FaultKind::kLinkUp:
     case FaultKind::kBlackhole:
       return key == "node" || key == "port";
     case FaultKind::kFreeze:
+    case FaultKind::kCpFreeze:
       return key == "node" || key == "part";
+    case FaultKind::kCpDelay:
+      return key == "node" || key == "part" || key == "lag";
+    case FaultKind::kRestart:
+      return key == "node";
     case FaultKind::kLoss:
     case FaultKind::kCorrupt:
       return key == "rate" || key == "seed";
+    case FaultKind::kGilbert:
+      return key == "p_gb" || key == "p_bg" || key == "loss_good" || key == "loss_bad" ||
+             key == "slot" || key == "seed";
   }
   return false;
 }
@@ -132,14 +182,24 @@ const char* FaultKindName(FaultKind kind) {
   switch (kind) {
     case FaultKind::kLinkDown:
       return "link_down";
+    case FaultKind::kLinkUp:
+      return "link_up";
     case FaultKind::kBlackhole:
       return "blackhole";
     case FaultKind::kFreeze:
       return "freeze";
+    case FaultKind::kRestart:
+      return "restart";
+    case FaultKind::kCpFreeze:
+      return "cp_freeze";
+    case FaultKind::kCpDelay:
+      return "cp_delay";
     case FaultKind::kLoss:
       return "loss";
     case FaultKind::kCorrupt:
       return "corrupt";
+    case FaultKind::kGilbert:
+      return "gilbert";
   }
   return "?";
 }
@@ -147,87 +207,164 @@ const char* FaultKindName(FaultKind kind) {
 std::optional<std::string> ParseFaultPlan(const std::string& spec, FaultPlan* out) {
   out->events.clear();
   if (spec.empty()) return std::nullopt;
-  for (const std::string& entry : Split(spec, ';')) {
-    if (entry.empty()) {
-      return std::string("fault spec: empty fault entry (stray ';')");
+  for (const Token& entry : Split(spec, ';', 0)) {
+    if (entry.text.empty()) {
+      return "fault spec: empty fault entry (stray ';')" + AtByte(entry.offset);
     }
-    const size_t colon = entry.find(':');
-    const std::string type = entry.substr(0, colon);
+    const size_t colon = entry.text.find(':');
+    const std::string type = entry.text.substr(0, colon);
     FaultEvent ev;
     if (type == "link_down") {
       ev.kind = FaultKind::kLinkDown;
+    } else if (type == "link_up") {
+      ev.kind = FaultKind::kLinkUp;
     } else if (type == "blackhole") {
       ev.kind = FaultKind::kBlackhole;
     } else if (type == "freeze") {
       ev.kind = FaultKind::kFreeze;
+    } else if (type == "restart") {
+      ev.kind = FaultKind::kRestart;
+    } else if (type == "cp_freeze") {
+      ev.kind = FaultKind::kCpFreeze;
+    } else if (type == "cp_delay") {
+      ev.kind = FaultKind::kCpDelay;
     } else if (type == "loss") {
       ev.kind = FaultKind::kLoss;
     } else if (type == "corrupt") {
       ev.kind = FaultKind::kCorrupt;
+    } else if (type == "gilbert") {
+      ev.kind = FaultKind::kGilbert;
     } else {
-      return "fault spec: unknown fault type '" + type + "'";
+      return "fault spec: unknown fault type '" + type + "'" + AtByte(entry.offset);
     }
 
     std::set<std::string> seen;
     if (colon != std::string::npos) {
-      for (const std::string& kv : Split(entry.substr(colon + 1), ',')) {
-        if (kv.empty()) {
-          return "fault spec: empty parameter in '" + entry + "'";
+      for (const Token& kv :
+           Split(entry.text.substr(colon + 1), ',', entry.offset + colon + 1)) {
+        if (kv.text.empty()) {
+          return "fault spec: empty parameter in '" + entry.text + "'" + AtByte(kv.offset);
         }
-        const size_t eq = kv.find('=');
-        if (eq == std::string::npos || eq == 0 || eq + 1 == kv.size()) {
-          return "fault spec: malformed parameter '" + kv + "' (expected key=value)";
+        const size_t eq = kv.text.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 == kv.text.size()) {
+          return "fault spec: malformed parameter '" + kv.text + "' (expected key=value)" +
+                 AtByte(kv.offset);
         }
-        const std::string key = kv.substr(0, eq);
-        const std::string value = kv.substr(eq + 1);
+        const std::string key = kv.text.substr(0, eq);
+        const std::string value = kv.text.substr(eq + 1);
         if (!ParamAllowed(ev.kind, key)) {
-          return "fault spec: '" + type + "' does not take parameter '" + kv + "'";
+          return "fault spec: '" + type + "' does not take parameter '" + kv.text + "'" +
+                 AtByte(kv.offset);
         }
         if (!seen.insert(key).second) {
-          return "fault spec: duplicate parameter '" + kv + "'";
+          return "fault spec: duplicate parameter '" + kv.text + "'" + AtByte(kv.offset);
         }
         std::optional<std::string> err;
         if (key == "t") {
-          err = ParseTimeValue(kv, value, "time", &ev.at);
+          err = ParseTimeValue(kv.text, value, "time", &ev.at);
         } else if (key == "dur") {
-          err = ParseTimeValue(kv, value, "duration", &ev.duration);
+          err = ParseTimeValue(kv.text, value, "duration", &ev.duration);
+        } else if (key == "lag") {
+          err = ParseTimeValue(kv.text, value, "lag", &ev.lag);
+        } else if (key == "slot") {
+          err = ParseTimeValue(kv.text, value, "slot", &ev.slot);
         } else if (key == "node") {
-          err = CheckNodeName(kv, value);
+          err = CheckNodeName(kv.text, value);
           if (!err) ev.node = value;
         } else if (key == "port") {
-          err = ParseNonNegInt(kv, value, &ev.port);
+          err = ParseNonNegInt(kv.text, value, &ev.port);
         } else if (key == "part") {
-          err = ParseNonNegInt(kv, value, &ev.part);
+          err = ParseNonNegInt(kv.text, value, &ev.part);
         } else if (key == "rate") {
-          err = ParseRate(kv, value, &ev.rate);
+          err = ParseRate(kv.text, value, &ev.rate);
+        } else if (key == "p_gb") {
+          err = ParseRate(kv.text, value, &ev.p_gb);
+        } else if (key == "p_bg") {
+          err = ParseRate(kv.text, value, &ev.p_bg);
+        } else if (key == "loss_bad") {
+          err = ParseRate(kv.text, value, &ev.loss_bad);
+        } else if (key == "loss_good") {
+          err = ParseRate0(kv.text, value, &ev.loss_good);
+        } else if (key == "reroute") {
+          err = ParseBool01(kv.text, value, &ev.reroute);
         } else if (key == "seed") {
-          err = ParseSeed(kv, value, &ev.seed);
+          err = ParseSeed(kv.text, value, &ev.seed);
         }
-        if (err) return err;
+        if (err) return *err + AtByte(kv.offset);
       }
     }
 
     switch (ev.kind) {
       case FaultKind::kLinkDown:
+      case FaultKind::kLinkUp:
       case FaultKind::kBlackhole:
         if (ev.node.empty()) {
-          return "fault spec: '" + type + "' requires parameter 'node'";
+          return "fault spec: '" + type + "' requires parameter 'node'" + AtByte(entry.offset);
         }
         if (ev.port < 0) {
-          return "fault spec: '" + type + "' requires parameter 'port'";
+          return "fault spec: '" + type + "' requires parameter 'port'" + AtByte(entry.offset);
         }
         break;
       case FaultKind::kFreeze:
+      case FaultKind::kRestart:
+      case FaultKind::kCpFreeze:
         if (ev.node.empty()) {
-          return "fault spec: '" + type + "' requires parameter 'node'";
+          return "fault spec: '" + type + "' requires parameter 'node'" + AtByte(entry.offset);
+        }
+        break;
+      case FaultKind::kCpDelay:
+        if (ev.node.empty()) {
+          return "fault spec: '" + type + "' requires parameter 'node'" + AtByte(entry.offset);
+        }
+        if (ev.lag <= 0) {
+          return "fault spec: '" + type + "' requires parameter 'lag'" + AtByte(entry.offset);
         }
         break;
       case FaultKind::kLoss:
       case FaultKind::kCorrupt:
         if (ev.rate <= 0.0) {
-          return "fault spec: '" + type + "' requires parameter 'rate'";
+          return "fault spec: '" + type + "' requires parameter 'rate'" + AtByte(entry.offset);
         }
         break;
+      case FaultKind::kGilbert:
+        if (ev.p_gb <= 0.0) {
+          return "fault spec: '" + type + "' requires parameter 'p_gb'" + AtByte(entry.offset);
+        }
+        if (ev.p_bg <= 0.0) {
+          return "fault spec: '" + type + "' requires parameter 'p_bg'" + AtByte(entry.offset);
+        }
+        if (ev.loss_bad <= 0.0) {
+          return "fault spec: '" + type + "' requires parameter 'loss_bad'" +
+                 AtByte(entry.offset);
+        }
+        if (ev.slot <= 0) {
+          return "fault spec: 'gilbert' requires a positive 'slot'" + AtByte(entry.offset);
+        }
+        break;
+    }
+
+    if (ev.kind == FaultKind::kLinkUp) {
+      // Normalize: terminate the latest preceding *permanent* link_down on
+      // the same (node, port) by giving it a finite duration. The injector
+      // never sees link_up events.
+      FaultEvent* match = nullptr;
+      for (auto it = out->events.rbegin(); it != out->events.rend(); ++it) {
+        if (it->kind == FaultKind::kLinkDown && it->duration == 0 && it->node == ev.node &&
+            it->port == ev.port) {
+          match = &*it;
+          break;
+        }
+      }
+      if (match == nullptr) {
+        return "fault spec: link_up with no matching permanent link_down on '" + ev.node +
+               "' port " + std::to_string(ev.port) + AtByte(entry.offset);
+      }
+      if (ev.at <= match->at) {
+        return "fault spec: link_up at or before its link_down on '" + ev.node + "' port " +
+               std::to_string(ev.port) + AtByte(entry.offset);
+      }
+      match->duration = ev.at - match->at;
+      continue;
     }
     out->events.push_back(std::move(ev));
   }

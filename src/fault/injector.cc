@@ -1,7 +1,10 @@
 #include "src/fault/injector.h"
 
+#include <algorithm>
 #include <limits>
+#include <map>
 
+#include "src/core/expulsion_engine.h"
 #include "src/net/host.h"
 #include "src/net/switch.h"
 #include "src/util/check.h"
@@ -13,6 +16,10 @@ namespace {
 // Salt separating the corruption draw stream from the loss stream so the
 // two fault classes never correlate even with equal seeds.
 constexpr uint64_t kCorruptSalt = 0x5bf0363563ae1ca7ULL;
+// Salts separating the Gilbert-Elliott chain-transition and per-packet
+// draw streams from each other and from the i.i.d. loss/corrupt streams.
+constexpr uint64_t kGilbertChainSalt = 0x9f4a7517d2b8c3e1ULL;
+constexpr uint64_t kGilbertLossSalt = 0x6c62272e07bb0142ULL;
 }  // namespace
 
 FaultInjector::FaultInjector(net::Network* net, FaultPlan plan, FaultTopology topo)
@@ -176,6 +183,165 @@ void FaultInjector::ArmWindow(const FaultEvent& ev) {
   }
 }
 
+void FaultInjector::ArmGilbert(const FaultEvent& ev) {
+  GilbertWindow w;
+  w.at = ev.at;
+  w.end = ev.duration > 0 ? ev.at + ev.duration : std::numeric_limits<Time>::max();
+  w.p_gb = ev.p_gb;
+  w.p_bg = ev.p_bg;
+  w.loss_good = ev.loss_good;
+  w.loss_bad = ev.loss_bad;
+  w.slot = ev.slot;
+  w.seed = ev.seed;
+  gilbert_windows_.push_back(w);
+  net_->sim().At(ev.at, [this] { ++shard_counters().faults_injected; });
+  if (ev.duration > 0) {
+    net_->sim().At(ev.at + ev.duration, [this] { ++shard_counters().faults_injected; });
+  }
+}
+
+std::optional<std::string> FaultInjector::ArmRestart(const FaultEvent& ev) {
+  net::NodeId id = 0;
+  if (auto err = ResolveNode(ev.node, &id)) return err;
+  auto* sw = dynamic_cast<net::SwitchNode*>(&net_->node(id));
+  if (sw == nullptr) {
+    return "fault spec: restart target '" + ev.node + "' is not a switch";
+  }
+  // Each lane flushes on its own shard; only lane 0 tallies the injection
+  // so the total is independent of the switch's partition count.
+  for (int lane = 0; lane < sw->num_partitions(); ++lane) {
+    const bool count = lane == 0;
+    net_->LaneSim(id, lane).At(ev.at, [this, sw, lane, count] {
+      shard_counters().flushed_bytes_restart += sw->RestartLane(lane);
+      if (count) ++shard_counters().faults_injected;
+    });
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> FaultInjector::ArmCpFault(const FaultEvent& ev) {
+  net::NodeId id = 0;
+  if (auto err = ResolveNode(ev.node, &id)) return err;
+  auto* sw = dynamic_cast<net::SwitchNode*>(&net_->node(id));
+  if (sw == nullptr) {
+    return std::string("fault spec: ") + FaultKindName(ev.kind) + " target '" + ev.node +
+           "' is not a switch";
+  }
+  if (ev.part >= sw->num_partitions()) {
+    return "fault spec: node '" + ev.node + "' has no partition " + std::to_string(ev.part);
+  }
+  const bool freeze = ev.kind == FaultKind::kCpFreeze;
+  const int first = ev.part >= 0 ? ev.part : 0;
+  const int last = ev.part >= 0 ? ev.part : sw->num_partitions() - 1;
+  for (int lane = first; lane <= last; ++lane) {
+    // Schemes without an expulsion engine have no control plane to stall;
+    // the injection still counts (the fault fired, it just had no teeth).
+    core::ExpulsionEngine* engine = sw->partition(lane).mutable_expulsion_engine();
+    if (engine != nullptr &&
+        std::find(cp_engines_.begin(), cp_engines_.end(), engine) == cp_engines_.end()) {
+      cp_engines_.push_back(engine);
+    }
+    const bool count = lane == first;
+    const Time lag = ev.lag;
+    sim::Simulator& sim = net_->LaneSim(id, lane);
+    sim.At(ev.at, [this, engine, freeze, lag, count] {
+      if (engine != nullptr) {
+        if (freeze) {
+          engine->SetControlFrozen(true);
+        } else {
+          engine->set_control_lag(lag);
+        }
+      }
+      if (count) ++shard_counters().faults_injected;
+    });
+    if (ev.duration > 0) {
+      sim.At(ev.at + ev.duration, [this, engine, freeze, count] {
+        if (engine != nullptr) {
+          if (freeze) {
+            engine->SetControlFrozen(false);
+          } else {
+            engine->set_control_lag(0);
+          }
+        }
+        if (count) ++shard_counters().faults_injected;
+      });
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> FaultInjector::ArmReroutes() {
+  // Every route change is known at Arm time (the plan is static), so each
+  // affected switch gets its complete epoch schedule up front. Activation
+  // times round *up* to the engine's conservative-window quantum: an epoch
+  // boundary then coincides with a window barrier, so for any --shards>=1
+  // every packet is routed under exactly the same epoch as the
+  // single-threaded oracle.
+  struct Delta {
+    Time t = 0;
+    int port = 0;
+    int delta = 0;
+  };
+  std::map<net::NodeId, std::vector<Delta>> by_switch;
+  const Time quantum = net_->route_epoch_quantum();
+  const auto align = [quantum](Time t) {
+    return quantum > 0 ? (t + quantum - 1) / quantum * quantum : t;
+  };
+  for (const FaultEvent& ev : plan_.events) {
+    if (ev.kind != FaultKind::kLinkDown || !ev.reroute) continue;
+    Endpoint a, b;
+    if (auto err = ResolveLink(ev, &a, &b)) return err;
+    const Time start = align(ev.at);
+    const Time end = ev.duration > 0 ? align(ev.at + ev.duration) : -1;
+    if (end >= 0 && end <= start) continue;  // outage vanishes after rounding
+    for (const Endpoint& ep : {a, b}) {
+      // Only the two switches adjacent to the downed link reroute around
+      // it; a host endpoint has no routes to version.
+      if (dynamic_cast<net::SwitchNode*>(&net_->node(ep.end.node)) == nullptr) continue;
+      auto& deltas = by_switch[ep.end.node];
+      deltas.push_back({start, ep.end.port, +1});
+      if (end >= 0) deltas.push_back({end, ep.end.port, -1});
+    }
+  }
+  for (auto& [sw_id, deltas] : by_switch) {
+    auto* sw = dynamic_cast<net::SwitchNode*>(&net_->node(sw_id));
+    OCCAMY_CHECK(sw != nullptr);
+    std::sort(deltas.begin(), deltas.end(), [](const Delta& x, const Delta& y) {
+      if (x.t != y.t) return x.t < y.t;
+      if (x.port != y.port) return x.port < y.port;
+      return x.delta < y.delta;
+    });
+    // Sweep the boundaries into cumulative per-port exclusion epochs.
+    std::vector<int> down_count(static_cast<size_t>(sw->num_ports()), 0);
+    std::vector<net::SwitchNode::RouteEpoch> epochs;
+    size_t i = 0;
+    while (i < deltas.size()) {
+      const Time t = deltas[i].t;
+      while (i < deltas.size() && deltas[i].t == t) {
+        down_count[static_cast<size_t>(deltas[i].port)] += deltas[i].delta;
+        ++i;
+      }
+      net::SwitchNode::RouteEpoch epoch;
+      epoch.start = t;
+      epoch.excluded.resize(static_cast<size_t>(sw->num_ports()), 0);
+      for (size_t p = 0; p < down_count.size(); ++p) {
+        epoch.excluded[p] = down_count[p] > 0 ? 1 : 0;
+      }
+      epochs.push_back(std::move(epoch));
+    }
+    // Publication markers: one event per boundary on lane 0's shard — the
+    // path the shard-affinity checker (and its EXPECT_DEATH test) guards.
+    for (const auto& epoch : epochs) {
+      net_->LaneSim(sw_id, 0).At(epoch.start, [this, sw] {
+        sw->OnRouteEpochPublished();
+        ++shard_counters().reroutes;
+      });
+    }
+    sw->SetRouteOutages(std::move(epochs));
+  }
+  return std::nullopt;
+}
+
 std::optional<std::string> FaultInjector::Arm() {
   OCCAMY_CHECK(!armed_) << "FaultInjector armed twice";
   armed_ = true;
@@ -191,15 +357,45 @@ std::optional<std::string> FaultInjector::Arm() {
       case FaultKind::kBlackhole:
         err = ArmLinkFault(ev);
         break;
+      case FaultKind::kLinkUp:
+        // ParseFaultPlan normalizes link_up into the matching link_down's
+        // duration; a plan built by hand must do the same.
+        err = "fault spec: link_up events must be normalized before Arm";
+        break;
       case FaultKind::kFreeze:
         err = ArmFreeze(ev);
+        break;
+      case FaultKind::kRestart:
+        err = ArmRestart(ev);
+        break;
+      case FaultKind::kCpFreeze:
+      case FaultKind::kCpDelay:
+        err = ArmCpFault(ev);
         break;
       case FaultKind::kLoss:
       case FaultKind::kCorrupt:
         ArmWindow(ev);
         break;
+      case FaultKind::kGilbert:
+        ArmGilbert(ev);
+        break;
     }
     if (err) return err;
+  }
+  if (auto err = ArmReroutes()) return err;
+  if (!gilbert_windows_.empty()) {
+    // Flat lane indexing for the per-(sender, lane) chain cursors: hosts
+    // send from one lane, switches from one per partition.
+    lane_base_.assign(net_->num_nodes() + 1, 0);
+    size_t total = 0;
+    for (net::NodeId id = 0; id < static_cast<net::NodeId>(net_->num_nodes()); ++id) {
+      lane_base_[id] = total;
+      auto* sw = dynamic_cast<net::SwitchNode*>(&net_->node(id));
+      total += sw != nullptr ? static_cast<size_t>(sw->num_partitions()) : 1;
+    }
+    lane_base_[net_->num_nodes()] = total;
+    gilbert_cursors_.assign(gilbert_windows_.size(),
+                            std::vector<GilbertCursor>(total, GilbertCursor{}));
   }
   return std::nullopt;
 }
@@ -222,7 +418,9 @@ bool FaultInjector::OnDeliver(net::NodeId from, int src_lane, net::LinkEnd to, u
       }
     }
   }
-  if (loss_windows_.empty() && corrupt_windows_.empty()) return false;
+  if (loss_windows_.empty() && corrupt_windows_.empty() && gilbert_windows_.empty()) {
+    return false;
+  }
   // Per-delivery draw key: a pure function of (sender, lane, per-lane seq),
   // all of which are shard-count-invariant.
   const uint64_t key = SplitMix64(
@@ -233,6 +431,34 @@ bool FaultInjector::OnDeliver(net::NodeId from, int src_lane, net::LinkEnd to, u
     if (rng.UniformDouble() < w.rate) {
       ++shard_counters().packets_lost;
       return true;
+    }
+  }
+  for (size_t wi = 0; wi < gilbert_windows_.size(); ++wi) {
+    const GilbertWindow& w = gilbert_windows_[wi];
+    if (send_time < w.at || send_time >= w.end) continue;
+    // Advance this lane's Good/Bad chain to the send time's slot. Each
+    // transition draw is a pure function of (seed, slot, lane), and each
+    // cursor is touched only from its lane's sending shard (send times are
+    // monotone per lane), so the walk is single-writer and lands on the
+    // same state for any shard count no matter which packets triggered it.
+    const int64_t target_slot = (send_time - w.at) / w.slot;
+    GilbertCursor& cur = gilbert_cursors_[wi][lane_base_[from] + static_cast<size_t>(src_lane)];
+    const uint64_t lane_key = SplitMix64((static_cast<uint64_t>(from) << 16) ^
+                                         static_cast<uint64_t>(src_lane));
+    while (cur.slot < target_slot) {
+      ++cur.slot;
+      Rng chain(SplitMix64(w.seed ^ kGilbertChainSalt) ^
+                SplitMix64(lane_key + SplitMix64(static_cast<uint64_t>(cur.slot))));
+      const double u = chain.UniformDouble();
+      cur.bad = cur.bad ? !(u < w.p_bg) : u < w.p_gb;
+    }
+    const double rate = cur.bad ? w.loss_bad : w.loss_good;
+    if (rate > 0) {
+      Rng rng(SplitMix64(w.seed ^ kGilbertLossSalt) ^ key);
+      if (rng.UniformDouble() < rate) {
+        ++shard_counters().burst_loss_packets;
+        return true;
+      }
     }
   }
   for (const Window& w : corrupt_windows_) {
@@ -256,6 +482,14 @@ FaultCounters FaultInjector::Totals() const {
     total.packets_corrupted += s.c.packets_corrupted;
     total.blackhole_drops += s.c.blackhole_drops;
     total.link_down_drops += s.c.link_down_drops;
+    total.reroutes += s.c.reroutes;
+    total.flushed_bytes_restart += s.c.flushed_bytes_restart;
+    total.burst_loss_packets += s.c.burst_loss_packets;
+  }
+  // Control-plane stalls live in the targeted engines; folding them here is
+  // post-run (no shard executing), so the read is single-threaded.
+  for (const core::ExpulsionEngine* engine : cp_engines_) {
+    total.cp_stalled_steps += engine->cp_stalled_steps();
   }
   return total;
 }

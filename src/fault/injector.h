@@ -19,6 +19,17 @@
 //    node, sending lane, per-lane delivery sequence) through a dedicated
 //    seeded Rng: byte-identical for any --shards >= 1 and never entangled
 //    with the workload's random stream.
+//  * Gilbert-Elliott burst loss walks a per-(sender, lane) Good/Bad Markov
+//    chain whose transition draws are pure functions of (fault seed, slot
+//    index, lane); each lane's cursor is advanced only from that lane's
+//    sending shard (send times are monotone per lane), so the chain state
+//    is single-writer and shard-count-invariant.
+//  * Fault-triggered rerouting is fully precomputed: the plan is static, so
+//    Arm() derives every switch's complete route-epoch schedule (activation
+//    times rounded up to the engine's conservative-window quantum) and
+//    installs it before the run. RoutePort then selects epochs by packet
+//    arrival time — a pure function — and the marker events published at
+//    each boundary only assert shard affinity and count the publication.
 //  * Counters live in per-shard cache-line-padded slots and are summed on
 //    read, so concurrent lanes never race and totals are deterministic.
 #pragma once
@@ -30,6 +41,10 @@
 
 #include "src/fault/fault_plan.h"
 #include "src/net/network.h"
+
+namespace occamy::core {
+class ExpulsionEngine;
+}  // namespace occamy::core
 
 namespace occamy::fault {
 
@@ -46,6 +61,11 @@ struct FaultCounters {
   int64_t packets_corrupted = 0;  // delivered corrupted, dropped at receiver
   int64_t blackhole_drops = 0;    // dropped by port blackholes
   int64_t link_down_drops = 0;    // dropped by downed links
+  // Schema v8 (self-healing fault model):
+  int64_t reroutes = 0;                // route-epoch publications
+  int64_t flushed_bytes_restart = 0;   // bytes flushed by switch restarts
+  int64_t burst_loss_packets = 0;      // dropped by Gilbert-Elliott windows
+  int64_t cp_stalled_steps = 0;        // expulsion steps stalled by cp faults
 };
 
 class FaultInjector final : public net::FaultHook {
@@ -65,7 +85,9 @@ class FaultInjector final : public net::FaultHook {
   // naming the offending target when the plan does not fit the topology.
   std::optional<std::string> Arm();
 
-  // Summed per-shard counters; read after the run.
+  // Summed per-shard counters; read after the run (cp_stalled_steps is
+  // collected from the targeted expulsion engines, which is only safe once
+  // no shard is executing).
   FaultCounters Totals() const;
 
   // net::FaultHook implementation (called by Network on delivery paths).
@@ -89,6 +111,26 @@ class FaultInjector final : public net::FaultHook {
     uint64_t seed = 1;
   };
 
+  // One Gilbert-Elliott burst-loss window (end saturated like Window).
+  struct GilbertWindow {
+    Time at = 0;
+    Time end = 0;
+    double p_gb = 0;
+    double p_bg = 0;
+    double loss_good = 0;
+    double loss_bad = 0;
+    Time slot = 0;
+    uint64_t seed = 1;
+  };
+
+  // Per-(window, sender lane) Markov-chain cursor. `slot` is the last slot
+  // whose transition was applied (-1 = chain not started, state Good).
+  // Written only from the owning lane's shard.
+  struct GilbertCursor {
+    int64_t slot = -1;
+    bool bad = false;
+  };
+
   // One endpoint of a resolved link: the (node, port) pair plus the lane
   // (buffer partition) that sends from it.
   struct Endpoint {
@@ -105,7 +147,13 @@ class FaultInjector final : public net::FaultHook {
   void EnsureEdge(net::LinkEnd e);
   std::optional<std::string> ArmLinkFault(const FaultEvent& ev);
   std::optional<std::string> ArmFreeze(const FaultEvent& ev);
+  std::optional<std::string> ArmRestart(const FaultEvent& ev);
+  std::optional<std::string> ArmCpFault(const FaultEvent& ev);
   void ArmWindow(const FaultEvent& ev);
+  void ArmGilbert(const FaultEvent& ev);
+  // Precomputes and installs every switch's route-epoch schedule from the
+  // plan's reroute-enabled link_down events, plus the boundary markers.
+  std::optional<std::string> ArmReroutes();
   // Adds `delta` to the down/blackhole count of edge (node, port); fires on
   // the edge's single writer shard. `count` marks the one direction per
   // plan event that tallies faults_injected.
@@ -121,6 +169,16 @@ class FaultInjector final : public net::FaultHook {
   std::vector<std::vector<EdgeState>> edge_state_;  // sized at Arm, stable after
   std::vector<Window> loss_windows_;
   std::vector<Window> corrupt_windows_;
+  std::vector<GilbertWindow> gilbert_windows_;
+  // Flat lane index: lane_base_[node] + src_lane (hosts have one lane,
+  // switches one per partition). Sized at Arm, stable after.
+  std::vector<size_t> lane_base_;
+  // Cursors indexed [gilbert window][flat lane]; each element is written
+  // only by its lane's shard.
+  std::vector<std::vector<GilbertCursor>> gilbert_cursors_;
+  // Engines targeted by cp faults (deduped); their cp_stalled_steps are
+  // folded into Totals() after the run.
+  std::vector<const core::ExpulsionEngine*> cp_engines_;
   std::vector<Slot> slots_;
 };
 

@@ -1,0 +1,59 @@
+#include "src/fault/recovery.h"
+
+#include <algorithm>
+
+namespace occamy::fault {
+
+namespace {
+
+// Sum of the trailing `window` buckets ending at (and including) `t`;
+// buckets past the timeline's end count as zero.
+int64_t TrailingSum(const std::vector<int64_t>& v, int64_t t, int window) {
+  int64_t sum = 0;
+  const int64_t lo = std::max<int64_t>(0, t - window + 1);
+  const int64_t hi = std::min<int64_t>(t, static_cast<int64_t>(v.size()) - 1);
+  for (int64_t i = lo; i <= hi; ++i) sum += v[i];
+  return sum;
+}
+
+}  // namespace
+
+RecoveryReport ComputeRecovery(const std::vector<int64_t>& faulted,
+                               const std::vector<int64_t>& healthy, double onset_ms,
+                               double frac, int window_ms, int sustain_ms) {
+  RecoveryReport report;
+  const int64_t onset = std::max<int64_t>(0, static_cast<int64_t>(onset_ms));
+  const int64_t horizon =
+      static_cast<int64_t>(std::max(faulted.size(), healthy.size()));
+
+  for (int64_t t = onset; t < static_cast<int64_t>(faulted.size()); ++t) {
+    if (faulted[static_cast<size_t>(t)] > 0) {
+      report.first_delivery_after_fault_ms = static_cast<double>(t);
+      break;
+    }
+  }
+
+  // Recovery: the first onset-or-later bucket where the faulted trailing-
+  // window rate reaches frac of the healthy twin's, sustained for
+  // sustain_ms consecutive buckets. Using integer byte sums keeps the
+  // comparison exact (frac scales the healthy side in double, which is
+  // monotone and identical on every platform we build for).
+  int streak = 0;
+  for (int64_t t = onset; t < horizon; ++t) {
+    const int64_t f = TrailingSum(faulted, t, window_ms);
+    const int64_t h = TrailingSum(healthy, t, window_ms);
+    const bool ok =
+        h == 0 || static_cast<double>(f) >= frac * static_cast<double>(h);
+    streak = ok ? streak + 1 : 0;
+    if (streak >= sustain_ms) {
+      // Recovery is dated to the start of the sustained stretch.
+      report.recovery_time_ms = static_cast<double>(t - (sustain_ms - 1)) - onset_ms;
+      if (report.recovery_time_ms < 0) report.recovery_time_ms = 0;
+      report.recovered = true;
+      return report;
+    }
+  }
+  return report;
+}
+
+}  // namespace occamy::fault

@@ -1,0 +1,38 @@
+// Time-to-recovery metrics for the --degradation report.
+//
+// Both inputs are per-millisecond delivered-byte timelines (bucket i =
+// application bytes of transfers completing in simulated millisecond i),
+// produced by the runners from the completion records — exact integers, so
+// the derived metrics are byte-identical for any shard count. The faulted
+// run is compared against its healthy twin (same seed, no faults): the
+// fabric "recovers" when its delivered rate returns to a sustained fraction
+// of the healthy twin's rate over the same simulated interval.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace occamy::fault {
+
+struct RecoveryReport {
+  // Simulated millisecond (absolute, bucket index) of the first delivery at
+  // or after the fault onset; -1 when nothing was delivered after it.
+  double first_delivery_after_fault_ms = -1;
+  // Milliseconds from fault onset until the faulted run's trailing-window
+  // delivered rate first reaches `frac` of the healthy twin's — and stays
+  // there for the sustain period; -1 when the run never recovers.
+  double recovery_time_ms = -1;
+  bool recovered = false;
+};
+
+// Compares `faulted` against `healthy` from `onset_ms` (the earliest fault
+// activation) onward. The rate comparison uses a trailing window of
+// `window_ms` buckets and requires the >= frac criterion to hold for
+// `sustain_ms` consecutive buckets, so a single lucky millisecond during
+// the outage does not count as recovery. Healthy windows that delivered
+// nothing are vacuously recovered (there was nothing to lose).
+RecoveryReport ComputeRecovery(const std::vector<int64_t>& faulted,
+                               const std::vector<int64_t>& healthy, double onset_ms,
+                               double frac = 0.9, int window_ms = 5, int sustain_ms = 3);
+
+}  // namespace occamy::fault

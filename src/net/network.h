@@ -249,13 +249,15 @@ class Network {
     }
     // The destination shard is the one that owns the arrival's lane: for a
     // lane-sharded switch, the partition owning the packet's egress port.
-    // RxLane repeats the route lookup ReceivePacket will do on arrival, so
+    // RxLane repeats the route lookup ReceivePacket will do on arrival
+    // (same packet, same arrival time, so epoch-versioned routes agree), so
     // only nodes whose lanes genuinely straddle shards pay for it.
-    const int dst_shard = RxShardOf(to, pkt);
+    const Time deliver_time = ssim_->shard(src_shard).now() + delay;
+    const int dst_shard = RxShardOf(to, pkt, deliver_time);
     ++shard_state_[static_cast<size_t>(src_shard)].delivered_events;
     ++shard_state_[static_cast<size_t>(src_shard)].staged_mail;
     Mail mail;
-    mail.time = ssim_->shard(src_shard).now() + delay;
+    mail.time = deliver_time;
     mail.src_node = from;
     mail.src_lane = src_lane;
     mail.seq = seq;
@@ -304,14 +306,30 @@ class Network {
   void set_fault_injector(FaultHook* hook) { faults_ = hook; }
   bool fault_injection_active() const { return faults_ != nullptr; }
 
+  // Clock of the simulator executing the current event: the owning shard's
+  // in sharded mode (threaded or inline — ShardScope binds it either way),
+  // the sole Simulator otherwise. Lane-sharded nodes use it from arrival
+  // paths where the executing lane is not yet known (SwitchNode routes by
+  // arrival time before it knows the egress lane); during an event this is
+  // exactly the event's time, a pure function of simulated execution.
+  Time CurrentSimNow() const {
+    return ssim_ != nullptr ? ssim_->shard(sim::CurrentShard()).now() : sim_->now();
+  }
+
+  // Quantum for fault-driven route-epoch activation times: on the sharded
+  // engine the conservative lookahead (so epoch flips land exactly on
+  // window boundaries and stay byte-identical for any shard count), 0 on
+  // the legacy single-threaded engine (no rounding needed).
+  Time route_epoch_quantum() const { return ssim_ != nullptr ? ssim_->lookahead() : 0; }
+
  private:
-  // Shard that must execute the arrival of `pkt` at `to`.
-  int RxShardOf(LinkEnd to, const Packet& pkt) {
+  // Shard that must execute the arrival of `pkt` at `to` at time `at`.
+  int RxShardOf(LinkEnd to, const Packet& pkt, Time at) {
     if (to.node < uniform_lane_shard_.size()) {
       const int uniform = uniform_lane_shard_[to.node];
       if (uniform >= 0) return uniform;
       if (!lane_shards_[to.node].empty()) {
-        return lane_shard(to.node, node(to.node).RxLane(to.port, pkt));
+        return lane_shard(to.node, node(to.node).RxLane(to.port, pkt, at));
       }
     }
     return shard_of(to.node);

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/buffer/packet.h"
+#include "src/util/time.h"
 
 namespace occamy {
 namespace sim {
@@ -28,11 +29,16 @@ class Node {
   // must execute ReceivePacket for this packet. A lane-sharded switch fans
   // its work across shards along its buffer partitions, so the lane of an
   // arrival is the partition owning the packet's egress port — a pure
-  // function of (in_port, pkt), never of thread timing. Plain nodes have a
-  // single lane 0.
-  virtual int RxLane(int in_port, const Packet& pkt) const {
+  // function of (in_port, pkt, arrival time), never of thread timing. `at`
+  // is the packet's arrival time: with epoch-versioned routes (fault-driven
+  // rerouting) the egress port depends on which route epoch is active when
+  // the packet arrives, and passing the arrival time explicitly keeps the
+  // sender-side shard routing and the receiver-side route lookup in exact
+  // agreement. Plain nodes have a single lane 0.
+  virtual int RxLane(int in_port, const Packet& pkt, Time at) const {
     (void)in_port;
     (void)pkt;
+    (void)at;
     return 0;
   }
 

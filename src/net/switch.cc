@@ -72,20 +72,74 @@ void SwitchNode::SetRoute(NodeId dst, std::vector<int> ports) {
   routes_[dst] = std::move(ports);
 }
 
-int SwitchNode::RoutePort(const Packet& pkt) const {
+void SwitchNode::SetRouteOutages(std::vector<RouteEpoch> epochs) {
+  for (size_t i = 0; i < epochs.size(); ++i) {
+    OCCAMY_CHECK_EQ(static_cast<int>(epochs[i].excluded.size()), config_.num_ports);
+    if (i > 0) {
+      OCCAMY_CHECK(epochs[i - 1].start < epochs[i].start) << "unsorted route epochs";
+    }
+  }
+  route_epochs_ = std::move(epochs);
+}
+
+void SwitchNode::OnRouteEpochPublished() {
+  OCCAMY_CHECK(initialized_);
+  // The publication path is pinned to lane 0's shard; running it anywhere
+  // else would mean the injector armed the marker on the wrong simulator.
+  OCCAMY_ASSERT_SHARD(network()->LaneSim(id(), 0));
+  ++route_epochs_published_;
+}
+
+int SwitchNode::RoutePort(const Packet& pkt, Time at) const {
   const auto it = routes_.find(pkt.dst);
   if (it == routes_.end()) return -1;
   const std::vector<int>& candidates = it->second;
-  if (candidates.size() == 1) return candidates[0];
   // Per-flow ECMP; mix in the switch id so hashing does not polarize
   // across tiers.
+  if (route_epochs_.empty() || route_epochs_.front().start > at) {
+    if (candidates.size() == 1) return candidates[0];
+    const uint64_t h = SplitMix64(pkt.flow_id ^ SplitMix64(id() + 0x9e37));
+    return candidates[h % candidates.size()];
+  }
+  // Active epoch: the last one whose start <= at. The table is immutable
+  // during the run and the lookup is a pure function of the arrival time,
+  // so every shard (sender-side RxLane routing and the receiving lane's
+  // ReceivePacket) agrees on the egress port.
+  size_t lo = 0, hi = route_epochs_.size();
+  while (hi - lo > 1) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (route_epochs_[mid].start <= at) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const std::vector<uint8_t>& excluded = route_epochs_[lo].excluded;
+  size_t survivors = 0;
+  for (const int c : candidates) {
+    if (!excluded[static_cast<size_t>(c)]) ++survivors;
+  }
+  if (survivors == 0 || survivors == candidates.size()) {
+    // Total outage keeps the base set (drops then count at the dead wire);
+    // no exclusions in this group means the base hash applies unchanged.
+    if (candidates.size() == 1) return candidates[0];
+    const uint64_t h = SplitMix64(pkt.flow_id ^ SplitMix64(id() + 0x9e37));
+    return candidates[h % candidates.size()];
+  }
+  // Re-hash the flow across the surviving candidates.
   const uint64_t h = SplitMix64(pkt.flow_id ^ SplitMix64(id() + 0x9e37));
-  return candidates[h % candidates.size()];
+  size_t pick = h % survivors;
+  for (const int c : candidates) {
+    if (excluded[static_cast<size_t>(c)]) continue;
+    if (pick == 0) return c;
+    --pick;
+  }
+  return candidates[0];  // unreachable; survivors > 0
 }
 
-int SwitchNode::RxLane(int in_port, const Packet& pkt) const {
+int SwitchNode::RxLane(int in_port, const Packet& pkt, Time at) const {
   OCCAMY_CHECK(initialized_);
-  const int egress = RoutePort(pkt);
+  const int egress = RoutePort(pkt, at);
   return port_partition_[static_cast<size_t>(egress >= 0 ? egress : in_port)];
 }
 
@@ -107,7 +161,10 @@ void SwitchNode::DropRouteless(int lane, const Packet& pkt) {
 
 void SwitchNode::ReceivePacket(int in_port, Packet pkt) {
   OCCAMY_CHECK(initialized_);
-  const int egress = RoutePort(pkt);
+  // The executing shard's clock is the packet's arrival time on both
+  // engines (arrival closures run at exactly the deliver time), matching
+  // the `at` that RxShardOf routed this arrival with.
+  const int egress = RoutePort(pkt, network()->CurrentSimNow());
   if (egress < 0) {
     // The RxLane contract routes a routeless arrival to the ingress port's
     // lane; its drop counter belongs to that lane's shard.
@@ -139,6 +196,13 @@ void SwitchNode::SetLaneFrozen(int lane, bool frozen) {
       KickTx(port);
     }
   }
+}
+
+int64_t SwitchNode::RestartLane(int lane) {
+  OCCAMY_CHECK(initialized_);
+  OCCAMY_CHECK(lane >= 0 && lane < num_partitions());
+  OCCAMY_ASSERT_SHARD(network()->LaneSim(id(), lane));
+  return partitions_[static_cast<size_t>(lane)]->RestartFlush();
 }
 
 void SwitchNode::KickTx(int port) {

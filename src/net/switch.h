@@ -12,11 +12,15 @@
 // owns — runs entirely on the lane's shard: arrivals are routed to the
 // egress partition's shard (RxLane), TX completions are scheduled on the
 // partition's simulator, and outbound deliveries carry the partition index
-// as the source lane. Routing tables are immutable during a run; nothing
-// couples two partitions, so lanes on different shards never share mutable
-// state. In node-sharded topologies (the leaf-spine fabric) every lane of a
-// switch binds to the node's own shard and the discipline degenerates to
-// the plain per-node one.
+// as the source lane. Routing tables are epoch-versioned but the epoch
+// table itself is immutable during a run: fault-driven rerouting installs
+// the full time-indexed outage schedule before the run (SetRouteOutages)
+// and RoutePort selects the active epoch from the packet's arrival time, a
+// pure function every shard computes identically. Nothing couples two
+// partitions, so lanes on different shards never share mutable state. In
+// node-sharded topologies (the leaf-spine fabric) every lane of a switch
+// binds to the node's own shard and the discipline degenerates to the
+// plain per-node one.
 #pragma once
 
 #include <cstdint>
@@ -65,12 +69,44 @@ class SwitchNode final : public Node {
   // `ports` (per-flow ECMP hash when more than one).
   void SetRoute(NodeId dst, std::vector<int> ports);
 
+  // One entry of the fault-driven route-outage schedule: from `start` on,
+  // ports flagged in `excluded` are removed from every ECMP candidate set
+  // and surviving candidates are re-hashed. An epoch with no exclusions
+  // restores the base routes (link healed).
+  struct RouteEpoch {
+    Time start = 0;
+    std::vector<uint8_t> excluded;  // size num_ports; 1 = port excluded
+  };
+
+  // Installs the switch's complete route-epoch schedule (sorted by start,
+  // strictly increasing). Called once by fault::FaultInjector::Arm before
+  // the run — the table is immutable while shards execute, so RoutePort may
+  // read it from any shard. When every candidate of a group is excluded the
+  // base set is kept (packets then drop at the dead wire, counted as
+  // link_down drops), so a total outage degrades instead of misrouting.
+  void SetRouteOutages(std::vector<RouteEpoch> epochs);
+
+  // Marker invoked by the fault injector at each route-epoch activation
+  // boundary, on lane 0's simulator: asserts the publication path's shard
+  // affinity and counts the publication. Purely observational — the epoch
+  // table itself was installed before the run.
+  void OnRouteEpochPublished();
+  int64_t route_epochs_published() const { return route_epochs_published_; }
+
+  // Fault injection: restarts lane `lane` — every packet buffered in the
+  // lane's TmPartition is flushed (counted as restart-flush drops), and BM
+  // scheme + expulsion-engine state resets to power-on defaults. In-flight
+  // serialization completes (those bytes already left the buffer). Must run
+  // on the lane's shard. Returns the flushed bytes.
+  int64_t RestartLane(int lane);
+
   void ReceivePacket(int in_port, Packet pkt) override;
 
   // The partition that must process `pkt`: the one owning its egress port
-  // (deterministic ECMP included), or the ingress port's partition when no
-  // route matches (the drop is then accounted on that lane).
-  int RxLane(int in_port, const Packet& pkt) const override;
+  // (deterministic ECMP included, under the route epoch active at arrival
+  // time `at`), or the ingress port's partition when no route matches (the
+  // drop is then accounted on that lane).
+  int RxLane(int in_port, const Packet& pkt, Time at) const override;
 
   int num_ports() const { return config_.num_ports; }
   int num_partitions() const { return static_cast<int>(partitions_.size()); }
@@ -126,9 +162,10 @@ class SwitchNode final : public Node {
   void set_drop_hook(std::function<void(const Packet&, tm::DropReason)> hook);
 
  private:
-  // Deterministic route lookup: egress port for `pkt` (flow-hash ECMP over
-  // the candidates), or -1 when no route matches.
-  int RoutePort(const Packet& pkt) const;
+  // Deterministic route lookup: egress port for `pkt` arriving at `at`
+  // (flow-hash ECMP over the candidates surviving the active route epoch),
+  // or -1 when no route matches.
+  int RoutePort(const Packet& pkt, Time at) const;
 
   void KickTx(int port);
   void DropRouteless(int lane, const Packet& pkt);
@@ -160,6 +197,11 @@ class SwitchNode final : public Node {
   std::vector<int> port_partition_;  // global port -> partition index
   std::vector<int> port_local_;      // global port -> local port in partition
   std::unordered_map<NodeId, std::vector<int>> routes_;
+  // Fault-driven outage schedule (empty when no rerouting fault targets
+  // this switch). Sorted by start; immutable during the run.
+  std::vector<RouteEpoch> route_epochs_;
+  // Bumped only by OnRouteEpochPublished marker events on lane 0's shard.
+  int64_t route_epochs_published_ = 0;
   bool initialized_ = false;
 };
 

@@ -184,6 +184,26 @@ void TmPartition::HeadDropOnePacket(int q) {
   RecordDrop(pd.packet, DropReason::kExpelled, q);
 }
 
+int64_t TmPartition::RestartFlush() {
+  OCCAMY_ASSERT_SHARD(*sim_);
+  int64_t flushed_bytes = 0;
+  for (int q = 0; q < shared_.num_queues(); ++q) {
+    while (!shared_.queue(q).Empty()) {
+      const buffer::PacketDescriptor pd = shared_.DequeueHead(q);
+      flushed_bytes += pd.packet.size_bytes;
+      ++stats_.restart_flush_drops;
+      RecordDrop(pd.packet, DropReason::kRestartFlushed, q);
+    }
+  }
+  stats_.restart_flush_bytes += flushed_bytes;
+  // Power-on state: the scheme re-learns from an empty buffer and the
+  // engine rescans once traffic kicks it again. No per-flush OnDequeue —
+  // whatever the scheme accumulated is being reset anyway.
+  scheme_->Reset();
+  if (engine_ != nullptr) engine_->Reset();
+  return flushed_bytes;
+}
+
 TmStats& TmPartition::stats() {
   if (engine_ != nullptr) {
     stats_.expelled_packets = engine_->expelled_packets();

@@ -28,10 +28,11 @@
 namespace occamy::tm {
 
 enum class DropReason {
-  kAdmission,      // rejected by the BM scheme's threshold
-  kBufferFull,     // physically out of cells
-  kExpelled,       // head-dropped by Occamy's expulsion engine
-  kPushoutEvicted  // evicted by Pushout to make room for an arrival
+  kAdmission,       // rejected by the BM scheme's threshold
+  kBufferFull,      // physically out of cells
+  kExpelled,        // head-dropped by Occamy's expulsion engine
+  kPushoutEvicted,  // evicted by Pushout to make room for an arrival
+  kRestartFlushed   // flushed by a switch restart (fault injection)
 };
 
 struct TmQueueConfig {
@@ -75,6 +76,9 @@ struct TmStats {
   int64_t admission_drops = 0;
   int64_t buffer_full_drops = 0;
   int64_t pushout_evictions = 0;
+  // Packets (and their bytes) flushed by a switch restart (fault injection).
+  int64_t restart_flush_drops = 0;
+  int64_t restart_flush_bytes = 0;
   // Expelled counters live in the engine; mirrored here on read.
   int64_t expelled_packets = 0;
   int64_t expelled_bytes = 0;
@@ -84,7 +88,8 @@ struct TmStats {
   stats::EmpiricalCdf membw_util_on_drop;
 
   int64_t TotalDrops() const {
-    return admission_drops + buffer_full_drops + pushout_evictions + expelled_packets;
+    return admission_drops + buffer_full_drops + pushout_evictions + restart_flush_drops +
+           expelled_packets;
   }
 };
 
@@ -118,6 +123,17 @@ class TmPartition final : public bm::TmView, public core::ExpulsionTarget {
   bm::BmScheme& scheme() { return *scheme_; }
   core::MemoryBandwidthModel& memory() { return memory_; }
   const core::ExpulsionEngine* expulsion_engine() const { return engine_.get(); }
+  // Mutable engine access for fault injection (control-plane freeze/delay);
+  // nullptr when expulsion is disabled. Mutations must run on this
+  // partition's shard.
+  core::ExpulsionEngine* mutable_expulsion_engine() { return engine_.get(); }
+
+  // Switch restart (fault injection): head-drops every buffered packet
+  // (counted as restart-flush drops/bytes), then resets BM-scheme and
+  // expulsion-engine state to power-on defaults. In-flight TX already left
+  // the buffer and is unaffected. Must run on this partition's shard.
+  // Returns the flushed bytes.
+  int64_t RestartFlush();
 
   // Current BM threshold for queue q (for tracing / benches).
   int64_t ThresholdBytes(int q) const { return scheme_->Threshold(*this, q); }

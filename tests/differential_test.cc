@@ -112,7 +112,7 @@ TEST(DifferentialTest, ObsCountersEmittedInMetrics) {
   exp::PointSpec spec = SmokePoint("burst_absorption", "occamy", 2);
   spec.shards = 2;
   const exp::Metrics m = testing::RunPointOrFail(spec);
-  EXPECT_EQ(m.Number("schema_version"), 7);
+  EXPECT_EQ(m.Number("schema_version"), 8);
   for (const char* key :
        {"mailbox_drained_events", "mailbox_staged_events", "queue_delay_max_ns",
         "queue_delay_p50_ns", "queue_delay_p99_ns", "queue_delay_samples",

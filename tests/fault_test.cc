@@ -1,16 +1,24 @@
 // Fault-injection subsystem tests (src/fault):
 //  * ParseFaultPlan grammar — positives and a table-driven negative suite
 //    (malformed specs must produce a descriptive error naming the offending
-//    token, never crash).
+//    token and its byte offset, never crash). Includes the self-healing
+//    kinds (link_up, restart, cp_freeze, cp_delay, gilbert) and the
+//    link_down reroute flag.
 //  * CLI hardening — a bad --faults= is a usage error (exit 2).
 //  * Transport hardening — under a sustained blackhole the RTO backoff
-//    clamps exactly at max_rto, and Complete() cancels the timer.
-//  * Fault counters — every fault kind shows up in the schema v7 metrics.
+//    clamps exactly at max_rto, Complete() cancels the timer, and in-flight
+//    packets survive an ECMP route-epoch re-hash without duplicate
+//    completion.
+//  * Fault counters — every fault kind shows up in the schema v8 metrics.
+//  * Recovery — ComputeRecovery unit cases, plus the acceptance criterion:
+//    a fabric link_down with rerouting recovers to >= 90% of the healthy
+//    twin's delivered rate after the route-epoch update.
 //  * Determinism — faulted runs are byte-identical across shard counts
 //    (FaultDifferentialTest, picked up by the CI Differential|Golden
 //    filter) and across threads-on/threads-off execution.
 #include <gtest/gtest.h>
 
+#include <map>
 #include <optional>
 #include <string>
 
@@ -20,6 +28,7 @@
 #include "src/exp/sweep.h"
 #include "src/fault/fault_plan.h"
 #include "src/fault/injector.h"
+#include "src/fault/recovery.h"
 #include "src/net/topology.h"
 #include "src/transport/flow_manager.h"
 #include "tests/differential.h"
@@ -90,6 +99,87 @@ TEST(FaultPlanParse, FreezeWithoutPartMeansAllPartitions) {
   EXPECT_EQ(plan.events[0].part, -1);
 }
 
+TEST(FaultPlanParse, SelfHealingGrammarRoundTrip) {
+  FaultPlan plan;
+  const auto err = ParseFaultPlan(
+      "link_down:t=2ms,dur=1ms,node=sw0,port=4,reroute=1;"
+      "restart:t=3ms,node=sw1;"
+      "cp_freeze:t=1ms,dur=500us,node=sw0,part=1;"
+      "cp_delay:t=2ms,dur=1ms,node=sw2,lag=20us;"
+      "gilbert:t=1ms,dur=5ms,p_gb=0.05,p_bg=0.3,loss_good=0.001,"
+      "loss_bad=0.4,slot=50us,seed=9",
+      &plan);
+  ASSERT_FALSE(err.has_value()) << *err;
+  ASSERT_EQ(plan.events.size(), 5u);
+
+  const auto& down = plan.events[0];
+  EXPECT_EQ(down.kind, FaultKind::kLinkDown);
+  EXPECT_TRUE(down.reroute);
+  EXPECT_EQ(down.port, 4);
+
+  const auto& restart = plan.events[1];
+  EXPECT_EQ(restart.kind, FaultKind::kRestart);
+  EXPECT_EQ(restart.at, Milliseconds(3));
+  EXPECT_EQ(restart.node, "sw1");
+
+  const auto& cpf = plan.events[2];
+  EXPECT_EQ(cpf.kind, FaultKind::kCpFreeze);
+  EXPECT_EQ(cpf.duration, Microseconds(500));
+  EXPECT_EQ(cpf.part, 1);
+
+  const auto& cpd = plan.events[3];
+  EXPECT_EQ(cpd.kind, FaultKind::kCpDelay);
+  EXPECT_EQ(cpd.lag, Microseconds(20));
+  EXPECT_EQ(cpd.part, -1) << "omitted part means every partition";
+
+  const auto& g = plan.events[4];
+  EXPECT_EQ(g.kind, FaultKind::kGilbert);
+  EXPECT_DOUBLE_EQ(g.p_gb, 0.05);
+  EXPECT_DOUBLE_EQ(g.p_bg, 0.3);
+  EXPECT_DOUBLE_EQ(g.loss_good, 0.001);
+  EXPECT_DOUBLE_EQ(g.loss_bad, 0.4);
+  EXPECT_EQ(g.slot, Microseconds(50));
+  EXPECT_EQ(g.seed, 9u);
+}
+
+TEST(FaultPlanParse, GilbertDefaultsSlotAndLossGood) {
+  FaultPlan plan;
+  ASSERT_FALSE(
+      ParseFaultPlan("gilbert:p_gb=0.1,p_bg=0.2,loss_bad=0.5", &plan).has_value());
+  ASSERT_EQ(plan.events.size(), 1u);
+  EXPECT_EQ(plan.events[0].slot, Microseconds(100)) << "default slot";
+  EXPECT_DOUBLE_EQ(plan.events[0].loss_good, 0) << "Good state is lossless by default";
+}
+
+TEST(FaultPlanParse, LinkUpNormalizesIntoDuration) {
+  FaultPlan plan;
+  ASSERT_FALSE(ParseFaultPlan(
+                   "link_down:t=200us,node=sw0,port=2;link_up:t=600us,node=sw0,port=2",
+                   &plan)
+                   .has_value());
+  ASSERT_EQ(plan.events.size(), 1u) << "link_up folds into its link_down";
+  EXPECT_EQ(plan.events[0].kind, FaultKind::kLinkDown);
+  EXPECT_EQ(plan.events[0].at, Microseconds(200));
+  EXPECT_EQ(plan.events[0].duration, Microseconds(400))
+      << "duration = link_up time minus link_down time";
+}
+
+TEST(FaultPlanParse, LinkUpMatchesLatestPrecedingPermanentDown) {
+  // Two permanent downs on different ports; each link_up must bind to its
+  // own port's down, not the closest entry.
+  FaultPlan plan;
+  ASSERT_FALSE(ParseFaultPlan(
+                   "link_down:t=1ms,node=sw0,port=2;link_down:t=1ms,node=sw0,port=3;"
+                   "link_up:t=4ms,node=sw0,port=2;link_up:t=6ms,node=sw0,port=3",
+                   &plan)
+                   .has_value());
+  ASSERT_EQ(plan.events.size(), 2u);
+  EXPECT_EQ(plan.events[0].port, 2);
+  EXPECT_EQ(plan.events[0].duration, Milliseconds(3));
+  EXPECT_EQ(plan.events[1].port, 3);
+  EXPECT_EQ(plan.events[1].duration, Milliseconds(5));
+}
+
 // ---------------- parser: table-driven negatives ----------------
 
 // Every malformed spec must be rejected with a message that names the
@@ -140,6 +230,27 @@ constexpr BadSpec kBadSpecs[] = {
     {"corrupt:t=1ms", "'corrupt' requires parameter 'rate'"},
     // Duplicates.
     {"loss:rate=0.1,rate=0.2", "duplicate parameter 'rate=0.2'"},
+    // Self-healing kinds (ISSUE 9).
+    {"link_down:t=1ms,node=sw0,port=2,reroute=2", "bad number in 'reroute=2'"},
+    {"link_up:t=1ms,node=sw0", "'link_up' requires parameter 'port'"},
+    {"link_up:t=1ms,dur=1ms,node=sw0,port=2", "does not take parameter 'dur=1ms'"},
+    {"link_up:t=1ms,node=sw0,port=2", "no matching permanent link_down"},
+    {"link_down:t=2ms,dur=1ms,node=sw0,port=2;link_up:t=4ms,node=sw0,port=2",
+     "no matching permanent link_down"},
+    {"link_down:t=1ms,node=sw0,port=2;link_up:t=1ms,node=sw0,port=2",
+     "link_up at or before its link_down"},
+    {"restart:t=1ms", "'restart' requires parameter 'node'"},
+    {"restart:t=1ms,node=sw0,dur=1ms", "does not take parameter 'dur=1ms'"},
+    {"cp_freeze:t=1ms,dur=1ms", "'cp_freeze' requires parameter 'node'"},
+    {"cp_freeze:t=1ms,node=sw0,lag=1us", "does not take parameter 'lag=1us'"},
+    {"cp_delay:t=1ms,node=sw0", "'cp_delay' requires parameter 'lag'"},
+    {"cp_delay:t=1ms,node=sw0,lag=0s", "'cp_delay' requires parameter 'lag'"},
+    {"gilbert:p_gb=0.1", "'gilbert' requires parameter 'p_bg'"},
+    {"gilbert:p_gb=0.1,p_bg=0.2", "'gilbert' requires parameter 'loss_bad'"},
+    {"gilbert:p_gb=1.5,p_bg=0.2,loss_bad=0.5", "rate out of range in 'p_gb=1.5'"},
+    {"gilbert:p_gb=0.1,p_bg=0.2,loss_bad=0.5,slot=0s", "requires a positive 'slot'"},
+    {"gilbert:t=1ms,p_gb=0.1,p_bg=0.2,loss_bad=0.3,node=sw0",
+     "does not take parameter 'node=sw0'"},
 };
 
 TEST(FaultPlanParse, MalformedSpecsRejectedWithOffendingToken) {
@@ -150,6 +261,30 @@ TEST(FaultPlanParse, MalformedSpecsRejectedWithOffendingToken) {
     EXPECT_NE(err->find(bad.expect_substr), std::string::npos)
         << "spec '" << bad.spec << "' produced '" << *err
         << "', expected it to mention '" << bad.expect_substr << "'";
+    EXPECT_NE(err->find(" at byte "), std::string::npos)
+        << "spec '" << bad.spec << "' produced '" << *err
+        << "', expected a byte offset";
+  }
+}
+
+TEST(FaultPlanParse, ErrorsReportByteOffsetOfOffendingToken) {
+  // The offset points at the start of the offending token within the whole
+  // spec string, not within its entry — long multi-entry schedules stay
+  // directly addressable.
+  const BadSpec kOffsets[] = {
+      {"melt:t=1ms", "unknown fault type 'melt' at byte 0"},
+      {"loss:rate=0.1;melt:t=1ms", "unknown fault type 'melt' at byte 14"},
+      {"loss:rate=abc", "bad number in 'rate=abc' at byte 5"},
+      {"link_down:node=sw0,port=1,dur=oops", "bad number in 'dur=oops' at byte 26"},
+      {"restart:t=1ms,node=sw0,dur=1ms",
+       "'restart' does not take parameter 'dur=1ms' at byte 23"},
+  };
+  for (const BadSpec& bad : kOffsets) {
+    FaultPlan plan;
+    const auto err = ParseFaultPlan(bad.spec, &plan);
+    ASSERT_TRUE(err.has_value()) << bad.spec;
+    EXPECT_NE(err->find(bad.expect_substr), std::string::npos)
+        << "spec '" << bad.spec << "' produced '" << *err << "'";
   }
 }
 
@@ -284,7 +419,61 @@ TEST(FaultTransport, CompleteCancelsRtoTimerAfterBlackholeLifts) {
       << "blackhole on + off";
 }
 
-// ---------------- fault counters in schema v7 metrics ----------------
+// In-flight packets must survive an ECMP route-epoch re-hash: flows whose
+// hash moved to a surviving uplink keep completing exactly once (no
+// duplicate completion records from retransmits racing the new path), and
+// the whole batch finishes despite the mid-flow outage.
+TEST(FaultTransport, InFlightPacketsSurviveEcmpRehashWithoutDuplicateCompletion) {
+  sim::Simulator sim(7);
+  net::Network net(&sim);
+  net::LeafSpineConfig cfg;
+  cfg.num_spines = 2;
+  cfg.num_leaves = 2;
+  cfg.hosts_per_leaf = 2;
+  cfg.host_rate = cfg.uplink_rate = Bandwidth::Gbps(10);
+  cfg.link_propagation = Microseconds(10);
+  cfg.tm.buffer_bytes = 500000;
+  cfg.scheme_factory = [] { return std::make_unique<bm::DynamicThreshold>(); };
+  net::LeafSpineTopology topo = net::BuildLeafSpine(net, cfg);
+
+  // Sever leaf0's uplink to spine0 (port hosts_per_leaf + 0 = 2) mid-run
+  // with rerouting: cross-rack flows re-hash onto the surviving uplink.
+  std::optional<fault::FaultInjector> injector;
+  bench::ArmFaultsOrDie(injector, net,
+                        "link_down:t=1ms,dur=2ms,node=sw0,port=2,reroute=1",
+                        bench::FabricFaultTopology(topo));
+
+  transport::FlowManager manager(&net, {});
+  for (auto h : topo.hosts) manager.AttachHost(h);
+  // Cross-rack flows large enough to still be in flight at t=1ms on 10G
+  // (1MB ~ 0.8ms of wire time each, shared): some hash onto the downed
+  // uplink and must migrate.
+  constexpr int kFlows = 6;
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < kFlows; ++i) {
+    transport::FlowParams p;
+    p.src = topo.hosts[static_cast<size_t>(i % 2)];        // rack 0
+    p.dst = topo.hosts[static_cast<size_t>(2 + (i % 2))];  // rack 1
+    p.size_bytes = 1000 * 1000;
+    p.cc = transport::CcAlgorithm::kDctcp;
+    p.start_time = Microseconds(50 * i);
+    ids.push_back(manager.StartFlow(p));
+  }
+  sim.RunUntil(Milliseconds(400));
+
+  EXPECT_GT(injector->Totals().reroutes, 0);
+  std::map<uint64_t, int> completions_per_flow;
+  for (const auto& rec : manager.completions().records()) {
+    ++completions_per_flow[rec.id];
+  }
+  for (const uint64_t id : ids) {
+    EXPECT_EQ(completions_per_flow[id], 1)
+        << "flow " << id << " must complete exactly once across the re-hash";
+  }
+  EXPECT_EQ(manager.completions().Count(), static_cast<size_t>(kFlows));
+}
+
+// ---------------- fault counters in schema v8 metrics ----------------
 
 exp::Metrics RunSmokePoint(const char* scenario, const char* faults,
                            double duration_ms = 1.0) {
@@ -300,11 +489,12 @@ exp::Metrics RunSmokePoint(const char* scenario, const char* faults,
 
 TEST(FaultCounters, HealthyRunCarriesZeroedFaultFields) {
   const exp::Metrics m = RunSmokePoint("burst", nullptr);
-  EXPECT_EQ(m.Number("schema_version"), 7);
+  EXPECT_EQ(m.Number("schema_version"), 8);
   // Always present so the fingerprint shape is plan-independent.
-  for (const char* key : {"faults_injected", "packets_lost_injected",
-                          "packets_corrupted", "blackhole_drops",
-                          "link_down_drops"}) {
+  for (const char* key :
+       {"faults_injected", "packets_lost_injected", "packets_corrupted",
+        "blackhole_drops", "link_down_drops", "reroutes", "flushed_bytes_restart",
+        "burst_loss_packets", "cp_stalled_steps"}) {
     const auto* v = m.Find(key);
     ASSERT_NE(v, nullptr) << key;
     EXPECT_EQ(v->i, 0) << key;
@@ -358,6 +548,45 @@ TEST(FaultCounters, FreezeDegradesQct) {
   EXPECT_GT(frozen.Number("qct_p99_ms"), healthy.Number("qct_p99_ms"));
 }
 
+TEST(FaultCounters, RestartFlushesBufferedBytesAndResetsState) {
+  const exp::Metrics m = RunSmokePoint("burst", "restart:t=500us,node=sw0");
+  EXPECT_EQ(m.Number("faults_injected"), 1) << "restart is instantaneous";
+  EXPECT_GT(m.Number("flushed_bytes_restart"), 0)
+      << "the overloaded burst buffer must have held packets to flush";
+}
+
+TEST(FaultCounters, CpFreezeStallsExpulsionSteps) {
+  const exp::Metrics m =
+      RunSmokePoint("burst_absorption", "cp_freeze:t=500us,dur=1ms,node=sw0", 2.0);
+  EXPECT_EQ(m.Number("faults_injected"), 2) << "freeze + thaw";
+  EXPECT_GT(m.Number("cp_stalled_steps"), 0)
+      << "kicks during the freeze must count as stalled steps";
+}
+
+TEST(FaultCounters, CpDelayLagsExpulsionSteps) {
+  const exp::Metrics m = RunSmokePoint(
+      "burst_absorption", "cp_delay:t=500us,dur=1ms,node=sw0,lag=20us", 2.0);
+  EXPECT_EQ(m.Number("faults_injected"), 2);
+  EXPECT_GT(m.Number("cp_stalled_steps"), 0);
+}
+
+TEST(FaultCounters, GilbertCountsBurstLossSeparately) {
+  const exp::Metrics m = RunSmokePoint(
+      "websearch", "gilbert:p_gb=0.05,p_bg=0.3,loss_bad=0.3,slot=50us,seed=5", 2.0);
+  EXPECT_EQ(m.Number("faults_injected"), 1);
+  EXPECT_GT(m.Number("burst_loss_packets"), 0);
+  EXPECT_EQ(m.Number("packets_lost_injected"), 0)
+      << "burst loss must not leak into the i.i.d. loss counter";
+}
+
+TEST(FaultCounters, ReroutePublishesEpochsOnBothEndpointSwitches) {
+  const exp::Metrics m = RunSmokePoint(
+      "websearch", "link_down:t=500us,dur=500us,node=sw0,port=4,reroute=1", 2.0);
+  // Down + restore epochs on both the leaf and its spine: 4 publications.
+  EXPECT_EQ(m.Number("reroutes"), 4);
+  EXPECT_EQ(m.Number("faults_injected"), 2);
+}
+
 TEST(FaultCounters, LossRateKnobComposesIntoSchedule) {
   exp::PointSpec spec;
   spec.scenario = "incast";
@@ -385,6 +614,70 @@ TEST(FaultCounters, RunPointRejectsBadFaultKnobs) {
   r = exp::RunPoint(spec);
   EXPECT_FALSE(r.ok);
   EXPECT_NE(r.error.find("unknown fault type"), std::string::npos) << r.error;
+}
+
+// ---------------- time-to-recovery (src/fault/recovery.h) ----------------
+
+TEST(FaultRecovery, ComputeRecoveryFindsSustainedReturnToHealthyRate) {
+  // 100 B/ms steady, a 5 ms total outage from onset, then full recovery.
+  std::vector<int64_t> faulted(20, 100), healthy(20, 100);
+  for (int i = 5; i < 10; ++i) faulted[static_cast<size_t>(i)] = 0;
+  const fault::RecoveryReport r = fault::ComputeRecovery(faulted, healthy, 5.0);
+  EXPECT_TRUE(r.recovered);
+  EXPECT_EQ(r.first_delivery_after_fault_ms, 10.0);
+  // Trailing 5 ms windows: the faulted rate first clears 90% of healthy at
+  // t=14 (window 10..14 fully recovered) and sustains through t=16, so the
+  // recovery is dated to t=14 -> 9 ms after the t=5 onset.
+  EXPECT_EQ(r.recovery_time_ms, 9.0);
+}
+
+TEST(FaultRecovery, ComputeRecoveryReportsNeverRecovered) {
+  std::vector<int64_t> faulted(20, 100), healthy(20, 100);
+  for (int i = 5; i < 20; ++i) faulted[static_cast<size_t>(i)] = 0;
+  const fault::RecoveryReport r = fault::ComputeRecovery(faulted, healthy, 5.0);
+  EXPECT_FALSE(r.recovered);
+  EXPECT_EQ(r.first_delivery_after_fault_ms, -1.0);
+  EXPECT_EQ(r.recovery_time_ms, -1.0);
+}
+
+TEST(FaultRecovery, ComputeRecoveryIsVacuousWhenHealthyDeliveredNothing) {
+  // Nothing to lose: an idle healthy twin means instant recovery.
+  const std::vector<int64_t> faulted(10, 0), healthy(10, 0);
+  const fault::RecoveryReport r = fault::ComputeRecovery(faulted, healthy, 0.0);
+  EXPECT_TRUE(r.recovered);
+  EXPECT_EQ(r.recovery_time_ms, 0.0);
+}
+
+// Acceptance criterion (ISSUE 9): a fabric link_down with rerouting
+// recovers to >= 90% of the healthy twin's delivered rate after the
+// route-epoch update. The CI fault-smoke job asserts the same property
+// through `occamy_sim --degradation` + tools/check_faults.py --recovery.
+TEST(FaultRecovery, RerouteHealsFabricLinkDownToNinetyPercentOfHealthyTwin) {
+  exp::PointSpec spec;
+  spec.scenario = "websearch";
+  spec.bm = "occamy";
+  spec.scale = bench::BenchScale::kSmoke;
+  spec.seed = 1;
+  spec.shards = 2;
+  spec.faults = "link_down:t=2ms,dur=3ms,node=sw0,port=4,reroute=1";
+  const exp::PointResult faulted = exp::RunPoint(spec);
+  ASSERT_TRUE(faulted.ok) << faulted.error;
+  exp::PointSpec healthy_spec = spec;
+  healthy_spec.faults.clear();
+  const exp::PointResult healthy = exp::RunPoint(healthy_spec);
+  ASSERT_TRUE(healthy.ok) << healthy.error;
+
+  EXPECT_GT(faulted.metrics.Number("reroutes"), 0) << "route epochs must publish";
+  ASSERT_FALSE(faulted.delivered_by_ms.empty());
+  ASSERT_FALSE(healthy.delivered_by_ms.empty());
+  const fault::RecoveryReport rec = fault::ComputeRecovery(
+      faulted.delivered_by_ms, healthy.delivered_by_ms, /*onset_ms=*/2.0);
+  EXPECT_TRUE(rec.recovered)
+      << "delivered rate never returned to 90% of the healthy twin";
+  EXPECT_GE(rec.first_delivery_after_fault_ms, 2.0);
+  // Rerouting must beat the outage: recovery well before the 3 ms
+  // link-restore would have healed things on its own.
+  EXPECT_LT(rec.recovery_time_ms, 3.0);
 }
 
 // ---------------- sweep integration ----------------
@@ -446,6 +739,52 @@ TEST(FaultDifferentialTest, StarLossCorruptFreezeShardInvariant) {
   testing::ExpectShardCountInvariant(spec, {2});
 }
 
+TEST(FaultDifferentialTest, RerouteShardInvariant) {
+  exp::PointSpec spec;
+  spec.scenario = "websearch";
+  spec.bm = "occamy";
+  spec.scale = bench::BenchScale::kSmoke;
+  spec.duration_ms = 2.0;
+  spec.seed = testing::ShiftedSeed(3);
+  spec.faults = "link_down:t=500us,dur=500us,node=sw0,port=4,reroute=1";
+  testing::ExpectShardCountInvariant(spec, {2, 4});
+}
+
+TEST(FaultDifferentialTest, RestartShardInvariant) {
+  exp::PointSpec spec;
+  spec.scenario = "burst";
+  spec.bm = "occamy";
+  spec.scale = bench::BenchScale::kSmoke;
+  spec.duration_ms = 2.0;
+  spec.seed = testing::ShiftedSeed(4);
+  spec.faults = "restart:t=1ms,node=sw0";
+  testing::ExpectShardCountInvariant(spec, {2, 4});
+}
+
+TEST(FaultDifferentialTest, CpFreezeAndDelayShardInvariant) {
+  exp::PointSpec spec;
+  spec.scenario = "burst_absorption";
+  spec.bm = "occamy";
+  spec.scale = bench::BenchScale::kSmoke;
+  spec.duration_ms = 2.0;
+  spec.seed = testing::ShiftedSeed(5);
+  spec.faults =
+      "cp_freeze:t=500us,dur=500us,node=sw0;"
+      "cp_delay:t=1200us,dur=400us,node=sw0,lag=20us";
+  testing::ExpectShardCountInvariant(spec, {2, 4});
+}
+
+TEST(FaultDifferentialTest, GilbertBurstLossShardInvariant) {
+  exp::PointSpec spec;
+  spec.scenario = "websearch";
+  spec.bm = "occamy";
+  spec.scale = bench::BenchScale::kSmoke;
+  spec.duration_ms = 2.0;
+  spec.seed = testing::ShiftedSeed(6);
+  spec.faults = "gilbert:p_gb=0.05,p_bg=0.3,loss_bad=0.3,slot=50us,seed=5";
+  testing::ExpectShardCountInvariant(spec, {2, 4});
+}
+
 // ---------------- determinism: threads vs inline ----------------
 
 TEST(FaultDifferentialTest, ThreadsAndInlineShardingAgreeUnderFaults) {
@@ -465,6 +804,24 @@ TEST(FaultDifferentialTest, ThreadsAndInlineShardingAgreeUnderFaults) {
   EXPECT_EQ(threads.faults.link_down_drops, inline_run.faults.link_down_drops);
   EXPECT_EQ(threads.faults.faults_injected, inline_run.faults.faults_injected);
   EXPECT_GT(threads.faults.link_down_drops, 0);
+}
+
+TEST(FaultDifferentialTest, ThreadsAndInlineShardingAgreeUnderRestart) {
+  bench::BurstLabSpec spec;
+  spec.shards = 2;
+  spec.faults = "restart:t=500us,node=sw0";
+  spec.horizon = Milliseconds(1);
+
+  spec.shard_threads = true;
+  const bench::BurstLabResult threads = bench::RunBurstLab(spec);
+  spec.shard_threads = false;
+  const bench::BurstLabResult inline_run = bench::RunBurstLab(spec);
+
+  EXPECT_EQ(threads.burst_drops, inline_run.burst_drops);
+  EXPECT_EQ(threads.sim_events, inline_run.sim_events);
+  EXPECT_EQ(threads.faults.flushed_bytes_restart,
+            inline_run.faults.flushed_bytes_restart);
+  EXPECT_GT(threads.faults.flushed_bytes_restart, 0);
 }
 
 }  // namespace

@@ -54,13 +54,16 @@ struct GoldenCase {
   // Fault schedule (src/fault grammar); nullptr = healthy run. Appended
   // last so the healthy cases keep their positional initializers.
   const char* faults = nullptr;
+  // Filename tag for the faulted suffix; defaults to "faults". Lets several
+  // faulted cases of the same (scenario, bm, shards) coexist.
+  const char* tag = nullptr;
 };
 
-// One file per case: <scenario>.<bm>[.shardsN][.faults].golden
+// One file per case: <scenario>.<bm>[.shardsN][.<tag|faults>].golden
 std::string GoldenPath(const GoldenCase& c) {
   std::string name = std::string(c.scenario) + "." + c.bm;
   if (c.shards > 0) name += ".shards" + std::to_string(c.shards);
-  if (c.faults != nullptr) name += ".faults";
+  if (c.faults != nullptr) name += std::string(".") + (c.tag ? c.tag : "faults");
   return GoldenDir() + "/" + name + ".golden";
 }
 
@@ -125,6 +128,23 @@ constexpr GoldenCase kCases[] = {
     {"websearch", "occamy", 2.0, 2, "loss:rate=0.01,seed=7"},
     {"burst_absorption", "occamy", 2.0, 0, "loss:rate=0.005,seed=11;corrupt:rate=0.002,seed=13"},
     {"burst_absorption", "occamy", 2.0, 2, "loss:rate=0.005,seed=11;corrupt:rate=0.002,seed=13"},
+    // Self-healing fault model (ISSUE 9): route-epoch rerouting, switch
+    // restart, control-plane freeze and Gilbert-Elliott burst loss — each
+    // locked on both the legacy and the sharded engine.
+    {"websearch", "occamy", 2.0, 0,
+     "link_down:t=500us,dur=500us,node=sw0,port=4,reroute=1", "reroute"},
+    {"websearch", "occamy", 2.0, 2,
+     "link_down:t=500us,dur=500us,node=sw0,port=4,reroute=1", "reroute"},
+    {"burst", "occamy", 1.0, 0, "restart:t=500us,node=sw0", "restart"},
+    {"burst", "occamy", 1.0, 2, "restart:t=500us,node=sw0", "restart"},
+    {"burst_absorption", "occamy", 2.0, 0, "cp_freeze:t=500us,dur=1ms,node=sw0",
+     "cpfreeze"},
+    {"burst_absorption", "occamy", 2.0, 2, "cp_freeze:t=500us,dur=1ms,node=sw0",
+     "cpfreeze"},
+    {"websearch", "occamy", 2.0, 0,
+     "gilbert:p_gb=0.05,p_bg=0.3,loss_bad=0.3,slot=50us,seed=5", "gilbert"},
+    {"websearch", "occamy", 2.0, 2,
+     "gilbert:p_gb=0.05,p_bg=0.3,loss_bad=0.3,slot=50us,seed=5", "gilbert"},
 };
 
 TEST(GoldenTest, MetricsMatchCheckedInFingerprints) {

@@ -11,6 +11,7 @@
 
 #include "src/bm/dynamic_threshold.h"
 #include "src/net/host.h"
+#include "src/net/switch.h"
 #include "src/net/topology.h"
 #include "src/sim/sharded_simulator.h"
 #include "src/workload/open_loop.h"
@@ -88,6 +89,25 @@ TEST(ShardChecksDeathTest, MisPinnedSendTripsChecker) {
     pkt.dst = dst;
     wrong_shard_host.Send(std::move(pkt));  // Host::Send asserts affinity
   });
+  EXPECT_DEATH(ssim.RunUntil(Milliseconds(1)), "shard-affinity violation");
+#endif
+}
+
+// Route-epoch publication (self-healing reroute, src/fault) is pinned to
+// the switch's lane-0 shard: the marker event the injector schedules must
+// run there, and a mis-pinned publication aborts rather than racing the
+// routing tables read by other lanes.
+TEST(ShardChecksDeathTest, MisPinnedRouteEpochPublicationTripsChecker) {
+#ifndef OCCAMY_SHARD_CHECKS
+  GTEST_SKIP() << "built without OCCAMY_SHARD_CHECKS";
+#else
+  const net::StarConfig cfg = ShardedStar();
+  sim::ShardedSimulator ssim(EngineOptions(cfg, /*use_threads=*/false));
+  net::Network net = MakeNetwork(&ssim, cfg);
+  net::StarTopology topo = net::BuildStar(net, cfg);
+  // Lane 0 of the switch rides shard 0; shard 1 is the wrong home.
+  auto& sw = static_cast<net::SwitchNode&>(net.node(topo.switch_id));
+  ssim.shard(1).At(Microseconds(1), [&sw] { sw.OnRouteEpochPublished(); });
   EXPECT_DEATH(ssim.RunUntil(Milliseconds(1)), "shard-affinity violation");
 #endif
 }

@@ -1,20 +1,27 @@
 #!/usr/bin/env python3
 """Validator for occamy_sim JSON output under fault injection.
 
-Checks the schema v7 fault-counter contract the scenario runner promises
+Checks the schema v8 fault-counter contract the scenario runner promises
 (src/exp/scenario_runner.cc, AddObsFields):
 
-  - the output is one flat JSON object with schema_version >= 7;
-  - all five fault counters are present as non-negative integers
+  - the output is one flat JSON object with schema_version >= 8;
+  - all nine fault counters are present as non-negative integers
     (faults_injected, packets_lost_injected, packets_corrupted,
-    blackhole_drops, link_down_drops) — present even on healthy runs so
-    the golden fingerprint shape never depends on the fault plan;
+    blackhole_drops, link_down_drops, reroutes, flushed_bytes_restart,
+    burst_loss_packets, cp_stalled_steps) — present even on healthy runs
+    so the golden fingerprint shape never depends on the fault plan;
   - --nonzero=name[,name...] asserts the named counters are > 0 (CI runs a
     faulted schedule and requires the corresponding counter to have fired);
   - --degradation asserts the healthy_*/delta_* report fields exist (the
-    run was made with --degradation).
+    run was made with --degradation);
+  - --recovery additionally asserts the time-to-recovery fields exist and
+    that the run healed: recovered == 1 and recovery_time_ms >= 0. This is
+    the CI teeth behind the self-healing acceptance criterion — a rerouted
+    link_down must return the delivered rate to >= 90% of the healthy twin
+    (src/fault/recovery.h).
 
 Usage: tools/check_faults.py metrics.json [--nonzero=a,b] [--degradation]
+       [--recovery]
 Exit codes: 0 ok, 1 validation failure, 2 usage error.
 """
 
@@ -28,6 +35,10 @@ FAULT_COUNTERS = (
     "packets_corrupted",
     "blackhole_drops",
     "link_down_drops",
+    "reroutes",
+    "flushed_bytes_restart",
+    "burst_loss_packets",
+    "cp_stalled_steps",
 )
 
 
@@ -43,6 +54,8 @@ def main():
                         help="comma-separated fault counters that must be > 0")
     parser.add_argument("--degradation", action="store_true",
                         help="require the healthy_/delta_ degradation fields")
+    parser.add_argument("--recovery", action="store_true",
+                        help="require the recovery fields and recovered == 1")
     args = parser.parse_args()
 
     try:
@@ -55,8 +68,8 @@ def main():
         fail("top level must be one flat JSON object")
 
     schema = doc.get("schema_version")
-    if not isinstance(schema, int) or schema < 7:
-        fail(f"schema_version must be an integer >= 7, got {schema!r}")
+    if not isinstance(schema, int) or schema < 8:
+        fail(f"schema_version must be an integer >= 8, got {schema!r}")
 
     for name in FAULT_COUNTERS:
         value = doc.get(name)
@@ -74,14 +87,32 @@ def main():
         if doc[name] <= 0:
             fail(f"{name} must be > 0 under the injected schedule, got {doc[name]}")
 
-    if args.degradation:
+    if args.degradation or args.recovery:
         for name in ("healthy_goodput_gbps", "delta_goodput_gbps",
                      "healthy_drops", "delta_drops"):
             if name not in doc:
                 fail(f"--degradation run is missing field {name}")
 
+    if args.recovery:
+        for name in ("fault_onset_ms", "first_delivery_after_fault_ms",
+                     "recovery_time_ms", "recovered"):
+            if name not in doc:
+                fail(f"--recovery run is missing field {name}")
+        if doc["recovered"] != 1:
+            fail("run did not recover: delivered rate never returned to "
+                 "90% of the healthy twin "
+                 f"(recovery_time_ms={doc['recovery_time_ms']})")
+        if doc["recovery_time_ms"] < 0:
+            fail(f"recovered run has recovery_time_ms="
+                 f"{doc['recovery_time_ms']}, expected >= 0")
+
     counters = ", ".join(f"{n}={doc[n]}" for n in FAULT_COUNTERS)
-    print(f"check_faults: OK: schema v{schema}, {counters}")
+    extra = ""
+    if args.recovery:
+        extra = (f", recovery_time_ms={doc['recovery_time_ms']}"
+                 f", first_delivery_after_fault_ms="
+                 f"{doc['first_delivery_after_fault_ms']}")
+    print(f"check_faults: OK: schema v{schema}, {counters}{extra}")
     return 0
 
 

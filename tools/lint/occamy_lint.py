@@ -69,7 +69,11 @@ SOURCE_EXTS = (".h", ".cc")
 # raw-random applies where seeded determinism is load-bearing. src/fault is
 # in scope: fault draws must come from the plan's seeded Rng, never ambient
 # randomness, or faulted runs stop being byte-identical across shard counts.
-RAW_RANDOM_DIRS = ("src/sim", "src/net", "src/transport", "src/fault")
+# src/tm, src/core and src/bm joined with the self-healing fault model —
+# restart flushes and control-plane stalls mutate TM/BM/expulsion state
+# mid-run, so ambient randomness there would break fault fingerprints too.
+RAW_RANDOM_DIRS = ("src/sim", "src/net", "src/transport", "src/fault",
+                   "src/tm", "src/core", "src/bm")
 # hot-path-indirection applies to the allocation-scrubbed hot-path dirs.
 HOT_PATH_DIRS = ("src/sim", "src/core", "src/buffer")
 # trace-macro-only applies to the engine dirs the OCCAMY_TRACE_* macros
@@ -391,11 +395,13 @@ def self_test(fixtures_dir):
     for rule in RULES:
         # Fixtures fake the rule's directory scope via their path argument.
         # raw-random is checked under every scoped directory family it
-        # guards (the engine dirs and src/fault), proving the scope list
-        # actually reaches the fault subsystem.
+        # guards (the engine dirs, src/fault, and the TM/BM state the
+        # self-healing faults mutate), proving the scope list actually
+        # reaches those subsystems.
         scoped_paths = {
             "unordered-iteration": ["src/exp/fixture.cc"],
-            "raw-random": ["src/sim/fixture.cc", "src/fault/fixture.cc"],
+            "raw-random": ["src/sim/fixture.cc", "src/fault/fixture.cc",
+                           "src/tm/fixture.cc", "src/bm/fixture.cc"],
             "hot-path-indirection": ["src/core/fixture.cc"],
             "pointer-keyed-order": ["src/net/fixture.cc"],
             "trace-macro-only": ["src/buffer/fixture.cc"],

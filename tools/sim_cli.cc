@@ -11,6 +11,7 @@
 #include "src/exp/figures.h"
 #include "src/exp/scenario_runner.h"
 #include "src/fault/fault_plan.h"
+#include "src/fault/recovery.h"
 #include "src/obs/export.h"
 #include "tools/sweep_cli.h"
 
@@ -200,10 +201,14 @@ std::string UsageString() {
          "                      for any n; default: single-threaded engine)\n"
          "  --faults=<spec>     deterministic fault schedule, e.g.\n"
          "                      link_down:t=2ms,dur=1ms,node=sw0,port=3;loss:rate=0.01\n"
-         "                      (types: link_down blackhole freeze loss corrupt;\n"
-         "                      see README \"Fault injection\")\n"
+         "                      (types: link_down link_up blackhole freeze restart\n"
+         "                      cp_freeze cp_delay loss corrupt gilbert; see README\n"
+         "                      \"Fault injection\")\n"
          "  --degradation       also run the healthy twin (same seed, no faults) and\n"
          "                      emit healthy_<k>/delta_<k> fields for the key metrics\n"
+         "                      plus time-to-recovery (fault_onset_ms,\n"
+         "                      first_delivery_after_fault_ms, recovery_time_ms;\n"
+         "                      -1 = never)\n"
          "  --list              list scenarios and schemes, then exit\n"
          "  --help              this message\n";
   return out.str();
@@ -261,6 +266,28 @@ SimResult RunScenario(const SimOptions& opts) {
         point.metrics.Set("healthy_" + name, h->Number());
         point.metrics.Set("delta_" + name, faulted->Number() - h->Number());
       }
+    }
+
+    // Time-to-recovery (schema v8): derived from the per-millisecond
+    // delivered-byte timelines of the faulted run and its healthy twin.
+    // Only platforms with completion records carry a timeline (the p4
+    // burst lab does not). Onset = the earliest fault activation.
+    if (!point.delivered_by_ms.empty() || !base.delivered_by_ms.empty()) {
+      fault::FaultPlan plan;
+      if (auto perr = fault::ParseFaultPlan(opts.faults, &plan)) {
+        result.error = *perr;  // unreachable after ParseArgs, but explicit
+        return result;
+      }
+      Time onset = plan.events.empty() ? 0 : plan.events.front().at;
+      for (const auto& ev : plan.events) onset = std::min(onset, ev.at);
+      const double onset_ms = ToMilliseconds(onset);
+      const fault::RecoveryReport rec = fault::ComputeRecovery(
+          point.delivered_by_ms, base.delivered_by_ms, onset_ms);
+      point.metrics.Set("fault_onset_ms", onset_ms);
+      point.metrics.Set("first_delivery_after_fault_ms",
+                        rec.first_delivery_after_fault_ms);
+      point.metrics.Set("recovery_time_ms", rec.recovery_time_ms);
+      point.metrics.Set("recovered", int64_t{rec.recovered ? 1 : 0});
     }
   }
 
