@@ -22,7 +22,7 @@ struct BenchConfig {
   double duration_ms = 5;
 };
 
-FabricRunSpec MakeSpec(const BenchConfig& cfg, int shards) {
+FabricRunSpec MakeSpec(const BenchConfig& cfg, int shards, int window_batch) {
   FabricRunSpec run;
   run.scheme = Scheme::kOccamy;
   run.pattern = BgPattern::kAllToAll;
@@ -34,6 +34,7 @@ FabricRunSpec MakeSpec(const BenchConfig& cfg, int shards) {
               : cfg.scale == "full"  ? BenchScale::kFull
                                      : BenchScale::kDefault;
   run.shards = shards;
+  run.window_batch = window_batch;
   return run;
 }
 
@@ -93,7 +94,10 @@ int main(int argc, char** argv) {
 
   return RunParallelGate<FabricRunResult>(
       opts, "fabric_parallel",
-      [&](int shards) { return RunFabric(MakeSpec(cfg, shards)); }, Identical,
+      [&](int shards, int window_batch) {
+        return RunFabric(MakeSpec(cfg, shards, window_batch));
+      },
+      Identical,
       [](const FabricRunResult& r, std::string& err) {
         if (r.bg_flows_completed == 0 || r.delivered_bytes == 0) {
           err = "no flows completed or bytes delivered";
@@ -102,5 +106,6 @@ int main(int argc, char** argv) {
         return true;
       },
       [](const FabricRunResult& r) { return r.sim_events; },
-      [](const FabricRunResult& r) { return r.parallel_efficiency; });
+      [](const FabricRunResult& r) { return r.parallel_efficiency; },
+      [](const FabricRunResult& r) { return r.windows_run; });
 }

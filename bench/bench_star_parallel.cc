@@ -19,7 +19,7 @@
 namespace occamy::bench {
 namespace {
 
-DpdkRunSpec MakeSpec(double duration_ms, int shards) {
+DpdkRunSpec MakeSpec(double duration_ms, int shards, int window_batch) {
   DpdkRunSpec run;
   run.scheme = Scheme::kOccamy;
   run.num_hosts = 32;
@@ -34,6 +34,7 @@ DpdkRunSpec MakeSpec(double duration_ms, int shards) {
   run.seed = 1;
   run.scale = BenchScale::kDefault;  // explicit: ignore OCCAMY_BENCH_SCALE
   run.shards = shards;
+  run.window_batch = window_batch;
   return run;
 }
 
@@ -81,7 +82,10 @@ int main(int argc, char** argv) {
 
   return RunParallelGate<DpdkRunResult>(
       opts, "star_parallel",
-      [&](int shards) { return RunDpdk(MakeSpec(duration_ms, shards)); }, Identical,
+      [&](int shards, int window_batch) {
+        return RunDpdk(MakeSpec(duration_ms, shards, window_batch));
+      },
+      Identical,
       [](const DpdkRunResult& r, std::string& err) {
         if (r.queries == 0 || r.delivered_bytes == 0) {
           err = "no queries or bytes delivered";
@@ -90,5 +94,6 @@ int main(int argc, char** argv) {
         return true;
       },
       [](const DpdkRunResult& r) { return r.sim_events; },
-      [](const DpdkRunResult& r) { return r.parallel_efficiency; });
+      [](const DpdkRunResult& r) { return r.parallel_efficiency; },
+      [](const DpdkRunResult& r) { return r.windows_run; });
 }

@@ -49,6 +49,10 @@ struct BurstLabSpec {
   int shards = 0;
   // Sharded engine only: worker threads on/off (byte-identical either way).
   bool shard_threads = true;
+  // Sharded engine only: windows per plan barrier (0 = adaptive, see
+  // sim::ShardedSimulator::Options::window_batch). Byte-identical metrics
+  // at every setting.
+  int window_batch = 0;
 };
 
 struct BurstLabResult {
@@ -62,6 +66,9 @@ struct BurstLabResult {
   int64_t sim_events = 0;  // simulator events processed (deterministic)
   int shards = 0;          // engine: 0 = single-threaded, >= 1 = sharded
   double parallel_efficiency = 0;  // sharded engine only; wall-clock derived
+  uint64_t windows_run = 0;       // sharded engine: barrier (drain+plan) rounds
+  uint64_t windows_executed = 0;  // sharded engine: conservative windows run
+  uint64_t max_window_batch = 0;  // sharded engine: widest batch planned
   obs::BufferObs obs;              // per-queue delay/drop aggregate (schema v6)
   uint64_t mailbox_staged = 0;     // cross-shard records staged (sharded engine)
   uint64_t mailbox_drained = 0;    // cross-shard records drained at barriers
@@ -85,6 +92,7 @@ inline StarSpec MakeBurstLabStarSpec(const BurstLabSpec& spec) {
   star.scheme = spec.scheme;
   star.alphas = {spec.alpha};
   star.seed = spec.seed;
+  star.window_batch = spec.window_batch;
   return star;
 }
 
@@ -159,6 +167,9 @@ inline BurstLabResult RunBurstLabSharded(const BurstLabSpec& spec) {
   result.sim_events = static_cast<int64_t>(s.ssim.processed_events());
   result.shards = spec.shards;
   result.parallel_efficiency = s.ssim.parallel_efficiency();
+  result.windows_run = s.ssim.windows_run();
+  result.windows_executed = s.ssim.windows_executed();
+  result.max_window_batch = s.ssim.max_window_batch();
   if (injector) result.faults = injector->Totals();
   return result;
 }

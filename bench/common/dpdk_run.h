@@ -75,6 +75,10 @@ struct DpdkRunSpec {
   // Sharded engine only: run shards on worker threads (off = same windowed
   // algorithm inline; byte-identical either way — a determinism test knob).
   bool shard_threads = true;
+  // Sharded engine only: windows per plan barrier (0 = adaptive, see
+  // sim::ShardedSimulator::Options::window_batch). Byte-identical metrics
+  // at every setting.
+  int window_batch = 0;
 };
 
 struct DpdkRunResult {
@@ -96,6 +100,9 @@ struct DpdkRunResult {
   int64_t sim_events = 0;  // simulator events processed (deterministic)
   int shards = 0;          // engine: 0 = single-threaded, >= 1 = sharded
   double parallel_efficiency = 0;  // sharded engine only; wall-clock derived
+  uint64_t windows_run = 0;       // sharded engine: barrier (drain+plan) rounds
+  uint64_t windows_executed = 0;  // sharded engine: conservative windows run
+  uint64_t max_window_batch = 0;  // sharded engine: widest batch planned
   obs::BufferObs obs;              // per-queue delay/drop aggregate (schema v6)
   uint64_t mailbox_staged = 0;     // cross-shard records staged (sharded engine)
   uint64_t mailbox_drained = 0;    // cross-shard records drained at barriers
@@ -116,6 +123,7 @@ inline StarSpec MakeDpdkStarSpec(const DpdkRunSpec& run) {
   star.alphas = run.alphas;
   star.seed = run.seed;
   star.ports_per_partition = run.ports_per_partition;
+  star.window_batch = run.window_batch;
   return star;
 }
 
@@ -305,6 +313,9 @@ inline DpdkRunResult RunDpdkSharded(const DpdkRunSpec& run) {
   result.sim_events = static_cast<int64_t>(s.ssim.processed_events());
   result.shards = run.shards;
   result.parallel_efficiency = s.ssim.parallel_efficiency();
+  result.windows_run = s.ssim.windows_run();
+  result.windows_executed = s.ssim.windows_executed();
+  result.max_window_batch = s.ssim.max_window_batch();
   if (injector) result.faults = injector->Totals();
   return result;
 }

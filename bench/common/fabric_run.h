@@ -59,6 +59,10 @@ struct FabricRunSpec {
   // Sharded engine only: run shards on worker threads (off = same windowed
   // algorithm inline; byte-identical either way — a determinism test knob).
   bool shard_threads = true;
+  // Sharded engine only: windows per plan barrier (0 = adaptive, see
+  // sim::ShardedSimulator::Options::window_batch). Byte-identical metrics
+  // at every setting.
+  int window_batch = 0;
 };
 
 struct FabricRunResult {
@@ -82,6 +86,9 @@ struct FabricRunResult {
   int64_t sim_events = 0;    // simulator events processed (deterministic)
   int shards = 0;            // engine: 0 = single-threaded, >= 1 = sharded
   double parallel_efficiency = 0;  // sharded engine only; wall-clock derived
+  uint64_t windows_run = 0;       // sharded engine: barrier (drain+plan) rounds
+  uint64_t windows_executed = 0;  // sharded engine: conservative windows run
+  uint64_t max_window_batch = 0;  // sharded engine: widest batch planned
   obs::BufferObs obs;              // per-queue delay/drop aggregate (schema v6)
   uint64_t mailbox_staged = 0;     // cross-shard records staged (sharded engine)
   uint64_t mailbox_drained = 0;    // cross-shard records drained at barriers
@@ -225,6 +232,7 @@ inline FabricRunResult RunFabricSharded(const FabricRunSpec& run) {
   spec.alphas = run.alphas;
   spec.buffer_per_port_per_gbps = run.buffer_per_port_per_gbps;
   spec.seed = run.seed;
+  spec.window_batch = run.window_batch;
   ShardedFabricScenario s(spec, scale, run.shards, run.shard_threads);
   std::optional<fault::FaultInjector> injector;
   ArmFaultsOrDie(injector, s.net, run.faults, FabricFaultTopology(s.topo));
@@ -272,6 +280,9 @@ inline FabricRunResult RunFabricSharded(const FabricRunSpec& run) {
   result.sim_events = static_cast<int64_t>(s.ssim.processed_events());
   result.shards = run.shards;
   result.parallel_efficiency = s.ssim.parallel_efficiency();
+  result.windows_run = s.ssim.windows_run();
+  result.windows_executed = s.ssim.windows_executed();
+  result.max_window_batch = s.ssim.max_window_batch();
   if (injector) result.faults = injector->Totals();
   return result;
 }

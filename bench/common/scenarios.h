@@ -54,6 +54,10 @@ struct StarSpec {
   Scheme scheme = Scheme::kDt;
   std::vector<double> alphas;  // per class; empty = scheme default
   uint64_t seed = 1;
+  // Sharded engine only: windows per plan barrier (0 = adaptive, see
+  // sim::ShardedSimulator::Options::window_batch). Byte-identical metrics
+  // at every setting.
+  int window_batch = 0;
   // Ports per buffer partition; 0 = every port shares one buffer (the
   // testbeds' single shared-memory domain, `buffer_bytes` total). A smaller
   // value splits the switch Tomahawk-style into num_hosts/ports_per_partition
@@ -165,6 +169,7 @@ struct ShardedStarScenario {
     opts.lookahead = spec.link_propagation;
     opts.seed = spec.seed;
     opts.use_threads = use_threads;
+    opts.window_batch = spec.window_batch;
     return opts;
   }
 };
@@ -180,6 +185,9 @@ struct FabricSpec {
   double buffer_per_port_per_gbps = 5120.0;
   double ecn_bdp_fraction = 0.72;  // paper: ECN = 0.72 BDP
   uint64_t seed = 1;
+  // Sharded engine only: windows per plan barrier (0 = adaptive, see
+  // sim::ShardedSimulator::Options::window_batch).
+  int window_batch = 0;
 };
 
 // Builds the leaf-spine config (scale geometry, buffer density, ECN, BM
@@ -325,6 +333,7 @@ struct ShardedFabricScenario {
     opts.lookahead = cfg.link_propagation;
     opts.seed = spec.seed;
     opts.use_threads = use_threads;
+    opts.window_batch = spec.window_batch;
     return opts;
   }
 };

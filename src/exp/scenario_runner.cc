@@ -102,10 +102,23 @@ void AddCommonFields(Metrics& m, const ScenarioInfo& entry, const PointSpec& spe
 
 // Schema v4/v5: which engine ran the point (0 = single-threaded) and, for
 // sharded runs, the wall-clock-derived worker utilization (volatile like
-// wall_ms; the CSV summary excludes it).
-void AddEngineFields(Metrics& m, int shards, double parallel_efficiency) {
+// wall_ms; the CSV summary excludes it) plus the adaptive window planner's
+// telemetry. The window fields are deterministic for a given
+// --window-batch setting but differ across settings, so — like shards —
+// they are excluded from the golden/differential fingerprint
+// (tests/differential.h VolatileMetricKeys), which is what lets every
+// batch setting map onto the same golden file.
+void AddEngineFields(Metrics& m, int shards, double parallel_efficiency,
+                     int window_batch, uint64_t windows_run,
+                     uint64_t windows_executed, uint64_t max_window_batch) {
   m.Set("shards", int64_t{shards});
-  if (shards >= 1) m.Set("parallel_efficiency", parallel_efficiency);
+  if (shards >= 1) {
+    m.Set("parallel_efficiency", parallel_efficiency);
+    m.Set("window_batch", int64_t{window_batch});
+    m.Set("windows_run", static_cast<int64_t>(windows_run));
+    m.Set("windows_executed", static_cast<int64_t>(windows_executed));
+    m.Set("max_window_batch", static_cast<int64_t>(max_window_batch));
+  }
 }
 
 // Perf telemetry appended to every point (schema v3): the deterministic
@@ -192,6 +205,7 @@ PointResult RunBurst(const ScenarioInfo& entry, Scheme scheme, const PointSpec& 
   if (spec.duration_ms > 0) run.horizon = FromSeconds(spec.duration_ms / 1000.0);
   run.seed = spec.seed;
   run.shards = spec.shards;
+  run.window_batch = spec.window_batch;
   run.faults = faults;
 
   const PerfClock::time_point start = PerfClock::now();
@@ -210,7 +224,8 @@ PointResult RunBurst(const ScenarioInfo& entry, Scheme scheme, const PointSpec& 
   m.Set("buffer_bytes", run.buffer_bytes);
   AddObsFields(m, r.obs, r.mailbox_staged, r.mailbox_drained, r.faults);
   AddPerfFields(m, r.sim_events, start);
-  AddEngineFields(m, r.shards, r.parallel_efficiency);
+  AddEngineFields(m, r.shards, r.parallel_efficiency, spec.window_batch,
+                  r.windows_run, r.windows_executed, r.max_window_batch);
   result.ok = true;
   return result;
 }
@@ -233,6 +248,7 @@ PointResult RunStar(const ScenarioInfo& entry, Scheme scheme, const PointSpec& s
   run.seed = spec.seed;
   run.scale = scale;
   run.shards = spec.shards;
+  run.window_batch = spec.window_batch;
   run.faults = faults;
   if (spec.buffer_bytes > 0) run.buffer_bytes = spec.buffer_bytes;
 
@@ -293,7 +309,8 @@ PointResult RunStar(const ScenarioInfo& entry, Scheme scheme, const PointSpec& s
   AddOccupancy(m, r.buffer_bytes, r.peak_occupancy_bytes);
   AddObsFields(m, r.obs, r.mailbox_staged, r.mailbox_drained, r.faults);
   AddPerfFields(m, r.sim_events, start);
-  AddEngineFields(m, r.shards, r.parallel_efficiency);
+  AddEngineFields(m, r.shards, r.parallel_efficiency, spec.window_batch,
+                  r.windows_run, r.windows_executed, r.max_window_batch);
   result.delivered_by_ms = r.delivered_by_ms;
   result.ok = true;
   return result;
@@ -322,6 +339,7 @@ PointResult RunFabricScenario(const ScenarioInfo& entry, Scheme scheme,
   run.seed = spec.seed;
   run.scale = scale;
   run.shards = spec.shards;
+  run.window_batch = spec.window_batch;
   run.faults = faults;
 
   const std::string name = entry.name;
@@ -372,7 +390,8 @@ PointResult RunFabricScenario(const ScenarioInfo& entry, Scheme scheme,
   AddOccupancy(m, r.buffer_bytes, r.peak_occupancy_bytes);
   AddObsFields(m, r.obs, r.mailbox_staged, r.mailbox_drained, r.faults);
   AddPerfFields(m, r.sim_events, start);
-  AddEngineFields(m, r.shards, r.parallel_efficiency);
+  AddEngineFields(m, r.shards, r.parallel_efficiency, spec.window_batch,
+                  r.windows_run, r.windows_executed, r.max_window_batch);
   result.delivered_by_ms = r.delivered_by_ms;
   result.ok = true;
   return result;
@@ -442,6 +461,14 @@ PointResult RunPoint(const PointSpec& spec) {
   }
   if (spec.shards < 0 || spec.shards > 64) {
     result.error = "shards out of range (want 0..64): " + std::to_string(spec.shards);
+    return result;
+  }
+  if (spec.window_batch < 0 ||
+      spec.window_batch > sim::ShardedSimulator::kMaxWindowBatch) {
+    result.error =
+        "window_batch out of range (want 0..." +
+        std::to_string(sim::ShardedSimulator::kMaxWindowBatch) +
+        ", 0 = auto): " + std::to_string(spec.window_batch);
     return result;
   }
   if (spec.loss_rate < 0 || spec.loss_rate >= 1) {

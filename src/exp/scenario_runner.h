@@ -69,6 +69,12 @@ struct PointSpec {
   // for any value >= 1 (the determinism contract of sim::ShardedSimulator),
   // so this is an execution knob, not a sweep dimension.
   int shards = 0;
+  // Sharded engine only: windows per plan barrier. 0 = adaptive, 1 = the
+  // legacy one-window-per-drain schedule, N = fixed batch of N windows
+  // (<= sim::ShardedSimulator::kMaxWindowBatch, validated in RunPoint).
+  // Metrics are byte-identical at every setting — like shards, an
+  // execution knob, not a sweep dimension.
+  int window_batch = 0;
 };
 
 struct PointResult {

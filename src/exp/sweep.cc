@@ -71,6 +71,9 @@ std::optional<std::string> ExpandSweep(const SweepSpec& spec,
                     // intra-switch partition sharding on star/p4), and
                     // results are byte-identical for any shard count.
                     if (spec.shards > 0) p.spec.shards = spec.shards;
+                    if (spec.window_batch > 0) {
+                      p.spec.window_batch = spec.window_batch;
+                    }
                     p.key_fields.emplace_back("scenario", scenario);
                     p.key_fields.emplace_back("bm", bm);
                     if (!spec.alphas.empty()) {

@@ -50,6 +50,10 @@ struct SweepSpec {
   // sharding on the fabric, intra-switch partition sharding on star/p4.
   // 0 = single-threaded engine.
   int shards = 0;
+  // Second execution knob, same contract: windows per plan barrier on the
+  // sharded engine (0 = adaptive, 1 = legacy, N = fixed batch). Metrics
+  // are byte-identical at every setting.
+  int window_batch = 0;
 };
 
 // One expanded grid element: the executable spec plus its identity.

@@ -103,6 +103,10 @@ class Network {
     shard_state_.resize(n);
     outboxes_.resize(n * n);
     ssim_->set_barrier_drain([this](int shard) { DrainInbound(shard); });
+    // Mailbox `staged` counters double as the engine's silence signal: the
+    // plan leader samples the sum at plan rounds (all shards quiescent)
+    // and widens/narrows the adaptive window batch on the delta.
+    ssim_->set_staged_probe([this] { return mailbox_staged(); });
   }
 
   Network(const Network&) = delete;
@@ -321,6 +325,15 @@ class Network {
   // window boundaries and stay byte-identical for any shard count), 0 on
   // the legacy single-threaded engine (no rounding needed).
   Time route_epoch_quantum() const { return ssim_ != nullptr ? ssim_->lookahead() : 0; }
+
+  // Registers a sim-time drain fence with the sharded engine's adaptive
+  // window planner (no-op on the legacy engine): window batches never
+  // cross it, so a mailbox drain is guaranteed at the barrier entering its
+  // window. fault::FaultInjector::Arm fences every armed fault toggle and
+  // quantum-aligned route-epoch boundary.
+  void AddDrainFence(Time t) {
+    if (ssim_ != nullptr) ssim_->AddDrainFence(t);
+  }
 
  private:
   // Shard that must execute the arrival of `pkt` at `to` at time `at`.

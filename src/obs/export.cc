@@ -102,6 +102,14 @@ ProfileReport BuildProfileReport(const std::vector<TraceEvent>& events, int shar
     } else if (std::strcmp(ev.name, kSpanBarrierPlan) == 0 ||
                std::strcmp(ev.name, kSpanBarrierWindow) == 0) {
       shard.barrier_ns += ev.dur_ns;
+      // Only the plan leader's span carries the batch_windows arg — one
+      // annotated span per barrier round, so summing counts each batch once.
+      if (std::strcmp(ev.name, kSpanBarrierPlan) == 0 && ev.arg_name != nullptr &&
+          std::strcmp(ev.arg_name, "batch_windows") == 0 && ev.arg > 0) {
+        ++report.plan_rounds;
+        report.planned_windows += static_cast<uint64_t>(ev.arg);
+        report.max_batch = std::max(report.max_batch, static_cast<uint64_t>(ev.arg));
+      }
     } else if (std::strcmp(ev.name, kSpanMailboxDrain) == 0) {
       shard.drain_ns += ev.dur_ns;
     } else if (std::strcmp(ev.name, kSpanRunCore) == 0) {
@@ -151,21 +159,41 @@ std::string FormatProfileReport(const ProfileReport& report) {
       "shard     busy_ms  barrier_ms   drain_ms      events  windows   util%\n");
   for (size_t s = 0; s < report.shards.size(); ++s) {
     const ProfileShard& shard = report.shards[s];
+    // A shard with zero accounted worker time (it recorded nothing — e.g.
+    // a trace window that closed before the shard ran) renders as explicit
+    // zeros with a marker rather than a ratio over nothing.
+    const uint64_t accounted = shard.busy_ns + shard.barrier_ns + shard.drain_ns;
     const double util =
-        report.wall_ns > 0
+        report.wall_ns > 0 && accounted > 0
             ? 100.0 * static_cast<double>(shard.busy_ns) / static_cast<double>(report.wall_ns)
             : 0.0;
     std::snprintf(line, sizeof(line),
-                  "%5zu  %10.3f  %10.3f  %9.3f  %10" PRIu64 "  %7" PRIu64 "  %6.1f\n", s,
+                  "%5zu  %10.3f  %10.3f  %9.3f  %10" PRIu64 "  %7" PRIu64 "  %6.1f%s\n", s,
                   static_cast<double>(shard.busy_ns) / 1e6,
                   static_cast<double>(shard.barrier_ns) / 1e6,
                   static_cast<double>(shard.drain_ns) / 1e6, shard.events, shard.windows,
-                  util);
+                  util, accounted == 0 ? "  (no-samples)" : "");
     out.append(line);
   }
-  std::snprintf(line, sizeof(line), "barrier overhead: %.1f%% of accounted worker time\n",
-                100.0 * report.barrier_overhead_frac);
+  uint64_t total_accounted = 0;
+  for (const ProfileShard& shard : report.shards) {
+    total_accounted += shard.busy_ns + shard.barrier_ns + shard.drain_ns;
+  }
+  std::snprintf(line, sizeof(line),
+                "barrier overhead: %.1f%% of accounted worker time%s\n",
+                100.0 * report.barrier_overhead_frac,
+                total_accounted == 0 ? " (no-samples)" : "");
   out.append(line);
+  if (report.plan_rounds > 0) {
+    std::snprintf(line, sizeof(line),
+                  "window batching: %" PRIu64 " plan rounds covering %" PRIu64
+                  " windows (avg batch %.2f, max %" PRIu64 ")\n",
+                  report.plan_rounds, report.planned_windows,
+                  static_cast<double>(report.planned_windows) /
+                      static_cast<double>(report.plan_rounds),
+                  report.max_batch);
+    out.append(line);
+  }
   out.append("window event density (events per run.core batch):\n");
   for (size_t b = 0; b < report.density.size(); ++b) {
     if (report.density[b] == 0) continue;

@@ -45,6 +45,12 @@ struct ProfileReport {
   // events (density[0] counts empty batches).
   std::vector<uint64_t> density;
   uint64_t trace_dropped = 0;  // events lost to ring wrap-around
+  // Window batching (sharded engine): the leader annotates each
+  // barrier.plan span with the number of windows the batch covers, so the
+  // profile shows how much the adaptive policy collapsed barrier traffic.
+  uint64_t plan_rounds = 0;      // barrier.plan spans with a batch_windows arg
+  uint64_t planned_windows = 0;  // total windows those plans covered
+  uint64_t max_batch = 0;        // widest single batch planned
 };
 
 // Aggregates recorder output into the per-shard report. `shards` sizes the

@@ -49,6 +49,50 @@ class CyclicBarrier {
   uint64_t generation_ = 0;
 };
 
+// Sense-reversing spin barrier for the inner (batched-window) loop: far
+// cheaper per round than the condvar CyclicBarrier when shards ~= cores,
+// and only ever spun for the bounded span of one batch — the outer
+// barriers still park on condvars, so idle phases do not burn CPU. The
+// last arrival runs `leader_fn` with every other party spinning, i.e.
+// quiescent; its writes are published by the sense flip (release) and
+// observed by the spinners' acquire loads.
+class SpinBarrier {
+ public:
+  explicit SpinBarrier(int parties) : parties_(parties) {}
+
+  template <typename F>
+  void ArriveAndWait(F&& leader_fn) {
+    const bool sense = sense_.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+      leader_fn();
+      arrived_.store(0, std::memory_order_relaxed);
+      sense_.store(!sense, std::memory_order_release);
+    } else {
+      int spins = 0;
+      while (sense_.load(std::memory_order_acquire) == sense) {
+        if (++spins >= kSpinsBeforeYield) {
+          spins = 0;
+          std::this_thread::yield();
+        }
+      }
+    }
+  }
+
+ private:
+  static constexpr int kSpinsBeforeYield = 1 << 10;
+  const int parties_;
+  std::atomic<int> arrived_{0};
+  std::atomic<bool> sense_{false};
+};
+
+// Auto-policy density threshold: a round averaging this many events per
+// executed window is "dense" — execution dominates each boundary, so the
+// cheap in-batch spin rounds are well amortized and the policy widens the
+// batch even though mail is flowing. Below it, a round that staged mail is
+// synchronization-bound chatter and the policy narrows back toward the
+// condvar schedule.
+constexpr uint64_t kDenseWindowEvents = 32;
+
 }  // namespace
 
 int CurrentShard() { return tls_shard < 0 ? 0 : tls_shard; }
@@ -70,7 +114,9 @@ ShardScope::~ShardScope() { tls_shard = saved_; }
 }  // namespace internal
 
 ShardedSimulator::ShardedSimulator(const Options& options)
-    : lookahead_(options.lookahead), use_threads_(options.use_threads) {
+    : lookahead_(options.lookahead),
+      use_threads_(options.use_threads),
+      window_batch_(std::clamp(options.window_batch, 0, kMaxWindowBatch)) {
   OCCAMY_CHECK(options.lookahead > 0) << "lookahead must be positive";
   const int n = std::max(1, options.shards);
   shards_.reserve(static_cast<size_t>(n));
@@ -104,11 +150,49 @@ uint64_t ShardedSimulator::processed_events() const {
   return total;
 }
 
-ShardedSimulator::Plan ShardedSimulator::PlanNextWindow(Time until) {
+void ShardedSimulator::AddDrainFence(Time t) {
+  OCCAMY_CHECK(!running()) << "AddDrainFence during a run";
+  const Time window_start = t <= 0 ? 0 : t - t % lookahead_;
+  const auto it =
+      std::lower_bound(drain_fences_.begin(), drain_fences_.end(), window_start);
+  if (it == drain_fences_.end() || *it != window_start) {
+    drain_fences_.insert(it, window_start);
+  }
+}
+
+ShardedSimulator::Plan ShardedSimulator::PlanBatch(Time until) {
   Plan plan;
   if (stop_requested_.load(std::memory_order_relaxed)) {
     plan.done = true;
     return plan;
+  }
+  // Feedback from the round that just drained. The staged counter is
+  // cumulative, so a delta against the last sample means some window since
+  // the previous drain staged mail.
+  bool saw_mail = false;
+  if (staged_probe_) {
+    const uint64_t staged_now = staged_probe_();
+    saw_mail = staged_now != staged_seen_;
+    staged_seen_ = staged_now;
+  }
+  const uint64_t round_events = processed_events() - events_seen_;
+  const uint64_t round_windows = windows_executed_ - windows_seen_;
+  events_seen_ += round_events;
+  windows_seen_ = windows_executed_;
+  if (window_batch_ == 0 && windows_run_ > 0) {
+    const bool dense =
+        round_windows > 0 && round_events / round_windows >= kDenseWindowEvents;
+    if (saw_mail && !dense) {
+      // Sparse chatter: each boundary is synchronization plus a real drain
+      // with little execution between them — prefer the parked condvar
+      // rounds over spinning.
+      batch_limit_ = std::max(1, batch_limit_ / 2);
+    } else {
+      // Silent or dense round: widen. A round that executed nothing at all
+      // was pure empty-window hopping — jump straight to the cap.
+      batch_limit_ =
+          round_events == 0 ? kMaxWindowBatch : std::min(kMaxWindowBatch, batch_limit_ * 2);
+    }
   }
   Time gm = Simulator::kNoEvent;
   for (auto& s : shards_) gm = std::min(gm, s->NextEventTime());
@@ -125,7 +209,61 @@ ShardedSimulator::Plan ShardedSimulator::PlanNextWindow(Time until) {
   // crosses depends only on simulated time — a determinism requirement.
   const Time window_start = gm - gm % lookahead_;
   plan.bound = std::min(window_start + lookahead_ - 1, until);
+  // Batch extent: k windows from the hopped-to start, clamped to the
+  // horizon and to the next drain fence. Every inner boundary drains, so
+  // any extent is sound; the extent only trades plan-round amortization
+  // against Stop()/fence responsiveness.
+  const int k = window_batch_ > 0 ? window_batch_ : batch_limit_;
+  plan.batch_end = until - window_start >= static_cast<Time>(k) * lookahead_
+                       ? window_start + static_cast<Time>(k) * lookahead_ - 1
+                       : until;
+  while (fence_cursor_ < drain_fences_.size() &&
+         drain_fences_[fence_cursor_] <= window_start) {
+    ++fence_cursor_;
+  }
+  if (fence_cursor_ < drain_fences_.size()) {
+    plan.batch_end = std::min(plan.batch_end, drain_fences_[fence_cursor_] - 1);
+  }
+  plan.batch_end = std::max(plan.batch_end, plan.bound);
+  plan.windows =
+      static_cast<int>((plan.batch_end - window_start) / lookahead_) + 1;
+  ++windows_run_;
+  ++windows_executed_;
+  max_window_batch_ =
+      std::max(max_window_batch_, static_cast<uint64_t>(plan.windows));
   return plan;
+}
+
+ShardedSimulator::BatchStep ShardedSimulator::StepBatch(const Plan& plan) {
+  BatchStep step;
+  // Stop() truncates the batch at this (current window) barrier: the run
+  // must halt here, never run on to batch end. This mirrors the batch=1
+  // protocol exactly — there too the boundary drains first and the stop is
+  // noticed by the plan step that follows.
+  if (stop_requested_.load(std::memory_order_relaxed)) {
+    ++batch_truncations_;
+    step.done = true;
+    return step;
+  }
+  // In-batch counterpart of the planner's empty-window hop — the
+  // density-driven merge: windows with no events anywhere are skipped
+  // outright, sparse ones cost one spin-barrier round each. The drains for
+  // this boundary have already run, so gm sees every handed-over arrival.
+  Time gm = Simulator::kNoEvent;
+  for (auto& s : shards_) gm = std::min(gm, s->NextEventTime());
+  if (gm == Simulator::kNoEvent || gm > plan.batch_end) {
+    // Nothing due inside the batch anymore; run every clock out to its
+    // end. No events execute (their queues hold nothing <= batch_end), so
+    // nothing new is staged and the clocks land exactly where the batch=1
+    // schedule leaves them.
+    for (auto& s : shards_) s->RunUntil(plan.batch_end);
+    step.done = true;
+    return step;
+  }
+  const Time window_start = gm - gm % lookahead_;
+  step.bound = std::min(window_start + lookahead_ - 1, plan.batch_end);
+  ++windows_executed_;
+  return step;
 }
 
 uint64_t ShardedSimulator::RunUntil(Time until) {
@@ -134,6 +272,14 @@ uint64_t ShardedSimulator::RunUntil(Time until) {
   stop_requested_.store(false, std::memory_order_relaxed);
   running_.store(true, std::memory_order_relaxed);
   windows_run_ = 0;
+  windows_executed_ = 0;
+  batch_truncations_ = 0;
+  max_window_batch_ = 0;
+  batch_limit_ = 1;  // auto policy starts conservative and doubles up
+  staged_seen_ = staged_probe_ ? staged_probe_() : 0;
+  events_seen_ = events_before;
+  windows_seen_ = 0;
+  fence_cursor_ = 0;
   // Record each shard's ownership for the duration of the run so that
   // OCCAMY_ASSERT_SHARD (src/sim/shard_checks.h) catches mis-pinned work
   // deterministically. Bound before the workers start and unbound after
@@ -145,7 +291,9 @@ uint64_t ShardedSimulator::RunUntil(Time until) {
   const WallClock::time_point wall_start = WallClock::now();
 
   if (!use_threads_ || n == 1) {
-    // Identical windowed algorithm, round-robin on the calling thread.
+    // Identical windowed algorithm, round-robin on the calling thread: the
+    // same PlanBatch / StepBatch decision sequence at the same boundaries,
+    // so results match the threaded path byte for byte.
     for (;;) {
       if (barrier_drain_) {
         for (int s = 0; s < n; ++s) {
@@ -156,23 +304,44 @@ uint64_t ShardedSimulator::RunUntil(Time until) {
       }
       {
         OCCAMY_TRACE_SPAN(plan_span, "barrier.plan");
-        plan = PlanNextWindow(until);
+        plan = PlanBatch(until);
+        if (!plan.done) {
+          OCCAMY_TRACE_SPAN_ARG(plan_span, "batch_windows", plan.windows);
+        }
       }
       if (plan.done) break;
-      ++windows_run_;
-      for (int s = 0; s < n; ++s) {
-        internal::ShardScope scope(s);
-        OCCAMY_TRACE_SPAN(window_span, "window.execute");
-        const WallClock::time_point t0 = WallClock::now();
-        shards_[static_cast<size_t>(s)]->RunUntil(plan.bound);
-        busy_ns[static_cast<size_t>(s)] += static_cast<uint64_t>(
-            std::chrono::duration_cast<std::chrono::nanoseconds>(WallClock::now() - t0)
-                .count());
+      Time bound = plan.bound;
+      for (;;) {
+        for (int s = 0; s < n; ++s) {
+          internal::ShardScope scope(s);
+          OCCAMY_TRACE_SPAN(window_span, "window.execute");
+          const WallClock::time_point t0 = WallClock::now();
+          shards_[static_cast<size_t>(s)]->RunUntil(bound);
+          busy_ns[static_cast<size_t>(s)] += static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(WallClock::now() - t0)
+                  .count());
+        }
+        if (bound >= plan.batch_end) break;
+        // Inner boundary: the same drain-then-step handover as the outer
+        // round, minus the plan work — keeps every batch setting on the
+        // identical (window, drain) schedule.
+        if (barrier_drain_) {
+          for (int s = 0; s < n; ++s) {
+            internal::ShardScope scope(s);
+            OCCAMY_TRACE_SPAN(drain_span, "mailbox.drain");
+            barrier_drain_(s);
+          }
+        }
+        const BatchStep step = StepBatch(plan);
+        if (step.done) break;
+        bound = step.bound;
       }
     }
   } else {
     CyclicBarrier plan_barrier(n);
     CyclicBarrier window_barrier(n);
+    SpinBarrier inner_barrier(n);
+    BatchStep step;  // written only by the inner-barrier leader
     const auto worker = [&](int s) {
       internal::ShardScope scope(s);
       Simulator& sim = *shards_[static_cast<size_t>(s)];
@@ -182,26 +351,54 @@ uint64_t ShardedSimulator::RunUntil(Time until) {
           OCCAMY_TRACE_SPAN(drain_span, "mailbox.drain");
           barrier_drain_(s);
         }
-        // Phase 2: plan (leader only, all queues quiescent). The span
-        // covers the wait, so its duration is this shard's plan-barrier
-        // overhead for the window.
+        // Phase 2: plan the next batch (leader only, all queues
+        // quiescent). The span covers the wait, so its duration is this
+        // shard's plan-barrier overhead for the round.
         {
           OCCAMY_TRACE_SPAN(plan_span, "barrier.plan");
           plan_barrier.ArriveAndWait([&] {
-            plan = PlanNextWindow(until);
-            if (!plan.done) ++windows_run_;
+            plan = PlanBatch(until);
+            if (!plan.done) {
+              OCCAMY_TRACE_SPAN_ARG(plan_span, "batch_windows", plan.windows);
+            }
           });
         }
         if (plan.done) return;
-        // Phase 3: run the window.
-        {
-          OCCAMY_TRACE_SPAN(window_span, "window.execute");
-          const WallClock::time_point t0 = WallClock::now();
-          sim.RunUntil(plan.bound);
-          busy_ns[static_cast<size_t>(s)] += static_cast<uint64_t>(
-              std::chrono::duration_cast<std::chrono::nanoseconds>(WallClock::now() - t0)
-                  .count());
+        // Phase 3: run the batch. Each inner boundary costs two
+        // spin-barrier rounds: one to quiesce every shard before the
+        // mailbox drains (producers must not push while consumers drain),
+        // one after them so the leader's step sees the handed-over
+        // arrivals and nobody starts the next window before all drains
+        // finish. That is the full outer handover minus the condvar parks
+        // and the plan work, so every batch setting executes the identical
+        // (window, drain) schedule. Every shard computes the same break
+        // conditions from the leader-shared plan/step, so all of them
+        // leave the inner loop together; a single-window batch never
+        // touches the spin barrier, which keeps --window-batch=1 the exact
+        // legacy protocol.
+        Time bound = plan.bound;
+        for (;;) {
+          {
+            OCCAMY_TRACE_SPAN(window_span, "window.execute");
+            const WallClock::time_point t0 = WallClock::now();
+            sim.RunUntil(bound);
+            busy_ns[static_cast<size_t>(s)] += static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(WallClock::now() -
+                                                                     t0)
+                    .count());
+          }
+          if (bound >= plan.batch_end) break;
+          inner_barrier.ArriveAndWait([] {});
+          if (barrier_drain_) {
+            OCCAMY_TRACE_SPAN(drain_span, "mailbox.drain");
+            barrier_drain_(s);
+          }
+          inner_barrier.ArriveAndWait([&] { step = StepBatch(plan); });
+          if (step.done) break;
+          bound = step.bound;
         }
+        // Phase 4: batch barrier — every shard is done with its windows
+        // before anyone drains.
         {
           OCCAMY_TRACE_SPAN(barrier_span, "barrier.window");
           window_barrier.ArriveAndWait([] {});

@@ -30,10 +30,14 @@
 namespace occamy::testing {
 
 // Metric keys that legitimately vary run to run or engine to engine: wall
-// clock and its derivatives, plus the engine-id fields themselves.
+// clock and its derivatives, the engine-id fields themselves, and the
+// window-batching telemetry (barrier rounds depend on the --window-batch
+// setting; the determinism contract is that nothing else does).
 inline const std::set<std::string>& VolatileMetricKeys() {
   static const std::set<std::string> kKeys = {
-      "wall_ms", "events_per_sec", "parallel_efficiency", "shards"};
+      "wall_ms",      "events_per_sec", "parallel_efficiency",
+      "shards",       "window_batch",   "windows_run",
+      "windows_executed", "max_window_batch"};
   return kKeys;
 }
 
@@ -99,6 +103,30 @@ inline void ExpectShardCountInvariant(exp::PointSpec spec,
     EXPECT_EQ(oracle, sharded)
         << spec.scenario << "/" << spec.bm << ": shards=" << shards
         << " diverged from the single-shard oracle (seed " << spec.seed << ")";
+  }
+}
+
+// The window-batching twin of ExpectShardCountInvariant: `spec` run at
+// window_batch=1 (one drain barrier per conservative window — the legacy
+// schedule) must produce a byte-identical deterministic fingerprint at
+// every setting in `batches` (0 = adaptive). `spec.shards` must already be
+// >= 1; only `spec.window_batch` is overwritten.
+inline void ExpectWindowBatchInvariant(exp::PointSpec spec,
+                                       std::initializer_list<int> batches) {
+  ASSERT_GE(spec.shards, 1) << "window batching is a sharded-engine knob";
+  spec.window_batch = 1;
+  const exp::Metrics oracle_metrics = RunPointOrFail(spec);
+  const std::string oracle = DeterministicFingerprint(oracle_metrics);
+  ASSERT_FALSE(oracle.empty());
+  EXPECT_GT(oracle_metrics.Number("sim_events"), 0)
+      << spec.scenario << "/" << spec.bm;
+  for (const int batch : batches) {
+    spec.window_batch = batch;
+    const std::string batched = DeterministicFingerprint(RunPointOrFail(spec));
+    EXPECT_EQ(oracle, batched)
+        << spec.scenario << "/" << spec.bm << ": window_batch=" << batch
+        << " diverged from the batch=1 schedule (shards=" << spec.shards
+        << ", seed " << spec.seed << ")";
   }
 }
 

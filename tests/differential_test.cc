@@ -10,6 +10,7 @@
 
 #include "bench/common/burst_lab.h"
 #include "bench/common/dpdk_run.h"
+#include "bench/common/fabric_run.h"
 
 namespace occamy {
 namespace {
@@ -100,6 +101,124 @@ TEST(DifferentialTest, StarThreadedAndInlineExecutionMatch) {
   EXPECT_EQ(threaded.rtos, inline_run.rtos);
   EXPECT_EQ(threaded.sim_events, inline_run.sim_events);
   EXPECT_GT(threaded.sim_events, 0);
+}
+
+// ---- window batching (adaptive drain scheduling) ----
+
+// Star: every window-batch setting maps onto the batch=1 fingerprint.
+TEST(DifferentialTest, StarWindowBatchInvariant) {
+  exp::PointSpec spec = SmokePoint("burst_absorption", "occamy", 2);
+  spec.shards = 4;
+  testing::ExpectWindowBatchInvariant(spec, {0, 4, 16});
+}
+
+// P4 burst lab: open-loop senders, single partition.
+TEST(DifferentialTest, BurstWindowBatchInvariant) {
+  exp::PointSpec spec = SmokePoint("burst", "occamy", 1);
+  spec.shards = 2;
+  testing::ExpectWindowBatchInvariant(spec, {0, 4});
+}
+
+// Fabric: node-affinity sharding, 10us lookahead.
+TEST(DifferentialTest, FabricWindowBatchInvariant) {
+  exp::PointSpec spec = SmokePoint("websearch", "occamy", 2);
+  spec.shards = 2;
+  testing::ExpectWindowBatchInvariant(spec, {0, 4});
+}
+
+// Batching must also hold with faults armed: the drain fences registered at
+// Arm() keep every reroute/loss toggle on a barrier boundary, so the
+// faulted fingerprints stay byte-identical to the batch=1 schedule.
+TEST(DifferentialTest, FaultedWindowBatchInvariant) {
+  exp::PointSpec spec = SmokePoint("burst_absorption", "occamy", 2);
+  spec.shards = 2;
+  spec.faults =
+      "link_down:t=500us,dur=300us,node=sw0,port=1;"
+      "gilbert:p_gb=0.05,p_bg=0.3,loss_bad=0.3,slot=50us,seed=5";
+  testing::ExpectWindowBatchInvariant(spec, {0, 4, 16});
+}
+
+// And across shard counts at a fixed non-trivial batch: the staged-mail
+// signal is shard-count invariant, so the batched schedule is too.
+TEST(DifferentialTest, ShardCountInvariantAtFixedBatch) {
+  exp::PointSpec spec = SmokePoint("burst_absorption", "occamy", 2);
+  spec.window_batch = 4;
+  testing::ExpectShardCountInvariant(spec, {2, 4});
+}
+
+// Threads on/off at a fixed batch > 1 run the identical batched protocol
+// (the inline path calls the same PlanBatch/StepBatch at the same points).
+TEST(DifferentialTest, StarThreadedAndInlineBatchedExecutionMatch) {
+  bench::DpdkRunSpec run;
+  run.scheme = bench::Scheme::kOccamy;
+  run.scale = bench::BenchScale::kSmoke;
+  run.duration = run.max_duration = Milliseconds(2);
+  run.min_queries = 0;
+  run.seed = testing::ShiftedSeed(1);
+  run.shards = 4;
+  run.window_batch = 4;
+  run.shard_threads = true;
+  const bench::DpdkRunResult threaded = bench::RunDpdk(run);
+  run.shard_threads = false;
+  const bench::DpdkRunResult inline_run = bench::RunDpdk(run);
+  EXPECT_EQ(threaded.qct_avg_ms, inline_run.qct_avg_ms);
+  EXPECT_EQ(threaded.fct_avg_ms, inline_run.fct_avg_ms);
+  EXPECT_EQ(threaded.delivered_bytes, inline_run.delivered_bytes);
+  EXPECT_EQ(threaded.drops, inline_run.drops);
+  EXPECT_EQ(threaded.rtos, inline_run.rtos);
+  EXPECT_EQ(threaded.sim_events, inline_run.sim_events);
+  EXPECT_GT(threaded.sim_events, 0);
+  // The batch schedule itself is part of the determinism contract: both
+  // paths must plan the same barrier rounds, not just the same metrics.
+  EXPECT_EQ(threaded.windows_run, inline_run.windows_run);
+  EXPECT_EQ(threaded.windows_executed, inline_run.windows_executed);
+  EXPECT_EQ(threaded.max_window_batch, inline_run.max_window_batch);
+}
+
+// Fabric twin of the above, at the adaptive setting.
+TEST(DifferentialTest, FabricThreadedAndInlineBatchedExecutionMatch) {
+  bench::FabricRunSpec run;
+  run.scheme = bench::Scheme::kOccamy;
+  run.scale = bench::BenchScale::kSmoke;
+  run.duration = Milliseconds(2);
+  run.seed = testing::ShiftedSeed(1);
+  run.shards = 2;
+  run.window_batch = 0;  // adaptive
+  run.shard_threads = true;
+  const bench::FabricRunResult threaded = bench::RunFabric(run);
+  run.shard_threads = false;
+  const bench::FabricRunResult inline_run = bench::RunFabric(run);
+  EXPECT_EQ(threaded.delivered_bytes, inline_run.delivered_bytes);
+  EXPECT_EQ(threaded.drops, inline_run.drops);
+  EXPECT_EQ(threaded.sim_events, inline_run.sim_events);
+  EXPECT_GT(threaded.sim_events, 0);
+  EXPECT_EQ(threaded.windows_run, inline_run.windows_run);
+  EXPECT_EQ(threaded.windows_executed, inline_run.windows_executed);
+  EXPECT_EQ(threaded.max_window_batch, inline_run.max_window_batch);
+}
+
+// Property: with faults armed (reroute via link_down + gilbert loss), the
+// batched fingerprint is byte-identical to batch=1 for several seeds — and
+// the adaptive run never does *more* barrier rounds than legacy.
+TEST(DifferentialProperty, BatchedFingerprintsMatchUnderFaults) {
+  for (const uint64_t seed : {3u, 11u}) {
+    exp::PointSpec spec = SmokePoint("burst_absorption", "occamy", 2, seed);
+    spec.shards = 2;
+    spec.faults =
+        "link_down:t=400us,dur=200us,node=sw0,port=2;"
+        "gilbert:p_gb=0.1,p_bg=0.2,loss_bad=0.5,slot=50us,seed=7";
+    spec.window_batch = 1;
+    const exp::Metrics legacy = testing::RunPointOrFail(spec);
+    const std::string oracle = testing::DeterministicFingerprint(legacy);
+    for (const int batch : {0, 8}) {
+      spec.window_batch = batch;
+      const exp::Metrics batched = testing::RunPointOrFail(spec);
+      EXPECT_EQ(oracle, testing::DeterministicFingerprint(batched))
+          << "seed=" << seed << " window_batch=" << batch;
+      EXPECT_LE(batched.Number("windows_run"), legacy.Number("windows_run"))
+          << "seed=" << seed << " window_batch=" << batch;
+    }
+  }
 }
 
 // ---- schema-v6 observability counters (src/obs/counters.h) ----

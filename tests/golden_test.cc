@@ -57,6 +57,11 @@ struct GoldenCase {
   // Filename tag for the faulted suffix; defaults to "faults". Lets several
   // faulted cases of the same (scenario, bm, shards) coexist.
   const char* tag = nullptr;
+  // Sharded engine: windows per drain barrier (0 = adaptive, the default).
+  // Deliberately NOT part of GoldenPath: batched rows diff against the
+  // same file as their batch=1/auto siblings, so the byte-identity of the
+  // batched schedule is enforced by the golden suite itself.
+  int window_batch = 0;
 };
 
 // One file per case: <scenario>.<bm>[.shardsN][.<tag|faults>].golden
@@ -76,6 +81,7 @@ void CheckGolden(const GoldenCase& c) {
   spec.duration_ms = c.duration_ms;
   spec.seed = 1;  // pinned: goldens are fixed-point, not seed-shifted
   spec.shards = c.shards;
+  spec.window_batch = c.window_batch;
   if (c.faults != nullptr) spec.faults = c.faults;
   const exp::Metrics metrics = testing::RunPointOrFail(spec);
   ASSERT_GT(metrics.Number("sim_events"), 0);
@@ -145,6 +151,23 @@ constexpr GoldenCase kCases[] = {
      "gilbert:p_gb=0.05,p_bg=0.3,loss_bad=0.3,slot=50us,seed=5", "gilbert"},
     {"websearch", "occamy", 2.0, 2,
      "gilbert:p_gb=0.05,p_bg=0.3,loss_bad=0.3,slot=50us,seed=5", "gilbert"},
+    // Window batching (this ISSUE): the batched schedules diff against the
+    // SAME golden files as the rows above (the sharded rows run at the
+    // adaptive default, window_batch=0) — a fingerprint drift at any batch
+    // setting, healthy or faulted, is a golden failure, not just a
+    // differential one.
+    {"burst", "occamy", 1.0, 2, nullptr, nullptr, 1},
+    {"burst", "occamy", 1.0, 2, nullptr, nullptr, 4},
+    {"burst_absorption", "occamy", 2.0, 2, nullptr, nullptr, 1},
+    {"burst_absorption", "occamy", 2.0, 2, nullptr, nullptr, 4},
+    {"websearch", "occamy", 2.0, 2, nullptr, nullptr, 1},
+    {"websearch", "occamy", 2.0, 2, nullptr, nullptr, 4},
+    {"burst", "occamy", 1.0, 2, "link_down:t=500us,dur=300us,node=sw0,port=2",
+     nullptr, 4},
+    {"websearch", "occamy", 2.0, 2,
+     "link_down:t=500us,dur=500us,node=sw0,port=4,reroute=1", "reroute", 4},
+    {"websearch", "occamy", 2.0, 2,
+     "gilbert:p_gb=0.05,p_bg=0.3,loss_bad=0.3,slot=50us,seed=5", "gilbert", 4},
 };
 
 TEST(GoldenTest, MetricsMatchCheckedInFingerprints) {

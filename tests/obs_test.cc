@@ -385,6 +385,82 @@ TEST(ProfileReportTest, EmptyInputIsSafe) {
   EXPECT_EQ(report.barrier_overhead_frac, 0.0);
   const std::string text = FormatProfileReport(report);
   EXPECT_NE(text.find("(no run.core spans recorded)"), std::string::npos);
+  // With zero accounted time everywhere, every ratio renders as an explicit
+  // 0 with the no-samples marker — never NaN/inf from a 0/0.
+  EXPECT_NE(text.find("(no-samples)"), std::string::npos);
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+  EXPECT_EQ(text.find("inf"), std::string::npos);
+}
+
+TEST(ProfileReportTest, ShardWithNoSpansRendersZerosWithMarker) {
+  // Shard 1 recorded nothing (e.g. the trace window closed before it ran):
+  // its row must be explicit zeros plus a marker, not a ratio over nothing,
+  // while the populated shard renders normally.
+  std::vector<TraceEvent> events;
+  TraceEvent span;
+  span.name = kSpanWindowExecute;
+  span.ts_ns = 0;
+  span.dur_ns = 500;
+  span.shard = 0;
+  span.phase = 'X';
+  events.push_back(span);
+  const ProfileReport report = BuildProfileReport(events, /*shards=*/2, 0);
+  const std::string text = FormatProfileReport(report);
+  EXPECT_NE(text.find("  (no-samples)"), std::string::npos);
+  EXPECT_EQ(text.find("nan"), std::string::npos);
+  // The aggregate barrier line has samples (shard 0), so no marker there.
+  EXPECT_NE(text.find("barrier overhead: 0.0% of accounted worker time\n"),
+            std::string::npos);
+}
+
+TEST(ProfileReportTest, WindowBatchingLineAggregatesPlanSpanArgs) {
+  // Only the plan leader's span carries batch_windows; bare plan spans (the
+  // other shards' barrier waits) must not count as rounds.
+  std::vector<TraceEvent> events;
+  auto add_plan = [&events](uint64_t ts, int64_t batch_windows) {
+    TraceEvent ev;
+    ev.name = kSpanBarrierPlan;
+    ev.ts_ns = ts;
+    ev.dur_ns = 10;
+    ev.shard = 0;
+    ev.phase = 'X';
+    if (batch_windows > 0) {
+      ev.arg_name = "batch_windows";
+      ev.arg = batch_windows;
+    }
+    events.push_back(ev);
+  };
+  add_plan(0, 3);
+  add_plan(100, 5);
+  add_plan(200, 0);  // follower's wait span: no arg, no round
+  const ProfileReport report = BuildProfileReport(events, /*shards=*/1, 0);
+  EXPECT_EQ(report.plan_rounds, 2u);
+  EXPECT_EQ(report.planned_windows, 8u);
+  EXPECT_EQ(report.max_batch, 5u);
+  const std::string text = FormatProfileReport(report);
+  EXPECT_NE(
+      text.find(
+          "window batching: 2 plan rounds covering 8 windows (avg batch 4.00, max 5)"),
+      std::string::npos);
+}
+
+TEST(ProfileReportTest, NoWindowBatchingLineWithoutPlanRounds) {
+  // A single-threaded run has no plan spans at all; the report must omit
+  // the batching line instead of dividing by zero rounds.
+  std::vector<TraceEvent> events;
+  TraceEvent core;
+  core.name = kSpanRunCore;
+  core.ts_ns = 0;
+  core.dur_ns = 100;
+  core.shard = 0;
+  core.phase = 'X';
+  core.arg_name = "events";
+  core.arg = 4;
+  events.push_back(core);
+  const ProfileReport report = BuildProfileReport(events, /*shards=*/1, 0);
+  EXPECT_EQ(report.plan_rounds, 0u);
+  const std::string text = FormatProfileReport(report);
+  EXPECT_EQ(text.find("window batching:"), std::string::npos);
 }
 
 }  // namespace

@@ -36,11 +36,13 @@ Packet MakePacket(uint64_t flow_id) {
 
 constexpr Time kLookahead = Microseconds(2);
 
-sim::ShardedSimulator::Options EngineOptions(int shards, bool use_threads = true) {
+sim::ShardedSimulator::Options EngineOptions(int shards, bool use_threads = true,
+                                             int window_batch = 0) {
   sim::ShardedSimulator::Options opts;
   opts.shards = shards;
   opts.lookahead = kLookahead;
   opts.use_threads = use_threads;
+  opts.window_batch = window_batch;
   return opts;
 }
 
@@ -214,6 +216,134 @@ TEST(ShardedSimTest, RunUntilAdvancesAllClocksAndHopsEmptyWindows) {
   EXPECT_EQ(ssim.shard(1).now(), Milliseconds(50));
   // Far fewer windows than the naive 25k: the planner hops empty spans.
   EXPECT_LT(ssim.windows_run(), 10u);
+}
+
+// ---- window batching ----
+
+// Every window-batch setting (adaptive, legacy, fixed, max) must produce
+// the same arrival logs as batch=1 — batching only elides plan rounds,
+// never a drain — across shard counts and threading modes.
+TEST(ShardedSimTest, WindowBatchSettingsAreByteIdentical) {
+  const auto scenario = [](sim::ShardedSimulator& ssim, net::Network& net) {
+    // Mix of same-window merges, cross-window chains, and quiet gaps so
+    // the planner gets to batch through mail, drain mid-batch, and hop.
+    ssim.shard(net.shard_of(0)).At(Microseconds(1), [&net] {
+      net.DeliverAfter(0, Microseconds(9), {3, 0}, MakePacket(1));
+    });
+    ssim.shard(net.shard_of(1)).At(Microseconds(3), [&net] {
+      net.DeliverAfter(1, Microseconds(7), {3, 0}, MakePacket(2));
+    });
+    ssim.shard(net.shard_of(2)).At(Microseconds(40), [&net] {
+      net.DeliverAfter(2, kLookahead, {3, 0}, MakePacket(3));
+    });
+  };
+
+  std::vector<std::pair<Time, uint64_t>> reference;
+  bool have_reference = false;
+  for (const int batch : {1, 0, 4, 16}) {
+    for (const int shards : {1, 2, 4}) {
+      for (const bool threads : {true, false}) {
+        sim::ShardedSimulator ssim(EngineOptions(shards, threads, batch));
+        net::Network net(&ssim, [shards](net::NodeId id) {
+          return static_cast<int>(id) % shards;
+        });
+        std::vector<RecordingNode*> ptrs;
+        for (int i = 0; i < 4; ++i) {
+          auto node = std::make_unique<RecordingNode>();
+          ptrs.push_back(node.get());
+          net.AddNode(std::move(node));
+        }
+        scenario(ssim, net);
+        ssim.RunUntil(Milliseconds(1));
+        if (!have_reference) {
+          reference = ptrs[3]->received;
+          have_reference = true;
+          ASSERT_EQ(reference.size(), 3u);
+        } else {
+          EXPECT_EQ(ptrs[3]->received, reference)
+              << "batch=" << batch << " shards=" << shards
+              << " threads=" << threads;
+        }
+      }
+    }
+  }
+}
+
+// A run of consecutive busy windows with no cross-shard mail is exactly
+// where batching pays: the adaptive policy must finish it in strictly
+// fewer barrier rounds than the one-window-per-round schedule, while
+// executing the same windows and events.
+TEST(ShardedSimTest, AdaptiveBatchingReducesBarrierRounds) {
+  static constexpr int kBusyWindows = 100;
+  struct Counters {
+    uint64_t rounds = 0, executed = 0, max_batch = 0;
+  };
+  const auto run = [](int window_batch) {
+    sim::ShardedSimulator ssim(EngineOptions(2, true, window_batch));
+    int ran = 0;
+    for (int w = 0; w < kBusyWindows; ++w) {
+      ssim.shard(w % 2).At(static_cast<Time>(w) * kLookahead + 1,
+                           [&ran] { ++ran; });
+    }
+    ssim.RunUntil(static_cast<Time>(kBusyWindows) * kLookahead);
+    EXPECT_EQ(ran, kBusyWindows) << "window_batch=" << window_batch;
+    return Counters{ssim.windows_run(), ssim.windows_executed(),
+                    ssim.max_window_batch()};
+  };
+
+  const Counters legacy = run(1);
+  const Counters adaptive = run(0);
+  EXPECT_EQ(legacy.rounds, static_cast<uint64_t>(kBusyWindows));
+  EXPECT_EQ(legacy.max_batch, 1u);
+  EXPECT_LT(adaptive.rounds, legacy.rounds);
+  EXPECT_GT(adaptive.max_batch, 1u);
+  // Batching changes how many barriers ran, never how many windows did.
+  EXPECT_EQ(adaptive.executed, legacy.executed);
+}
+
+// A drain fence at every window start forces the planner back to the
+// legacy schedule: no batch may cross a fence, so barrier rounds match
+// batch=1 exactly. This is the alignment guarantee fault toggles rely on.
+TEST(ShardedSimTest, DrainFencesForceBarrierRounds) {
+  static constexpr int kBusyWindows = 32;
+  const auto run = [](int window_batch, bool fences) {
+    sim::ShardedSimulator ssim(EngineOptions(2, true, window_batch));
+    if (fences) {
+      for (int w = 0; w < kBusyWindows; ++w) {
+        ssim.AddDrainFence(static_cast<Time>(w) * kLookahead);
+      }
+    }
+    int ran = 0;
+    for (int w = 0; w < kBusyWindows; ++w) {
+      ssim.shard(w % 2).At(static_cast<Time>(w) * kLookahead + 1,
+                           [&ran] { ++ran; });
+    }
+    ssim.RunUntil(static_cast<Time>(kBusyWindows) * kLookahead);
+    EXPECT_EQ(ran, kBusyWindows);
+    return ssim.windows_run();
+  };
+
+  const uint64_t legacy_rounds = run(1, false);
+  EXPECT_EQ(run(16, true), legacy_rounds);   // fenced: batching disabled
+  EXPECT_LT(run(16, false), legacy_rounds);  // unfenced: batching engages
+}
+
+// Stop() inside a k-window batch halts at the *current* window's barrier —
+// an event two windows later (well inside the armed batch) on another
+// shard must never run, exactly as in the unbatched engine.
+TEST(ShardedSimTest, StopMidBatchHaltsAtCurrentWindow) {
+  for (const bool threads : {true, false}) {
+    sim::ShardedSimulator ssim(EngineOptions(2, threads, /*window_batch=*/8));
+    int late_events = 0;
+    ssim.shard(0).At(Microseconds(1), [&ssim] { ssim.Stop(); });
+    // Two windows later, inside the 8-window batch, other shard: must not
+    // run — a batch that coasts to batch_end would execute it.
+    ssim.shard(1).At(Microseconds(5), [&late_events] { ++late_events; });
+    ssim.RunUntil(Milliseconds(1));
+    EXPECT_TRUE(ssim.stop_requested()) << "threads=" << threads;
+    EXPECT_EQ(late_events, 0) << "threads=" << threads;
+    EXPECT_LT(ssim.shard(1).now(), Milliseconds(1)) << "threads=" << threads;
+  }
 }
 
 // ---- property tests: conservative-window invariant over randomized

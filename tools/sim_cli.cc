@@ -148,6 +148,19 @@ std::optional<std::string> ParseArgs(int argc, const char* const* argv, SimOptio
       if (out.shards < 1 || out.shards > 64) {
         return "invalid --shards (want 1..64): " + value;
       }
+    } else if (key == "window-batch") {
+      if (value == "auto") {
+        out.window_batch = 0;
+      } else {
+        if (value.find_first_not_of("0123456789") != std::string::npos ||
+            value.size() > 2) {
+          return "invalid --window-batch (want auto|1..16): " + value;
+        }
+        out.window_batch = std::atoi(value.c_str());
+        if (out.window_batch < 1 || out.window_batch > 16) {
+          return "invalid --window-batch (want auto|1..16): " + value;
+        }
+      }
     } else if (key == "faults") {
       // Parse eagerly so a malformed schedule is a usage error (exit 2)
       // naming the offending token, not a mid-run failure.
@@ -199,6 +212,12 @@ std::string UsageString() {
          "                      (fabric: node-affinity sharding; star/p4: intra-\n"
          "                      switch partition sharding; byte-identical metrics\n"
          "                      for any n; default: single-threaded engine)\n"
+         "  --window-batch=<k>  sharded engine: windows per plan-barrier round;\n"
+         "                      auto (default) adapts to the staged-mail signal and\n"
+         "                      window event density, 1 = one drain per window\n"
+         "                      (legacy), 2..16 = fixed batch. Metrics are byte-\n"
+         "                      identical at every setting; only barrier rounds\n"
+         "                      (windows_run) change\n"
          "  --faults=<spec>     deterministic fault schedule, e.g.\n"
          "                      link_down:t=2ms,dur=1ms,node=sw0,port=3;loss:rate=0.01\n"
          "                      (types: link_down link_up blackhole freeze restart\n"
@@ -223,6 +242,7 @@ SimResult RunScenario(const SimOptions& opts) {
   spec.duration_ms = opts.duration_ms;
   spec.alphas = opts.alphas;
   spec.shards = opts.shards;
+  spec.window_batch = opts.window_batch;
   spec.faults = opts.faults;
   if (!opts.scale.empty()) spec.scale = exp::ScaleByName(opts.scale);
 

@@ -29,6 +29,7 @@ struct SimOptions {
   double duration_ms = 0;       // 0 = scenario default
   std::vector<double> alphas;   // per-class override; empty = scheme default
   int shards = 0;               // fabric: 0 = single-threaded, N = sharded engine
+  int window_batch = 0;         // sharded engine: 0 = auto, 1 = legacy, N = fixed
   std::string faults;           // fault schedule (src/fault grammar); empty = healthy
   bool degradation = false;     // also run the healthy twin; emit healthy_/delta_ fields
   bool profile = false;         // `profile` subcommand: print the trace report

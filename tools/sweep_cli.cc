@@ -152,6 +152,9 @@ std::string SweepUsageString() {
          "  --shards=<n>              run every point on the partition-parallel\n"
          "                            engine with n shards each (results unchanged;\n"
          "                            jobs is capped so jobs x shards fits the CPU)\n"
+         "  --window-batch=<k>        sharded engine: windows per plan barrier\n"
+         "                            (auto = adaptive, 1 = legacy, 2..16 = fixed;\n"
+         "                            results unchanged at every setting)\n"
          "  --faults=<spec>           fault schedule applied to every point (run\n"
          "                            condition, not a grid axis; src/fault grammar)\n"
          "Sweep dimensions (each value adds a grid axis):\n"
@@ -209,6 +212,12 @@ std::optional<std::string> ParseSweepArgs(int argc, const char* const* argv,
       if (auto e = ParsePositiveInt(key, value, 64, out.jobs)) return e;
     } else if (key == "shards") {
       if (auto e = ParsePositiveInt(key, value, 64, out.spec.shards)) return e;
+    } else if (key == "window-batch") {
+      if (value == "auto") {
+        out.spec.window_batch = 0;
+      } else if (auto e = ParsePositiveInt(key, value, 16, out.spec.window_batch)) {
+        return "invalid --window-batch (want auto|1..16): " + value;
+      }
     } else if (key == "out") {
       out.out_dir = value;
     } else if (key == "scale") {
